@@ -1,0 +1,501 @@
+package calsys
+
+// One benchmark per experiment row of DESIGN.md §3 (E1-E9), measuring the
+// performance claims behind the paper's design: foreach/selection
+// throughput, generate/caloperate, catalog-mediated evaluation (Figure 1),
+// the §3.3 scripts, factorization (Figures 2-3), window inference (§3.4),
+// and DBCRON scheduling (Figure 4). Run with:
+//
+//	go test -bench=. -benchmem
+import (
+	"fmt"
+	"testing"
+
+	"calsys/internal/caldb"
+	"calsys/internal/chronology"
+	"calsys/internal/core/calendar"
+	"calsys/internal/core/callang"
+	"calsys/internal/core/interval"
+	"calsys/internal/core/plan"
+	"calsys/internal/multical"
+	"calsys/internal/rules"
+	"calsys/internal/store"
+)
+
+func benchEnv(b *testing.B, epoch Civil) (*plan.Env, *caldb.Manager) {
+	b.Helper()
+	mgr, err := caldb.New(store.NewDB(), chronology.MustNew(epoch))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return mgr.Env(), mgr
+}
+
+func benchExpr(b *testing.B, src string) callang.Expr {
+	b.Helper()
+	e, err := callang.ParseExpr(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// --- E1: foreach and selection throughput (§3.1) ------------------------
+
+func BenchmarkE1Foreach(b *testing.B) {
+	ch := chronology.MustNew(DefaultEpoch)
+	for _, years := range []int{1, 10, 50} {
+		days := int64(years) * 365
+		weeks, err := calendar.GenerateFull(ch, Week, Day, 1, days)
+		if err != nil {
+			b.Fatal(err)
+		}
+		months, err := calendar.GenerateFull(ch, Month, Day, 1, days)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("strict/years=%d", years), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := calendar.Foreach(weeks, Overlaps, true, months); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("relaxed/years=%d", years), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := calendar.Foreach(weeks, Overlaps, false, months); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE1Selection(b *testing.B) {
+	ch := chronology.MustNew(DefaultEpoch)
+	days, err := calendar.GenerateFull(ch, Day, Day, 1, 3650)
+	if err != nil {
+		b.Fatal(err)
+	}
+	weeks, err := calendar.GenerateFull(ch, Week, Day, 1, 3650)
+	if err != nil {
+		b.Fatal(err)
+	}
+	order2, err := calendar.Foreach(days, During, true, weeks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sel := range []Selection{SelectIndex(2), SelectLast(), SelectList(1, 3, 5), SelectRange(2, 4)} {
+		b.Run(sel.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := calendar.Select(sel, order2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E2: generate and caloperate (§3.2) ----------------------------------
+
+func BenchmarkE2Generate(b *testing.B) {
+	ch := chronology.MustNew(DefaultEpoch)
+	for _, g := range []Granularity{Week, Month, Year} {
+		for _, years := range []int{1, 10, 100} {
+			b.Run(fmt.Sprintf("%v/years=%d", g, years), func(b *testing.B) {
+				hi := Tick(years) * 365
+				for i := 0; i < b.N; i++ {
+					if _, err := calendar.GenerateFull(ch, g, Day, 1, hi); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkE2Caloperate(b *testing.B) {
+	ch := chronology.MustNew(DefaultEpoch)
+	days, err := calendar.GenerateFull(ch, Day, Day, 1, 36500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, counts := range [][]int{{7}, {30, 31}, {90, 91, 92, 92}} {
+		b.Run(fmt.Sprintf("counts=%v", counts), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := calendar.Caloperate(days, counts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E3: catalog-mediated evaluation (Figure 1) ---------------------------
+
+func BenchmarkE3TuesdaysThroughCatalog(b *testing.B) {
+	env, mgr := benchEnv(b, DefaultEpoch)
+	ls := caldb.Lifespan{Lo: 1, Hi: caldb.MaxDayTick}
+	if err := mgr.DefineDerived("Tuesdays", "[2]/DAYS:during:WEEKS", ls, caldb.GranAuto); err != nil {
+		b.Fatal(err)
+	}
+	e := benchExpr(b, "Tuesdays")
+	from, to := MustDate(1993, 1, 1), MustDate(1993, 12, 31)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Evaluate(env, e, from, to); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E4: the EMP-DAYS script (§3.3) ---------------------------------------
+
+func BenchmarkE4EmpDaysScript(b *testing.B) {
+	env, mgr := benchEnv(b, MustDate(1993, 1, 1))
+	ls := caldb.Lifespan{Lo: 1, Hi: caldb.MaxDayTick}
+	hol, _ := calendar.FromPoints(Day, []Tick{31, 90})
+	if err := mgr.DefineStored("HOLIDAYS", hol, ls); err != nil {
+		b.Fatal(err)
+	}
+	var bus []Tick
+	for d := Tick(1); d <= 150; d++ {
+		if d != 31 && d != 89 && d != 90 {
+			bus = append(bus, d)
+		}
+	}
+	busCal, _ := calendar.FromPoints(Day, bus)
+	if err := mgr.DefineStored("AM_BUS_DAYS", busCal, ls); err != nil {
+		b.Fatal(err)
+	}
+	script, err := callang.ParseScript(`{LDOM = [n]/DAYS:during:MONTHS;
+		LDOM_HOL = LDOM:intersects:HOLIDAYS;
+		LAST_BUS_DAY = [n]/AM_BUS_DAYS:<:LDOM_HOL;
+		return (LDOM - LDOM_HOL + LAST_BUS_DAY);}`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	from, to := MustDate(1993, 1, 1), MustDate(1993, 4, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.RunScript(env, script, from, to); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E6/E7: factorized vs initial plans (Figures 2-3) ----------------------
+
+func benchFactorization(b *testing.B, exprSrc string) {
+	env, mgr := benchEnv(b, DefaultEpoch)
+	ls := caldb.Lifespan{Lo: 1, Hi: caldb.MaxDayTick}
+	defs := map[string]string{
+		"Mondays":     "[1]/DAYS:during:WEEKS",
+		"Januarys":    "[1]/MONTHS:during:YEARS",
+		"Third_Weeks": "[3]/WEEKS:overlaps:MONTHS",
+	}
+	for name, src := range defs {
+		if err := mgr.DefineDerived(name, src, ls, caldb.GranAuto); err != nil {
+			b.Fatal(err)
+		}
+	}
+	e := benchExpr(b, exprSrc)
+	from, to := MustDate(1987, 1, 1), MustDate(1994, 12, 31)
+	b.Run("factorized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.Evaluate(env, e, from, to); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("initial", func(b *testing.B) {
+		envOff := *env
+		envOff.DisableFactorization = true
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.Evaluate(&envOff, e, from, to); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkE6Fig2MondaysInJanuary(b *testing.B) {
+	benchFactorization(b, "Mondays:during:Januarys:during:1993/YEARS")
+}
+
+func BenchmarkE7Fig3ThirdWeekInJanuary(b *testing.B) {
+	benchFactorization(b, "Third_Weeks:during:Januarys:during:1993/YEARS")
+}
+
+// --- E8: window inference on vs off (§3.4) ---------------------------------
+
+func BenchmarkE8WindowInference(b *testing.B) {
+	env, mgr := benchEnv(b, DefaultEpoch)
+	ls := caldb.Lifespan{Lo: 1, Hi: caldb.MaxDayTick}
+	if err := mgr.DefineDerived("Mondays", "[1]/DAYS:during:WEEKS", ls, caldb.GranAuto); err != nil {
+		b.Fatal(err)
+	}
+	if err := mgr.DefineDerived("Januarys", "[1]/MONTHS:during:YEARS", ls, caldb.GranAuto); err != nil {
+		b.Fatal(err)
+	}
+	e := benchExpr(b, "Mondays:during:Januarys:during:1993/YEARS")
+	for _, years := range []int{1, 8, 64} {
+		from := MustDate(1993, 1, 1)
+		to := MustDate(1993+years-1, 12, 31)
+		b.Run(fmt.Sprintf("windowed/baseYears=%d", years), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.Evaluate(env, e, from, to); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("unwindowed/baseYears=%d", years), func(b *testing.B) {
+			envOff := *env
+			envOff.DisableWindowInference = true
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.Evaluate(&envOff, e, from, to); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E9: DBCRON scheduling sweep (Figure 4) --------------------------------
+
+func BenchmarkE9DBCronSweep(b *testing.B) {
+	for _, nRules := range []int{1, 10, 100} {
+		for _, probeDays := range []int64{1, 7} {
+			b.Run(fmt.Sprintf("rules=%d/T=%dd", nRules, probeDays), func(b *testing.B) {
+				mgr, err := caldb.New(store.NewDB(), chronology.MustNew(MustDate(1993, 1, 1)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng, err := rules.NewEngine(mgr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				start := int64(0)
+				noop := rules.FuncAction{Name: "noop",
+					Fn: func(*store.Txn, *store.Event, int64) error { return nil }}
+				for i := 0; i < nRules; i++ {
+					expr := fmt.Sprintf("[%d]/DAYS:during:WEEKS", i%5+1)
+					if err := eng.DefineTemporalRule(fmt.Sprintf("r%d", i), expr, noop, start); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				// Each iteration simulates 30 virtual days of probing and firing.
+				now := start
+				cron, err := rules.NewDBCron(eng, probeDays*SecondsPerDay, now)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for i := 0; i < b.N; i++ {
+					now += 30 * SecondsPerDay
+					if _, err := cron.AdvanceTo(now); err != nil {
+						b.Fatal(err)
+					}
+				}
+				fired, _ := cron.Stats()
+				b.ReportMetric(float64(fired)/float64(b.N), "firings/30d")
+			})
+		}
+	}
+}
+
+// --- substrate micro-benchmarks --------------------------------------------
+
+func BenchmarkBTreeInsert(b *testing.B) {
+	bt := store.NewBTree()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bt.Insert(store.NewInt(int64(i)), int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexedLookupVsScan(b *testing.B) {
+	db := store.NewDB()
+	schema, _ := store.NewSchema(store.Column{Name: "k", Type: store.TInt}, store.Column{Name: "v", Type: store.TText})
+	if err := db.CreateTable("t", schema); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.RunTxn(func(tx *store.Txn) error {
+		for i := 0; i < 10000; i++ {
+			if _, err := tx.Append("t", store.Row{store.NewInt(int64(i)), store.NewText("x")}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	tab, _ := db.Table("t")
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tab.LookupEq("k", store.NewInt(int64(i%10000))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if err := db.CreateIndex("t", "k"); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("btree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tab.LookupEq("k", store.NewInt(int64(i%10000))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkIntervalSetOps(b *testing.B) {
+	mk := func(n int, stride int64) interval.Set {
+		ivs := make([]interval.Interval, n)
+		for i := range ivs {
+			lo := chronology.TickFromOffset(int64(i) * stride)
+			ivs[i] = interval.Interval{Lo: lo, Hi: lo + stride/2}
+		}
+		return interval.NewSet(ivs...)
+	}
+	a, c := mk(1000, 10), mk(1000, 14)
+	b.Run("union", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a.Union(c)
+		}
+	})
+	b.Run("intersect", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a.Intersect(c)
+		}
+	})
+	b.Run("diff", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a.Diff(c)
+		}
+	})
+}
+
+func BenchmarkParseAndFactorize(b *testing.B) {
+	src := "([1]/(DAYS:during:WEEKS)):during:(([1]/(MONTHS:during:YEARS)):during:(1993/YEARS))"
+	b.Run("parse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := callang.ParseExpr(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	e := benchExpr(b, src)
+	b.Run("factorize", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			callang.Factorize(e, callang.KindMap{})
+		}
+	})
+}
+
+func BenchmarkQueryWithCalendarOnClause(b *testing.B) {
+	sys := MustOpen()
+	if _, err := sys.Exec(`create readings (day date, level float)`); err != nil {
+		b.Fatal(err)
+	}
+	d := MustDate(1993, 1, 1)
+	for i := 0; i < 365; i++ {
+		stmt := fmt.Sprintf(`append readings (day = "%s", level = %d.0)`, d, i)
+		if _, err := sys.Exec(stmt); err != nil {
+			b.Fatal(err)
+		}
+		d = d.AddDays(1)
+	}
+	if err := sys.DefineCalendar("Tuesdays", "[2]/DAYS:during:WEEKS", GranAuto); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("onTuesdays", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.ExecOne(`retrieve (readings.level) on Tuesdays`); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fullScan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.ExecOne(`retrieve (readings.level)`); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Ablation: the paper's shared-calendar marking (common-subexpression
+// sharing plus the per-run generation cache) on vs off.
+func BenchmarkSharingAblation(b *testing.B) {
+	env, mgr := benchEnv(b, DefaultEpoch)
+	_ = mgr
+	e := benchExpr(b, "([1]/DAYS:during:WEEKS) + ([2]/DAYS:during:WEEKS) + ([3]/DAYS:during:WEEKS)")
+	from, to := MustDate(1993, 1, 1), MustDate(1994, 12, 31)
+	b.Run("shared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.Evaluate(env, e, from, to); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unshared", func(b *testing.B) {
+		envOff := *env
+		envOff.DisableSharing = true
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.Evaluate(&envOff, e, from, to); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// §5 baseline: the paper's algebra vs hand-coded MultiCal-style event/span
+// iteration for "the third Friday of every month of 1993". The algebra
+// carries optimizer overhead; the baseline's cost is the code a user must
+// write and maintain instead of one expression.
+func BenchmarkMultiCalBaselineThirdFridays(b *testing.B) {
+	env, _ := benchEnv(b, DefaultEpoch)
+	e := benchExpr(b, "[3]/([5]/DAYS:during:WEEKS):overlaps:MONTHS")
+	from, to := MustDate(1993, 1, 1), MustDate(1993, 12, 31)
+	b.Run("algebra", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.Evaluate(env, e, from, to); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("multical", func(b *testing.B) {
+		ch := env.Chron
+		g := multical.Gregorian{Chron: ch}
+		for i := 0; i < b.N; i++ {
+			var out []Civil
+			cursor, err := g.FromFields(multical.FieldSet{"year": 1993, "month": 1, "day": 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for m := 0; m < 12; m++ {
+				fridays := 0
+				ev := cursor
+				for {
+					day := ch.CivilOf(ev.At)
+					if day.Weekday() == Friday {
+						fridays++
+						if fridays == 3 {
+							out = append(out, day)
+							break
+						}
+					}
+					ev = g.AddSpan(ev, multical.SpanDay)
+				}
+				cursor = g.AddSpan(cursor, multical.SpanMonth)
+			}
+			if len(out) != 12 {
+				b.Fatal("wrong result")
+			}
+		}
+	})
+}

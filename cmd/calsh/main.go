@@ -1,0 +1,258 @@
+// Command calsh is an interactive shell for the calendar system: Postquel
+// statements run against an in-memory database, and dot-commands expose the
+// calendar algebra, parse trees (Figures 2-3), evaluation plans, the
+// CALENDARS catalog (Figure 1) and a virtual-time DBCRON (Figure 4).
+//
+// Usage:
+//
+//	calsh            # interactive
+//	calsh < script   # batch
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"calsys"
+)
+
+const usage = `calsh — calendar & temporal-rule shell
+
+Postquel statements (create / append / retrieve / replace / delete /
+define calendar / define rule / define temporal rule / drop / show)
+run directly. Dot-commands:
+
+  .cal <expr> [<from> <to>]   evaluate a calendar expression (dates ISO)
+  .script <script>            run a calendar script ({...})
+  .tree <expr>                parse tree, initial and factorized
+  .plan <expr> [<from> <to>]  compiled evaluation plan
+  .fig1 <name>                CALENDARS catalog row (Figure 1)
+  .now                        current virtual date
+  .advance <days>             advance the virtual clock, driving DBCRON
+  .cron <seconds>             start DBCRON with probe period T
+  .save <file>                write a database snapshot
+  .load <file>                replace the database from a snapshot
+  .help                       this text
+  .quit                       exit
+`
+
+type shell struct {
+	sys   *calsys.System
+	clock *calsys.VirtualClock
+	cron  *calsys.DBCron
+	out   *bufio.Writer
+}
+
+func main() {
+	clock := calsys.NewVirtualClock(0)
+	sys, err := calsys.Open(calsys.WithClock(clock))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calsh:", err)
+		os.Exit(1)
+	}
+	sh := &shell{sys: sys, clock: clock, out: bufio.NewWriter(os.Stdout)}
+	defer sh.out.Flush()
+
+	interactive := isTerminal()
+	if interactive {
+		fmt.Fprintln(sh.out, "calsh — type .help for help")
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		if interactive {
+			fmt.Fprint(sh.out, "calsh> ")
+			sh.out.Flush()
+		}
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "--") {
+			continue
+		}
+		if line == ".quit" || line == ".exit" {
+			return
+		}
+		if err := sh.dispatch(line); err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+		}
+		sh.out.Flush()
+	}
+}
+
+func isTerminal() bool {
+	fi, err := os.Stdin.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}
+
+func (sh *shell) dispatch(line string) error {
+	if !strings.HasPrefix(line, ".") {
+		results, err := sh.sys.Exec(line)
+		for _, r := range results {
+			fmt.Fprintln(sh.out, r.String())
+		}
+		return err
+	}
+	cmd, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch cmd {
+	case ".help":
+		fmt.Fprint(sh.out, usage)
+		return nil
+	case ".cal":
+		expr, from, to, err := sh.exprWindow(rest)
+		if err != nil {
+			return err
+		}
+		cal, err := sh.sys.EvalCalendar(expr, from, to)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(sh.out, "%s  (granularity %v, order %d)\n", cal, cal.Granularity(), cal.Order())
+		return nil
+	case ".script":
+		if rest == "" {
+			return fmt.Errorf("usage: .script { ... }")
+		}
+		from, to := sh.defaultWindow()
+		v, err := sh.sys.RunCalendarScript(rest, from, to)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(sh.out, v.String())
+		return nil
+	case ".tree":
+		if rest == "" {
+			return fmt.Errorf("usage: .tree <expr>")
+		}
+		initial, factored, err := sh.sys.ParseTree(rest)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(sh.out, "INITIAL\n%s\nFACTORIZED\n%s", initial, factored)
+		return nil
+	case ".plan":
+		expr, from, to, err := sh.exprWindow(rest)
+		if err != nil {
+			return err
+		}
+		p, err := sh.sys.CompileCalendar(expr, from, to)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(sh.out, p.String())
+		return nil
+	case ".fig1":
+		if rest == "" {
+			return fmt.Errorf("usage: .fig1 <calendar>")
+		}
+		row, err := sh.sys.CalendarFigureRow(rest)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(sh.out, row)
+		return nil
+	case ".now":
+		fmt.Fprintln(sh.out, sh.sys.Today())
+		return nil
+	case ".advance":
+		n, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("usage: .advance <days>")
+		}
+		for i := int64(0); i < n; i++ {
+			now := sh.clock.Advance(calsys.SecondsPerDay)
+			if sh.cron != nil {
+				fired, err := sh.cron.AdvanceTo(now)
+				if err != nil {
+					return err
+				}
+				for _, f := range fired {
+					fmt.Fprintf(sh.out, "fired %s at %s\n", f.Rule, sh.sys.Chron().CivilOf(f.At))
+				}
+			}
+		}
+		fmt.Fprintln(sh.out, "now", sh.sys.Today())
+		return nil
+	case ".save":
+		if rest == "" {
+			return fmt.Errorf("usage: .save <file>")
+		}
+		f, err := os.Create(rest)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := sh.sys.SaveSnapshot(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(sh.out, "saved snapshot to %s\n", rest)
+		return nil
+	case ".load":
+		if rest == "" {
+			return fmt.Errorf("usage: .load <file>")
+		}
+		f, err := os.Open(rest)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		restored, err := calsys.OpenSnapshot(f, calsys.WithClock(sh.clock))
+		if err != nil {
+			return err
+		}
+		sh.sys = restored
+		sh.cron = nil
+		if orphans := restored.OrphanedRules(); len(orphans) > 0 {
+			fmt.Fprintf(sh.out, "loaded %s; rules needing reattachment: %v\n", rest, orphans)
+		} else {
+			fmt.Fprintf(sh.out, "loaded %s\n", rest)
+		}
+		return nil
+	case ".cron":
+		T, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil || T <= 0 {
+			return fmt.Errorf("usage: .cron <seconds>")
+		}
+		cron, err := sh.sys.StartDBCron(T)
+		if err != nil {
+			return err
+		}
+		sh.cron = cron
+		fmt.Fprintf(sh.out, "dbcron started, probe period %d s\n", T)
+		return nil
+	}
+	return fmt.Errorf("unknown command %s (try .help)", cmd)
+}
+
+// exprWindow splits ".cal expr [from to]" arguments; trailing ISO dates set
+// the window.
+func (sh *shell) exprWindow(rest string) (string, calsys.Civil, calsys.Civil, error) {
+	if rest == "" {
+		return "", calsys.Civil{}, calsys.Civil{}, fmt.Errorf("missing expression")
+	}
+	fields := strings.Fields(rest)
+	if len(fields) >= 3 {
+		from, err1 := calsys.ParseDate(fields[len(fields)-2])
+		to, err2 := calsys.ParseDate(fields[len(fields)-1])
+		if err1 == nil && err2 == nil {
+			return strings.Join(fields[:len(fields)-2], " "), from, to, nil
+		}
+	}
+	from, to := sh.defaultWindow()
+	return rest, from, to, nil
+}
+
+// defaultWindow is the year around the current virtual date.
+func (sh *shell) defaultWindow() (calsys.Civil, calsys.Civil) {
+	today := sh.sys.Today()
+	return calsys.Civil{Year: today.Year, Month: 1, Day: 1},
+		calsys.Civil{Year: today.Year, Month: 12, Day: 31}
+}

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+
+	"calsys"
+)
+
+func newTestShell(t *testing.T) (*shell, *strings.Builder) {
+	t.Helper()
+	clock := calsys.NewVirtualClock(0)
+	sys, err := calsys.Open(calsys.WithClock(clock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	return &shell{sys: sys, clock: clock, out: bufio.NewWriter(&out)}, &out
+}
+
+func TestShellPostquelAndDotCommands(t *testing.T) {
+	sh, out := newTestShell(t)
+	lines := []string{
+		`create s (k text, v int)`,
+		`append s (k = "a", v = 1)`,
+		`retrieve (s.k, s.v)`,
+		`define calendar Tuesdays as "[2]/DAYS:during:WEEKS"`,
+		`.fig1 Tuesdays`,
+		`.cal Tuesdays 1993-01-01 1993-01-31`,
+		`.tree [2]/DAYS:during:WEEKS`,
+		`.plan [2]/DAYS:during:WEEKS 1993-01-01 1993-01-31`,
+		`.now`,
+		`.cron 86400`,
+		`.advance 2`,
+		`.help`,
+	}
+	for _, line := range lines {
+		if err := sh.dispatch(line); err != nil {
+			t.Fatalf("dispatch(%q): %v", line, err)
+		}
+	}
+	sh.out.Flush()
+	text := out.String()
+	for _, want := range []string{
+		"created table s",
+		"appended 1 tuple",
+		"a | 1",
+		"defined calendar Tuesdays",
+		"Derivation-Script | {[2]/(DAYS:during:WEEKS);}",
+		"(2190,2190)",
+		"foreach during (strict)",
+		"GENERATE WEEKS",
+		"1987-01-01",
+		"dbcron started",
+		"now 1987-01-03",
+		".quit",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("shell output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestShellScriptCommand(t *testing.T) {
+	sh, out := newTestShell(t)
+	if err := sh.dispatch(`.script {return ([n]/DAYS:during:MONTHS);}`); err != nil {
+		t.Fatal(err)
+	}
+	sh.out.Flush()
+	if !strings.Contains(out.String(), "(31,31)") {
+		t.Errorf("script output:\n%s", out.String())
+	}
+}
+
+func TestShellCronFiresOnAdvance(t *testing.T) {
+	sh, out := newTestShell(t)
+	for _, line := range []string{
+		`create alerts (msg text)`,
+		`define temporal rule daily on DAYS do ( append alerts (msg = "tick") )`,
+		`.cron 86400`,
+		`.advance 3`,
+		`retrieve (count(alerts.msg))`,
+	} {
+		if err := sh.dispatch(line); err != nil {
+			t.Fatalf("dispatch(%q): %v", line, err)
+		}
+	}
+	sh.out.Flush()
+	text := out.String()
+	if !strings.Contains(text, "fired daily") {
+		t.Errorf("no firing logged:\n%s", text)
+	}
+	if !strings.Contains(text, "3") {
+		t.Errorf("expected 3 alerts:\n%s", text)
+	}
+}
+
+func TestShellErrors(t *testing.T) {
+	sh, _ := newTestShell(t)
+	bad := []string{
+		`.cal`,
+		`.script`,
+		`.tree`,
+		`.fig1`,
+		`.fig1 Missing`,
+		`.advance x`,
+		`.advance -1`,
+		`.cron x`,
+		`.cron 0`,
+		`.bogus`,
+		`frobnicate the database`,
+		`.cal ][`,
+		`.plan ][`,
+	}
+	for _, line := range bad {
+		if err := sh.dispatch(line); err == nil {
+			t.Errorf("dispatch(%q) should fail", line)
+		}
+	}
+}
+
+func TestShellExprWindowParsing(t *testing.T) {
+	sh, _ := newTestShell(t)
+	expr, from, to, err := sh.exprWindow("Tuesdays 1993-01-01 1993-01-31")
+	if err != nil || expr != "Tuesdays" {
+		t.Fatalf("exprWindow: %q, %v", expr, err)
+	}
+	if from != calsys.MustDate(1993, 1, 1) || to != calsys.MustDate(1993, 1, 31) {
+		t.Errorf("window = %v..%v", from, to)
+	}
+	// No dates: default window around the virtual year.
+	expr, from, to, err = sh.exprWindow("[2]/DAYS:during:WEEKS")
+	if err != nil || expr != "[2]/DAYS:during:WEEKS" {
+		t.Fatalf("exprWindow: %q, %v", expr, err)
+	}
+	if from.Year != 1987 || to.Year != 1987 {
+		t.Errorf("default window = %v..%v", from, to)
+	}
+	if _, _, _, err := sh.exprWindow(""); err == nil {
+		t.Error("empty exprWindow should fail")
+	}
+}
+
+func TestShellSaveLoad(t *testing.T) {
+	sh, out := newTestShell(t)
+	dir := t.TempDir()
+	file := dir + "/snap.db"
+	for _, line := range []string{
+		`create s (k text)`,
+		`append s (k = "kept")`,
+		`define calendar Mondays as "[1]/DAYS:during:WEEKS"`,
+		`.save ` + file,
+		`.load ` + file,
+		`retrieve (s.k)`,
+		`.cal Mondays 1993-01-01 1993-01-31`,
+	} {
+		if err := sh.dispatch(line); err != nil {
+			t.Fatalf("dispatch(%q): %v", line, err)
+		}
+	}
+	sh.out.Flush()
+	text := out.String()
+	for _, want := range []string{"saved snapshot", "loaded", "kept", "(2196,2196)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	if err := sh.dispatch(`.save`); err == nil {
+		t.Error(".save without file should fail")
+	}
+	if err := sh.dispatch(`.load /nonexistent/nope`); err == nil {
+		t.Error(".load of missing file should fail")
+	}
+}

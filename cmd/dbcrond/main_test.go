@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunSimulation(t *testing.T) {
+	if err := run(35, 86400, "1993-01-01", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(5, 86400, "not a date", true); err == nil {
+		t.Error("bad start date should fail")
+	}
+	if err := run(5, 0, "1993-01-01", true); err == nil {
+		t.Error("zero probe period should fail")
+	}
+}

@@ -1,0 +1,155 @@
+// Finance: the paper's option workflows end to end — the expiration-date
+// script ("3rd Friday of the expiration month if a business day, else the
+// preceding business day", §1 and §3.3), the last-trading-day wait loop, the
+// EMP-DAYS announcement calendar, and "Retrieve (stock.price) on
+// expiration-date" over a synthetic price table.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"calsys"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	clock := calsys.NewVirtualClock(0)
+	sys, err := calsys.Open(calsys.WithClock(clock))
+	if err != nil {
+		return err
+	}
+	ch := sys.Chron()
+	clock.Set(sys.SecondsOf(calsys.MustDate(1993, 1, 1)))
+
+	// US-style holiday list for 1993 (New Year's Day observed Jan 1,
+	// Washington's birthday Feb 15, Good Friday Apr 9), as day ticks.
+	holidays := []calsys.Civil{
+		calsys.MustDate(1993, 1, 1), calsys.MustDate(1993, 2, 15), calsys.MustDate(1993, 4, 9),
+	}
+	var holTicks []calsys.Tick
+	for _, h := range holidays {
+		holTicks = append(holTicks, sys.DayTickOf(h))
+	}
+	hol, err := calsys.PointCalendar(calsys.Day, holTicks...)
+	if err != nil {
+		return err
+	}
+	if err := sys.DefineStoredCalendar("HOLIDAYS", hol); err != nil {
+		return err
+	}
+	// American business days: weekdays minus holidays (the paper's
+	// AM_BUS_DAYS), as a multi-statement derivation.
+	if err := sys.DefineCalendar("AM_BUS_DAYS",
+		`{WD = [1,2,3,4,5]/DAYS:during:WEEKS; return (WD - HOLIDAYS);}`, calsys.Day); err != nil {
+		return err
+	}
+
+	// --- expiration dates -----------------------------------------------
+	// §3.3's if-script, generalized over every month of 1993 by computing
+	// third Fridays first.
+	if err := sys.DefineCalendar("ThirdFridays",
+		"[3]/([5]/DAYS:during:WEEKS):overlaps:MONTHS", calsys.Day); err != nil {
+		return err
+	}
+	expiry, err := sys.RunCalendarScript(`{
+		temp1 = ThirdFridays:intersects:(DAYS:during:MONTHS);
+		hols = temp1:intersects:HOLIDAYS;
+		good = temp1 - hols;
+		subst = [n]/AM_BUS_DAYS:<:hols;
+		return (good + subst);
+	}`, calsys.MustDate(1993, 1, 1), calsys.MustDate(1993, 6, 30))
+	if err != nil {
+		return err
+	}
+	fmt.Println("== option expiration dates, Jan-Jun 1993 ==")
+	for _, iv := range expiry.Cal.Flatten().Intervals() {
+		d := ch.CivilOfDayTick(iv.Lo)
+		fmt.Printf("  %s (%s)\n", d, d.Weekday())
+	}
+
+	// --- last trading day (§3.3's while-script, the scheduling part) ------
+	// The 7th business day preceding the last business day of the January
+	// expiration month.
+	alert, err := sys.RunCalendarScript(`{
+		temp1 = [n]/AM_BUS_DAYS:during:interval(2193, 2223);
+		temp2 = [-7]/AM_BUS_DAYS:<:temp1;
+		return (temp2);
+	}`, calsys.MustDate(1993, 1, 1), calsys.MustDate(1993, 1, 31))
+	if err != nil {
+		return err
+	}
+	lastTrading := ch.CivilOfDayTick(alert.Cal.Intervals()[0].Lo)
+	fmt.Printf("\n== last trading day for January 1993 expiry: %s (%s) ==\n", lastTrading, lastTrading.Weekday())
+
+	// --- EMP-DAYS (§3.3's assignment script) ------------------------------
+	emp, err := sys.RunCalendarScript(`{
+		LDOM = [n]/DAYS:during:MONTHS;
+		LDOM_HOL = LDOM:intersects:HOLIDAYS;
+		LAST_BUS_DAY = [n]/AM_BUS_DAYS:<:LDOM_HOL;
+		return (LDOM - LDOM_HOL + LAST_BUS_DAY);
+	}`, calsys.MustDate(1993, 1, 1), calsys.MustDate(1993, 6, 30))
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n== employment-figure announcement days (EMP-DAYS) ==")
+	for _, iv := range emp.Cal.Flatten().Intervals() {
+		fmt.Printf("  %s\n", ch.CivilOfDayTick(iv.Lo))
+	}
+
+	// --- retrieve (stock.price) on expiration-date ------------------------
+	if _, err := sys.Exec(`create stock (sym text, day date, price float)`); err != nil {
+		return err
+	}
+	// Synthetic daily closes for H1 1993 (deterministic walk).
+	price := 100.0
+	for d := calsys.MustDate(1993, 1, 1); d.Before(calsys.MustDate(1993, 7, 1)); d = d.AddDays(1) {
+		price += float64((d.Day%5)-2) * 0.4
+		stmt := fmt.Sprintf(`append stock (sym = "LBL", day = "%s", price = %.2f)`, d, price)
+		if _, err := sys.Exec(stmt); err != nil {
+			return err
+		}
+	}
+	if err := sys.DefineCalendar("ExpirationDates",
+		`{t = ThirdFridays:intersects:(DAYS:during:MONTHS);
+		  h = t:intersects:HOLIDAYS;
+		  return (t - h + ([n]/AM_BUS_DAYS:<:h));}`, calsys.Day); err != nil {
+		return err
+	}
+	res, err := sys.ExecOne(`retrieve (stock.day, stock.price) on ExpirationDates`)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n== retrieve (stock.price) on expiration-date ==")
+	fmt.Println(res.String())
+
+	// --- a temporal rule alerting on expiration days ----------------------
+	if _, err := sys.Exec(`create alerts (day date, msg text)`); err != nil {
+		return err
+	}
+	if _, err := sys.Exec(`define temporal rule expiry_alert on ExpirationDates
+		do ( append alerts (day = now(), msg = "options expire today") )`); err != nil {
+		return err
+	}
+	cron, err := sys.StartDBCron(calsys.SecondsPerDay)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 181; i++ {
+		if _, err := cron.AdvanceTo(clock.Advance(calsys.SecondsPerDay)); err != nil {
+			return err
+		}
+	}
+	res, err = sys.ExecOne(`retrieve (alerts.day, alerts.msg)`)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n== expiration alerts fired by DBCRON over H1 1993 ==")
+	fmt.Println(res.String())
+	return nil
+}

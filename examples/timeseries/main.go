@@ -1,0 +1,99 @@
+// Timeseries: the regular-series motivation of §1 — quarterly GNP stored
+// without timestamps, valid time generated from the QUARTERS calendar on
+// request — plus the future-work pattern query of §6: "Retrieve the time
+// points at which the end-of-day closing prices for two successive days
+// showed an increase".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"calsys"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sys, err := calsys.Open()
+	if err != nil {
+		return err
+	}
+	ch := sys.Chron()
+
+	// --- quarterly GNP with generated valid time -------------------------
+	gnp, err := sys.NewRegularSeries("GNP", "[n]/DAYS:during:caloperate(MONTHS, 3)",
+		calsys.MustDate(1987, 1, 1))
+	if err != nil {
+		return err
+	}
+	// 1987-1992 US GNP, billions (approximate, for the demo).
+	gnp.Append(
+		4612, 4674, 4755, 4832, // 1987
+		4916, 5002, 5080, 5180, // 1988
+		5262, 5321, 5380, 5422, // 1989
+		5501, 5560, 5601, 5595, // 1990
+		5585, 5658, 5713, 5753, // 1991
+		5841, 5903, 5958, 6044, // 1992
+	)
+	fmt.Println("== quarterly GNP: valid time generated, never stored ==")
+	obs, err := gnp.Observations()
+	if err != nil {
+		return err
+	}
+	for _, o := range obs[:6] {
+		fmt.Printf("  %s  %6.0f\n", ch.CivilOfDayTick(o.Span.Lo), o.Value)
+	}
+	fmt.Printf("  ... %d observations total\n", len(obs))
+
+	v, ok, err := gnp.At(calsys.MustDate(1990, 12, 31))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("GNP valid on 1990-12-31: %.0f (found=%v)\n", v, ok)
+
+	// Aggregate quarterly GNP to annual means through a coarser calendar.
+	annual, err := gnp.AggregateTo("YEARS", calsys.SeriesMean)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n== annual mean GNP (aggregated through the YEARS calendar) ==")
+	for _, o := range annual {
+		fmt.Printf("  %d  %7.1f\n", ch.CivilOfDayTick(o.Span.Lo).Year, o.Value)
+	}
+
+	// --- pattern selection over a daily closing-price series -------------
+	closePx, err := sys.NewRegularSeries("CLOSE", "DAYS", calsys.MustDate(1993, 1, 4))
+	if err != nil {
+		return err
+	}
+	closePx.Append(50.00, 50.25, 50.10, 50.40, 50.90, 50.85, 50.70, 51.10, 51.50, 51.45)
+	upDays, idx, err := closePx.SelectPattern(calsys.PatternTwoDayRise)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n== days starting two successive closing-price increases (§6 pattern) ==")
+	for _, iv := range upDays.Intervals() {
+		fmt.Printf("  %s\n", ch.CivilOfDayTick(iv.Lo))
+	}
+	fmt.Printf("window start indices: %v\n", idx)
+
+	// The pattern result is itself a calendar: intersect it with Mondays.
+	if err := sys.DefineCalendar("Mondays", "[1]/DAYS:during:WEEKS", calsys.GranAuto); err != nil {
+		return err
+	}
+	mondays, err := sys.EvalCalendar("Mondays", calsys.MustDate(1993, 1, 1), calsys.MustDate(1993, 1, 31))
+	if err != nil {
+		return err
+	}
+	both, err := calsys.CalIntersect(upDays, mondays.Flatten())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rises that started on a Monday: %v\n", both)
+	return nil
+}

@@ -1,0 +1,96 @@
+// University: the administrator's query from §1 — "Retrieve the names of
+// all foreign students who worked more than 20 hours in any week during the
+// semester" — using an application-specific SEMESTER calendar, plus a
+// consistency rule that rejects week records outside the semester.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"calsys"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sys, err := calsys.Open()
+	if err != nil {
+		return err
+	}
+
+	// Spring semester 1993 at this university: Jan 19 (the Tuesday after
+	// MLK day) through May 14. These days change year to year — the point
+	// of application-specific calendars.
+	springLo := sys.DayTickOf(calsys.MustDate(1993, 1, 19))
+	springHi := sys.DayTickOf(calsys.MustDate(1993, 5, 14))
+	def := fmt.Sprintf(`define calendar Semester as "DAYS:during:interval(%d, %d)" granularity days`,
+		springLo, springHi)
+	if _, err := sys.Exec(def); err != nil {
+		return err
+	}
+	// Weeks of the semester, as their own calendar.
+	if _, err := sys.Exec(`define calendar SemesterWeeks as
+		"WEEKS:overlaps:interval(` + fmt.Sprint(springLo) + `, ` + fmt.Sprint(springHi) + `, DAYS)"
+		granularity weeks`); err != nil {
+		return err
+	}
+
+	if _, err := sys.Exec(`create work (student text, foreign_student bool, week_start date, hours int)`); err != nil {
+		return err
+	}
+	records := []string{
+		`append work (student = "amara", foreign_student = true,  week_start = "1993-01-25", hours = 25)`,
+		`append work (student = "amara", foreign_student = true,  week_start = "1993-02-01", hours = 18)`,
+		`append work (student = "bo",    foreign_student = true,  week_start = "1993-03-08", hours = 22)`,
+		`append work (student = "carol", foreign_student = false, week_start = "1993-02-08", hours = 40)`,
+		`append work (student = "dmitri",foreign_student = true,  week_start = "1993-01-11", hours = 30)`, // before semester
+		`append work (student = "elena", foreign_student = true,  week_start = "1993-04-12", hours = 19)`, // under the limit
+	}
+	for _, r := range records {
+		if _, err := sys.Exec(r); err != nil {
+			return err
+		}
+	}
+
+	fmt.Println("== foreign students working > 20h in any week during the semester ==")
+	res, err := sys.ExecOne(`retrieve (work.student, work.week_start, work.hours)
+		where work.foreign_student = true and work.hours > 20
+		  and incal(work.week_start, Semester)`)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.String())
+
+	// A rule that audits out-of-semester records on arrival.
+	if _, err := sys.Exec(`create anomalies (student text, week_start date)`); err != nil {
+		return err
+	}
+	if _, err := sys.Exec(`define rule out_of_term on append to work
+		where not incal(NEW.week_start, Semester)
+		do ( append anomalies (student = NEW.student, week_start = NEW.week_start) )`); err != nil {
+		return err
+	}
+	if _, err := sys.Exec(`append work (student = "felix", foreign_student = true, week_start = "1993-06-21", hours = 10)`); err != nil {
+		return err
+	}
+	res, err = sys.ExecOne(`retrieve (anomalies.student, anomalies.week_start)`)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n== records filed outside the semester (caught by rule) ==")
+	fmt.Println(res.String())
+
+	// How many semester weeks are there? Evaluate the calendar directly.
+	weeks, err := sys.EvalCalendar("SemesterWeeks", calsys.MustDate(1993, 1, 1), calsys.MustDate(1993, 12, 31))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsemester weeks: %d (first %v, last %v in day ticks)\n",
+		weeks.Len(), weeks.Interval(0), weeks.Interval(weeks.Len()-1))
+	return nil
+}

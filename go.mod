@@ -1,0 +1,3 @@
+module calsys
+
+go 1.22

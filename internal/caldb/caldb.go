@@ -1,0 +1,484 @@
+// Package caldb manages the CALENDARS catalog table of Figure 1 inside the
+// extensible database: each user-defined calendar is a tuple
+//
+//	CALENDARS(name, derivation-script, eval-plan, lifespan, granularity, values)
+//
+// and the package implements plan.Catalog on top of it, so the expression
+// compiler and the rule system resolve calendars straight from the catalog.
+package caldb
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"calsys/internal/chronology"
+	"calsys/internal/core/calendar"
+	"calsys/internal/core/callang"
+	"calsys/internal/core/interval"
+	"calsys/internal/core/plan"
+	"calsys/internal/store"
+)
+
+// TableName is the catalog table's name.
+const TableName = "CALENDARS"
+
+// GranAuto asks DefineDerived to infer the calendar's granularity from its
+// derivation script.
+const GranAuto chronology.Granularity = -1
+
+// MaxDayTick stands in for the paper's ∞ lifespan bound (roughly the year
+// 10000 for a late-20th-century epoch). It equals plan.UnboundedDayTick, the
+// threshold below which a derivation's lifespan forces opaque evaluation.
+const MaxDayTick = plan.UnboundedDayTick
+
+// Lifespan is the validity range of a calendar in day ticks; Hi = MaxDayTick
+// renders as ∞ (Figure 1 shows (1985, ∞)).
+type Lifespan struct {
+	Lo, Hi chronology.Tick
+}
+
+// Unbounded reports an open upper bound.
+func (l Lifespan) Unbounded() bool { return l.Hi >= MaxDayTick }
+
+// String renders the lifespan like Figure 1.
+func (l Lifespan) String() string {
+	if l.Unbounded() {
+		return fmt.Sprintf("(%d,∞)", l.Lo)
+	}
+	return fmt.Sprintf("(%d,%d)", l.Lo, l.Hi)
+}
+
+// Entry is one decoded CALENDARS tuple.
+type Entry struct {
+	Name       string
+	Derivation string // empty for stored-values calendars
+	EvalPlan   string
+	Lifespan   Lifespan
+	Gran       chronology.Granularity
+	Values     *calendar.Calendar // nil for derived calendars
+	script     *callang.Script
+}
+
+// Manager owns the CALENDARS table and resolves calendar names for the
+// planner and rule system.
+type Manager struct {
+	db    *store.DB
+	chron *chronology.Chronology
+
+	mu    sync.RWMutex
+	cache map[string]*Entry // lower-case name -> decoded entry
+}
+
+// New creates (if necessary) the CALENDARS table and returns a Manager.
+func New(db *store.DB, chron *chronology.Chronology) (*Manager, error) {
+	if _, ok := db.Table(TableName); !ok {
+		schema, err := store.NewSchema(
+			store.Column{Name: "name", Type: store.TText},
+			store.Column{Name: "derivation_script", Type: store.TText},
+			store.Column{Name: "eval_plan", Type: store.TText},
+			store.Column{Name: "lifespan", Type: store.TInterval},
+			store.Column{Name: "granularity", Type: store.TText},
+			store.Column{Name: "calvalues", Type: store.TCalendar},
+		)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.CreateTable(TableName, schema); err != nil {
+			return nil, err
+		}
+		if err := db.CreateIndex(TableName, "name"); err != nil {
+			return nil, err
+		}
+	}
+	m := &Manager{db: db, chron: chron, cache: map[string]*Entry{}}
+	if err := m.reload(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DB exposes the underlying database.
+func (m *Manager) DB() *store.DB { return m.db }
+
+// Chron exposes the chronology.
+func (m *Manager) Chron() *chronology.Chronology { return m.chron }
+
+// Env returns a fresh evaluation environment bound to this catalog. Callers
+// set Now/Wait as needed.
+func (m *Manager) Env() *plan.Env {
+	return &plan.Env{Chron: m.chron, Cat: m}
+}
+
+// reload rebuilds the cache from the table (startup, or after external
+// writes).
+func (m *Manager) reload() error {
+	tab, ok := m.db.Table(TableName)
+	if !ok {
+		return fmt.Errorf("caldb: CALENDARS table missing")
+	}
+	cache := map[string]*Entry{}
+	var decodeErr error
+	tab.Scan(func(_ int64, row store.Row) bool {
+		e, err := decodeEntry(row)
+		if err != nil {
+			decodeErr = err
+			return false
+		}
+		cache[strings.ToLower(e.Name)] = e
+		return true
+	})
+	if decodeErr != nil {
+		return decodeErr
+	}
+	m.mu.Lock()
+	m.cache = cache
+	m.mu.Unlock()
+	return nil
+}
+
+func decodeEntry(row store.Row) (*Entry, error) {
+	e := &Entry{
+		Name:       row[0].S,
+		Derivation: row[1].S,
+		EvalPlan:   row[2].S,
+		Lifespan:   Lifespan{Lo: row[3].Iv.Lo, Hi: row[3].Iv.Hi},
+		Values:     row[5].Cal,
+	}
+	g, err := chronology.ParseGranularity(row[4].S)
+	if err != nil {
+		return nil, fmt.Errorf("caldb: entry %q: %w", e.Name, err)
+	}
+	e.Gran = g
+	if e.Derivation != "" {
+		s, err := callang.ParseDerivation(e.Derivation)
+		if err != nil {
+			return nil, fmt.Errorf("caldb: entry %q: %w", e.Name, err)
+		}
+		e.script = s
+	}
+	return e, nil
+}
+
+// checkName rejects empty names and names that shadow basic calendars.
+func checkName(name string) error {
+	if strings.TrimSpace(name) == "" {
+		return fmt.Errorf("caldb: empty calendar name")
+	}
+	if _, err := chronology.ParseGranularity(name); err == nil {
+		return fmt.Errorf("caldb: %q shadows a basic calendar", name)
+	}
+	if strings.EqualFold(name, "today") {
+		return fmt.Errorf("caldb: %q is a reserved name", name)
+	}
+	return nil
+}
+
+// DefineDerived records a derived calendar: its derivation script is parsed,
+// its granularity inferred (or overridden when gran is valid), and its
+// evaluation plan compiled over the lifespan and stored in the catalog, as
+// in Figure 1.
+func (m *Manager) DefineDerived(name, derivation string, lifespan Lifespan, gran chronology.Granularity) error {
+	if err := checkName(name); err != nil {
+		return err
+	}
+	if m.exists(name) {
+		return fmt.Errorf("caldb: calendar %q already defined", name)
+	}
+	script, err := callang.ParseDerivation(derivation)
+	if err != nil {
+		return err
+	}
+	if gran == GranAuto {
+		gran = m.inferGran(script)
+	} else if !gran.Valid() {
+		return fmt.Errorf("caldb: invalid granularity %v", gran)
+	}
+	if lifespan.Lo == 0 || lifespan.Hi == 0 || lifespan.Lo > lifespan.Hi {
+		return fmt.Errorf("caldb: invalid lifespan %v", lifespan)
+	}
+
+	// Compile the eval-plan column for the catalog. Single-expression
+	// derivations compile to a plan; multi-statement scripts store a
+	// per-statement rendering.
+	planText, err := m.renderPlan(script, lifespan)
+	if err != nil {
+		return fmt.Errorf("caldb: %q does not compile: %w", name, err)
+	}
+
+	entry := &Entry{
+		Name: name, Derivation: script.String(), EvalPlan: planText,
+		Lifespan: lifespan, Gran: gran, script: script,
+	}
+	return m.insert(entry)
+}
+
+// DefineStored records a calendar with explicit values (e.g. HOLIDAYS).
+func (m *Manager) DefineStored(name string, values *calendar.Calendar, lifespan Lifespan) error {
+	if err := checkName(name); err != nil {
+		return err
+	}
+	if m.exists(name) {
+		return fmt.Errorf("caldb: calendar %q already defined", name)
+	}
+	if values == nil {
+		return fmt.Errorf("caldb: stored calendar %q needs values", name)
+	}
+	if lifespan.Lo == 0 || lifespan.Hi == 0 || lifespan.Lo > lifespan.Hi {
+		return fmt.Errorf("caldb: invalid lifespan %v", lifespan)
+	}
+	entry := &Entry{
+		Name: name, EvalPlan: "LOAD " + name,
+		Lifespan: lifespan, Gran: values.Granularity(), Values: values,
+	}
+	return m.insert(entry)
+}
+
+// ReplaceStored updates the values of a stored calendar (holiday lists
+// change year to year).
+func (m *Manager) ReplaceStored(name string, values *calendar.Calendar) error {
+	m.mu.RLock()
+	e, ok := m.cache[strings.ToLower(name)]
+	m.mu.RUnlock()
+	if !ok || e.Values == nil {
+		return fmt.Errorf("caldb: no stored calendar %q", name)
+	}
+	tab, _ := m.db.Table(TableName)
+	rids, err := tab.LookupEq("name", store.NewText(e.Name))
+	if err != nil || len(rids) == 0 {
+		return fmt.Errorf("caldb: catalog row for %q missing", name)
+	}
+	row, _ := tab.Get(rids[0])
+	newRow := row.Clone()
+	newRow[5] = store.NewCalendar(values)
+	newRow[4] = store.NewText(values.Granularity().String())
+	if err := m.db.RunTxn(func(tx *store.Txn) error {
+		return tx.Replace(TableName, rids[0], newRow)
+	}); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	upd := *e
+	upd.Values = values
+	upd.Gran = values.Granularity()
+	m.cache[strings.ToLower(name)] = &upd
+	m.mu.Unlock()
+	return nil
+}
+
+// Drop removes a calendar definition.
+func (m *Manager) Drop(name string) error {
+	m.mu.Lock()
+	key := strings.ToLower(name)
+	e, ok := m.cache[key]
+	if ok {
+		delete(m.cache, key)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("caldb: no calendar %q", name)
+	}
+	tab, _ := m.db.Table(TableName)
+	rids, err := tab.LookupEq("name", store.NewText(e.Name))
+	if err != nil {
+		return err
+	}
+	return m.db.RunTxn(func(tx *store.Txn) error {
+		for _, rid := range rids {
+			if err := tx.Delete(TableName, rid); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Lookup returns a calendar's catalog entry.
+func (m *Manager) Lookup(name string) (*Entry, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	e, ok := m.cache[strings.ToLower(name)]
+	return e, ok
+}
+
+// Names lists defined calendars (excluding basic ones).
+func (m *Manager) Names() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.cache))
+	for _, e := range m.cache {
+		out = append(out, e.Name)
+	}
+	return out
+}
+
+func (m *Manager) exists(name string) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	_, ok := m.cache[strings.ToLower(name)]
+	return ok
+}
+
+func (m *Manager) insert(e *Entry) error {
+	values := store.Value{T: store.TCalendar}
+	if e.Values != nil {
+		values = store.NewCalendar(e.Values)
+	}
+	row := store.Row{
+		store.NewText(e.Name),
+		store.NewText(e.Derivation),
+		store.NewText(e.EvalPlan),
+		store.NewInterval(interval.Interval{Lo: e.Lifespan.Lo, Hi: e.Lifespan.Hi}),
+		store.NewText(e.Gran.String()),
+		values,
+	}
+	if err := m.db.RunTxn(func(tx *store.Txn) error {
+		_, err := tx.Append(TableName, row)
+		return err
+	}); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.cache[strings.ToLower(e.Name)] = e
+	m.mu.Unlock()
+	return nil
+}
+
+// inferGran picks a calendar's element kind from its derivation: for a
+// single-expression script, the expression's kind; otherwise the script's
+// tick granularity.
+func (m *Manager) inferGran(script *callang.Script) chronology.Granularity {
+	if e, ok := script.SingleExpr(); ok {
+		if g, ok := callang.ElemKind(e, m); ok {
+			return g
+		}
+	}
+	return callang.AnalyzeScript(script, m).TickGran
+}
+
+// renderPlan compiles a derivation for the eval-plan catalog column.
+func (m *Manager) renderPlan(script *callang.Script, lifespan Lifespan) (string, error) {
+	env := m.Env()
+	if e, ok := script.SingleExpr(); ok {
+		prepped, gran, err := plan.Prepare(env, e, nil)
+		if err != nil {
+			return "", err
+		}
+		win := convertLifespan(m.chron, lifespan, gran)
+		p, err := plan.Compile(env, prepped, nil, gran, win)
+		if err != nil {
+			return "", err
+		}
+		return p.String(), nil
+	}
+	// Multi-statement script: validate it references resolvable calendars by
+	// compiling each assignable expression lazily at run time; the catalog
+	// stores the script rendering.
+	return "SCRIPT " + script.String(), nil
+}
+
+func convertLifespan(ch *chronology.Chronology, l Lifespan, gran chronology.Granularity) interval.Interval {
+	lo := ch.TickAt(gran, ch.UnitStart(chronology.Day, l.Lo))
+	hi := ch.TickAt(gran, ch.UnitEndExcl(chronology.Day, l.Hi)-1)
+	return interval.Interval{Lo: lo, Hi: hi}
+}
+
+// --- plan.Catalog ------------------------------------------------------
+
+// DerivationOf implements plan.Catalog.
+func (m *Manager) DerivationOf(name string) (*callang.Script, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	e, ok := m.cache[strings.ToLower(name)]
+	if !ok || e.script == nil {
+		return nil, false
+	}
+	return e.script, true
+}
+
+// ElemKindOf implements plan.Catalog.
+func (m *Manager) ElemKindOf(name string) (chronology.Granularity, bool) {
+	if g, err := chronology.ParseGranularity(name); err == nil {
+		return g, true
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	e, ok := m.cache[strings.ToLower(name)]
+	if !ok {
+		return 0, false
+	}
+	return e.Gran, true
+}
+
+// LifespanOf implements plan.LifespanCatalog: the lifespan column of
+// Figure 1, in day ticks.
+func (m *Manager) LifespanOf(name string) (lo, hi chronology.Tick, ok bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	e, found := m.cache[strings.ToLower(name)]
+	if !found {
+		return 0, 0, false
+	}
+	return e.Lifespan.Lo, e.Lifespan.Hi, true
+}
+
+// StoredCalendar implements plan.Catalog.
+func (m *Manager) StoredCalendar(name string) (*calendar.Calendar, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	e, ok := m.cache[strings.ToLower(name)]
+	if !ok || e.Values == nil {
+		return nil, false
+	}
+	return e.Values, true
+}
+
+// --- evaluation conveniences -------------------------------------------
+
+// EvalExpr parses and evaluates a calendar expression over a civil window.
+func (m *Manager) EvalExpr(src string, from, to chronology.Civil) (*calendar.Calendar, error) {
+	e, err := callang.ParseExpr(src)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Evaluate(m.Env(), e, from, to)
+}
+
+// EvalExprEnv is EvalExpr with a caller-supplied environment (clock, wait
+// hook, optimization toggles).
+func (m *Manager) EvalExprEnv(env *plan.Env, src string, from, to chronology.Civil) (*calendar.Calendar, error) {
+	e, err := callang.ParseExpr(src)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Evaluate(env, e, from, to)
+}
+
+// RunScript parses and runs a calendar script over a civil window.
+func (m *Manager) RunScript(src string, from, to chronology.Civil) (plan.Value, error) {
+	s, err := callang.ParseScript(src)
+	if err != nil {
+		return plan.Value{}, err
+	}
+	return plan.RunScript(m.Env(), s, from, to)
+}
+
+// FigureRow renders a calendar's catalog tuple in the layout of Figure 1.
+func (m *Manager) FigureRow(name string) (string, error) {
+	e, ok := m.Lookup(name)
+	if !ok {
+		return "", fmt.Errorf("caldb: no calendar %q", name)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Name              | %s\n", e.Name)
+	fmt.Fprintf(&b, "Derivation-Script | %s\n", e.Derivation)
+	fmt.Fprintf(&b, "Eval-Plan         | %s\n", strings.ReplaceAll(e.EvalPlan, "\n", " ; "))
+	fmt.Fprintf(&b, "Lifespan          | %s\n", e.Lifespan)
+	fmt.Fprintf(&b, "Granularity       | %s\n", e.Gran)
+	if e.Values != nil {
+		fmt.Fprintf(&b, "Values            | %s\n", e.Values)
+	} else {
+		fmt.Fprintf(&b, "Values            |\n")
+	}
+	return b.String(), nil
+}

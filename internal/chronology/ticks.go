@@ -1,0 +1,68 @@
+package chronology
+
+import "fmt"
+
+// A Tick is a signed unit count under the paper's no-zero convention: valid
+// ticks are ..., -2, -1, 1, 2, ... and 0 never occurs. Tick 1 of a
+// granularity is the unit containing the system start date; the unit before
+// it is tick -1.
+//
+// "Since this is unintuitive, we adopt the convention that an interval will
+// never contain 0." (§3.1)
+type Tick = int64
+
+// TickFromOffset converts a zero-based signed unit offset from the epoch unit
+// into a no-zero tick: offset 0 is tick 1, offset -1 is tick -1.
+func TickFromOffset(off int64) Tick {
+	if off >= 0 {
+		return off + 1
+	}
+	return off
+}
+
+// OffsetFromTick inverts TickFromOffset. It panics on tick 0, which is
+// unrepresentable; callers validating external input should use CheckTick
+// first.
+func OffsetFromTick(t Tick) int64 {
+	if t == 0 {
+		panic("chronology: tick 0 is not a valid tick (no-zero convention)")
+	}
+	if t > 0 {
+		return t - 1
+	}
+	return t
+}
+
+// CheckTick returns an error if t is not a valid no-zero tick.
+func CheckTick(t Tick) error {
+	if t == 0 {
+		return fmt.Errorf("chronology: tick 0 violates the no-zero convention")
+	}
+	return nil
+}
+
+// NextTick returns the tick after t, skipping 0.
+func NextTick(t Tick) Tick {
+	if t == -1 {
+		return 1
+	}
+	return t + 1
+}
+
+// PrevTick returns the tick before t, skipping 0.
+func PrevTick(t Tick) Tick {
+	if t == 1 {
+		return -1
+	}
+	return t - 1
+}
+
+// AddTicks advances t by n units, skipping 0 (n may be negative).
+func AddTicks(t Tick, n int64) Tick {
+	return TickFromOffset(OffsetFromTick(t) + n)
+}
+
+// TickDiff returns the number of units from a to b (b - a in offset space).
+func TickDiff(a, b Tick) int64 {
+	return OffsetFromTick(b) - OffsetFromTick(a)
+}

@@ -1,0 +1,255 @@
+// Package calendar implements the calendar algebra of Chandra, Segev and
+// Stonebraker (ICDE 1994): calendars as structured (order-n) collections of
+// intervals, the strict and relaxed foreach operators (dicing), the selection
+// operator (slicing), calendar set operators, and the generate / caloperate
+// functions that relate the basic calendars.
+package calendar
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"calsys/internal/chronology"
+	"calsys/internal/core/interval"
+)
+
+// A Calendar is a structured collection of intervals (§3.1). An order-1
+// calendar is a list of intervals; an order-n calendar is a list of order
+// n-1 calendars. All intervals are expressed in ticks of one granularity.
+//
+// Calendars are immutable once built; operators return new calendars.
+type Calendar struct {
+	gran chronology.Granularity
+	ivs  []interval.Interval // populated iff order == 1
+	subs []*Calendar         // populated iff order > 1
+}
+
+// FromIntervals builds an order-1 calendar. Intervals must individually be
+// valid and be listed in non-decreasing order of lower bound (a calendar is
+// an ordered collection; it need not be disjoint).
+func FromIntervals(gran chronology.Granularity, ivs []interval.Interval) (*Calendar, error) {
+	if !gran.Valid() {
+		return nil, fmt.Errorf("calendar: invalid granularity %v", gran)
+	}
+	for i, iv := range ivs {
+		if err := iv.Check(); err != nil {
+			return nil, fmt.Errorf("calendar: element %d: %w", i, err)
+		}
+		if i > 0 && ivs[i-1].Lo > iv.Lo {
+			return nil, fmt.Errorf("calendar: elements out of order at %d: %v after %v", i, iv, ivs[i-1])
+		}
+	}
+	cp := make([]interval.Interval, len(ivs))
+	copy(cp, ivs)
+	return &Calendar{gran: gran, ivs: cp}, nil
+}
+
+// MustFromIntervals is FromIntervals for inputs known valid; it panics on
+// error and is intended for tests and examples.
+func MustFromIntervals(gran chronology.Granularity, ivs ...interval.Interval) *Calendar {
+	c, err := FromIntervals(gran, ivs)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// FromPoints builds an order-1 calendar of point intervals (t,t) — the shape
+// of explicitly stored calendars such as HOLIDAYS. Ticks are sorted and
+// deduplicated, so callers may list them in any order.
+func FromPoints(gran chronology.Granularity, ticks []chronology.Tick) (*Calendar, error) {
+	sorted := make([]chronology.Tick, len(ticks))
+	copy(sorted, ticks)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	ivs := make([]interval.Interval, 0, len(sorted))
+	for i, t := range sorted {
+		if i > 0 && t == sorted[i-1] {
+			continue
+		}
+		iv, err := interval.New(t, t)
+		if err != nil {
+			return nil, err
+		}
+		ivs = append(ivs, iv)
+	}
+	return FromIntervals(gran, ivs)
+}
+
+// FromSet builds an order-1 calendar from a normalized interval set.
+func FromSet(gran chronology.Granularity, s interval.Set) (*Calendar, error) {
+	return FromIntervals(gran, s.Intervals())
+}
+
+// FromSubs builds an order n+1 calendar from order-n sub-calendars, which
+// must all share a granularity and order.
+func FromSubs(subs []*Calendar) (*Calendar, error) {
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("calendar: order>1 calendar needs at least one sub-calendar")
+	}
+	g := subs[0].gran
+	ord := subs[0].Order()
+	for i, s := range subs {
+		if s == nil {
+			return nil, fmt.Errorf("calendar: nil sub-calendar at %d", i)
+		}
+		if s.gran != g {
+			return nil, fmt.Errorf("calendar: sub-calendar %d has granularity %v, want %v", i, s.gran, g)
+		}
+		if s.Order() != ord {
+			return nil, fmt.Errorf("calendar: sub-calendar %d has order %d, want %d", i, s.Order(), ord)
+		}
+	}
+	cp := make([]*Calendar, len(subs))
+	copy(cp, subs)
+	return &Calendar{gran: g, subs: cp}, nil
+}
+
+// Empty returns an empty order-1 calendar of the given granularity.
+func Empty(gran chronology.Granularity) *Calendar {
+	return &Calendar{gran: gran}
+}
+
+// Granularity returns the tick unit of the calendar's intervals.
+func (c *Calendar) Granularity() chronology.Granularity { return c.gran }
+
+// Order returns the depth of the collection: 1 for a list of intervals, n+1
+// for a list of order-n calendars.
+func (c *Calendar) Order() int {
+	if len(c.subs) == 0 {
+		return 1
+	}
+	return 1 + c.subs[0].Order()
+}
+
+// Len returns the number of top-level elements (intervals or sub-calendars).
+func (c *Calendar) Len() int {
+	if len(c.subs) > 0 {
+		return len(c.subs)
+	}
+	return len(c.ivs)
+}
+
+// IsEmpty reports whether the calendar has no elements. An order-1 calendar
+// with zero intervals is the null calendar; conditions in the expression
+// language treat it as false.
+func (c *Calendar) IsEmpty() bool { return len(c.ivs) == 0 && len(c.subs) == 0 }
+
+// Intervals returns the intervals of an order-1 calendar. It panics on
+// higher-order calendars; use Subs or Flatten first.
+func (c *Calendar) Intervals() []interval.Interval {
+	if c.Order() != 1 {
+		panic(fmt.Sprintf("calendar: Intervals on order-%d calendar", c.Order()))
+	}
+	return c.ivs
+}
+
+// Subs returns the sub-calendars of an order>1 calendar (nil for order 1).
+func (c *Calendar) Subs() []*Calendar { return c.subs }
+
+// Interval returns the i-th (0-based) interval of an order-1 calendar.
+func (c *Calendar) Interval(i int) interval.Interval { return c.Intervals()[i] }
+
+// Flatten concatenates all leaf intervals into a single order-1 calendar,
+// preserving order.
+func (c *Calendar) Flatten() *Calendar {
+	if c.Order() == 1 {
+		return c
+	}
+	var ivs []interval.Interval
+	c.appendLeaves(&ivs)
+	return &Calendar{gran: c.gran, ivs: ivs}
+}
+
+func (c *Calendar) appendLeaves(out *[]interval.Interval) {
+	if len(c.subs) == 0 {
+		*out = append(*out, c.ivs...)
+		return
+	}
+	for _, s := range c.subs {
+		s.appendLeaves(out)
+	}
+}
+
+// ToSet returns the normalized point set covered by the calendar's leaves.
+func (c *Calendar) ToSet() interval.Set {
+	var ivs []interval.Interval
+	c.appendLeaves(&ivs)
+	return interval.NewSet(ivs...)
+}
+
+// Hull returns the smallest interval covering every leaf.
+func (c *Calendar) Hull() (interval.Interval, bool) {
+	return c.ToSet().Hull()
+}
+
+// Cardinality returns the total number of leaf intervals.
+func (c *Calendar) Cardinality() int {
+	if len(c.subs) == 0 {
+		return len(c.ivs)
+	}
+	n := 0
+	for _, s := range c.subs {
+		n += s.Cardinality()
+	}
+	return n
+}
+
+// Equal reports structural equality: same granularity, order, and elements.
+func (c *Calendar) Equal(d *Calendar) bool {
+	if c == nil || d == nil {
+		return c == d
+	}
+	if c.gran != d.gran || len(c.ivs) != len(d.ivs) || len(c.subs) != len(d.subs) {
+		return false
+	}
+	for i := range c.ivs {
+		if c.ivs[i] != d.ivs[i] {
+			return false
+		}
+	}
+	for i := range c.subs {
+		if !c.subs[i].Equal(d.subs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the calendar in the paper's nested-brace notation, e.g.
+// {(1,31),(32,59)} or {{(4,10),(11,17)},{(32,38)}}.
+func (c *Calendar) String() string {
+	var b strings.Builder
+	c.render(&b)
+	return b.String()
+}
+
+func (c *Calendar) render(b *strings.Builder) {
+	b.WriteByte('{')
+	if len(c.subs) > 0 {
+		for i, s := range c.subs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			s.render(b)
+		}
+	} else {
+		for i, iv := range c.ivs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(iv.String())
+		}
+	}
+	b.WriteByte('}')
+}
+
+// SingleInterval reports whether c is an order-1 calendar containing exactly
+// one interval, in which case the paper treats it interchangeably with that
+// interval (e.g. Jan-1993 ≡ {(1,31)}).
+func (c *Calendar) SingleInterval() (interval.Interval, bool) {
+	if c.Order() == 1 && len(c.ivs) == 1 {
+		return c.ivs[0], true
+	}
+	return interval.Interval{}, false
+}

@@ -1,0 +1,140 @@
+package calendar
+
+import (
+	"fmt"
+
+	"calsys/internal/core/interval"
+)
+
+// ForeachInterval applies the paper's foreach operator with an interval as
+// the third argument:
+//
+//	strict : {C : Op : I} ≡ { c∩I | c ∈ C ∧ Op(c,I) } \ {ε}
+//	relaxed: {C . Op . I} ≡ { c   | c ∈ C ∧ Op(c,I) } \ {ε}
+//
+// The result preserves C's order: for an order-n C the operator is mapped
+// over the sub-calendars.
+func ForeachInterval(c *Calendar, op interval.ListOp, strict bool, ival interval.Interval) (*Calendar, error) {
+	if !op.Valid() {
+		return nil, fmt.Errorf("calendar: invalid listop in foreach")
+	}
+	if err := ival.Check(); err != nil {
+		return nil, fmt.Errorf("calendar: foreach interval argument: %w", err)
+	}
+	return foreachIntervalRec(c, op, strict, ival), nil
+}
+
+func foreachIntervalRec(c *Calendar, op interval.ListOp, strict bool, ival interval.Interval) *Calendar {
+	if len(c.subs) > 0 {
+		subs := make([]*Calendar, 0, len(c.subs))
+		for _, s := range c.subs {
+			subs = append(subs, foreachIntervalRec(s, op, strict, ival))
+		}
+		return &Calendar{gran: c.gran, subs: subs}
+	}
+	out := make([]interval.Interval, 0, len(c.ivs))
+	for _, iv := range c.ivs {
+		if !op.Eval(iv, ival) {
+			continue
+		}
+		if strict {
+			// Strict foreach keeps the part of c inside I. For the
+			// non-overlapping listops (<, meets with disjoint spans) the
+			// intersection is empty (the paper's ε) and the untrimmed
+			// interval is kept instead, since the operator's point is
+			// ordering rather than containment.
+			if cut, ok := iv.Intersect(ival); ok {
+				out = append(out, cut)
+			} else {
+				out = append(out, iv)
+			}
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return &Calendar{gran: c.gran, ivs: out}
+}
+
+// Foreach applies the foreach operator with a calendar third argument. Per
+// §3.1, the operator is applied once per element of arg, and the result is a
+// calendar of one order higher than the per-element results — except that an
+// arg holding a single interval is treated as that interval (the paper
+// writes "Jan-1993 is an interval" for the one-interval calendar {(1,31)}).
+//
+// Both calendars must share a granularity; use Generate to convert.
+func Foreach(c *Calendar, op interval.ListOp, strict bool, arg *Calendar) (*Calendar, error) {
+	if c.gran != arg.gran {
+		return nil, fmt.Errorf("calendar: foreach granularity mismatch: %v vs %v", c.gran, arg.gran)
+	}
+	if iv, ok := arg.SingleInterval(); ok {
+		return ForeachInterval(c, op, strict, iv)
+	}
+	if arg.Order() != 1 {
+		return nil, fmt.Errorf("calendar: foreach third argument must be order-1, got order %d", arg.Order())
+	}
+	if arg.IsEmpty() {
+		return Empty(c.gran), nil
+	}
+	if !op.Valid() {
+		return nil, fmt.Errorf("calendar: invalid listop in foreach")
+	}
+	// Fast path: when both calendars are disjoint and sorted (the shape
+	// every generated calendar has), the containment listops admit a merge
+	// sweep — O(n+m+output) instead of O(n·m).
+	if c.Order() == 1 && (op == interval.During || op == interval.Overlaps) &&
+		disjointSorted(c.ivs) && disjointSorted(arg.ivs) {
+		return foreachSweep(c, op, strict, arg)
+	}
+	subs := make([]*Calendar, 0, len(arg.ivs))
+	for _, iv := range arg.ivs {
+		sub, err := ForeachInterval(c, op, strict, iv)
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, sub)
+	}
+	return FromSubs(subs)
+}
+
+// disjointSorted reports whether the intervals are sorted by lower bound
+// and pairwise disjoint — the shape of generated calendars.
+func disjointSorted(ivs []interval.Interval) bool {
+	for i := 1; i < len(ivs); i++ {
+		if ivs[i].Lo <= ivs[i-1].Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// foreachSweep merges two disjoint sorted interval lists: for each arg
+// element y, the matching c elements are a contiguous run, and the run
+// start only moves forward.
+func foreachSweep(c *Calendar, op interval.ListOp, strict bool, arg *Calendar) (*Calendar, error) {
+	subs := make([]*Calendar, 0, len(arg.ivs))
+	start := 0
+	for _, y := range arg.ivs {
+		// Skip c elements entirely before y.
+		for start < len(c.ivs) && c.ivs[start].Hi < y.Lo {
+			start++
+		}
+		var out []interval.Interval
+		for i := start; i < len(c.ivs) && c.ivs[i].Lo <= y.Hi; i++ {
+			iv := c.ivs[i]
+			if !op.Eval(iv, y) {
+				continue // overlaps always holds here; during may not
+			}
+			if strict {
+				if cut, ok := iv.Intersect(y); ok {
+					out = append(out, cut)
+				} else {
+					out = append(out, iv)
+				}
+			} else {
+				out = append(out, iv)
+			}
+		}
+		subs = append(subs, &Calendar{gran: c.gran, ivs: out})
+	}
+	return FromSubs(subs)
+}

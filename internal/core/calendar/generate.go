@@ -1,0 +1,130 @@
+package calendar
+
+import (
+	"fmt"
+
+	"calsys/internal/chronology"
+	"calsys/internal/core/interval"
+)
+
+// Generate implements the paper's generate(cal1, cal2, [ts,te]) function
+// (§3.2): it returns the order-1 calendar whose elements are the units of
+// granularity `of` overlapping the window [ts,te], each expressed as an
+// inclusive tick interval of granularity `in`.
+//
+// Following the paper's examples, a unit straddling the start of the window
+// keeps its true lower bound (the 1993 WEEKS calendar begins (-4,3)), while
+// te is a hard horizon: the final unit is truncated at te, as in
+// generate(YEARS, DAYS, [Jan 1 1987, Jan 3 1992]) ending with (1827,1829).
+func Generate(ch *chronology.Chronology, of, in chronology.Granularity, ts, te chronology.Tick) (*Calendar, error) {
+	if !of.Valid() || !in.Valid() {
+		return nil, fmt.Errorf("calendar: generate with invalid granularity")
+	}
+	if of.Finer(in) {
+		return nil, fmt.Errorf("calendar: generate cannot express %v in coarser %v units", of, in)
+	}
+	if err := chronology.CheckTick(ts); err != nil {
+		return nil, fmt.Errorf("calendar: generate window start: %w", err)
+	}
+	if err := chronology.CheckTick(te); err != nil {
+		return nil, fmt.Errorf("calendar: generate window end: %w", err)
+	}
+	if ts > te {
+		return nil, fmt.Errorf("calendar: generate window (%d,%d) is reversed", ts, te)
+	}
+
+	firstUnit := ch.TickAt(of, ch.UnitStart(in, ts))
+	lastUnit := ch.TickAt(of, ch.UnitEndExcl(in, te)-1)
+
+	n := chronology.TickDiff(firstUnit, lastUnit) + 1
+	ivs := make([]interval.Interval, 0, n)
+	for u := firstUnit; ; u = chronology.NextTick(u) {
+		lo, hi := ch.UnitSpanIn(of, u, in)
+		if hi > te {
+			hi = te
+		}
+		if lo <= hi {
+			ivs = append(ivs, interval.Interval{Lo: lo, Hi: hi})
+		}
+		if u == lastUnit {
+			break
+		}
+	}
+	return &Calendar{gran: in, ivs: ivs}, nil
+}
+
+// GenerateCivil is Generate with a civil-date window. The end date is
+// inclusive: for sub-day granularities the window extends to the last tick
+// of the end day.
+func GenerateCivil(ch *chronology.Chronology, of, in chronology.Granularity, from, to chronology.Civil) (*Calendar, error) {
+	if !from.Valid() || !to.Valid() {
+		return nil, fmt.Errorf("calendar: generate with invalid civil date")
+	}
+	if to.Before(from) {
+		return nil, fmt.Errorf("calendar: generate window %v..%v is reversed", from, to)
+	}
+	ts := ch.TickAt(in, ch.EpochSecondsOf(from))
+	te := ch.TickAt(in, ch.EpochSecondsOf(to.AddDays(1))-1)
+	return Generate(ch, of, in, ts, te)
+}
+
+// Caloperate implements the paper's caloperate(C, Te; (x1;...;xn)) function
+// (§3.2) with an unbounded end time (the paper's "*"): the i-th element of
+// the result is the union (hull) of the next x_{i mod n} consecutive
+// elements of C. A final partial group is kept.
+func Caloperate(c *Calendar, counts []int) (*Calendar, error) {
+	return caloperate(c, counts, 0, false)
+}
+
+// CaloperateUntil is Caloperate with an end time Te: elements starting after
+// te are dropped and the final element is truncated at te.
+func CaloperateUntil(c *Calendar, counts []int, te chronology.Tick) (*Calendar, error) {
+	if err := chronology.CheckTick(te); err != nil {
+		return nil, fmt.Errorf("calendar: caloperate end time: %w", err)
+	}
+	return caloperate(c, counts, te, true)
+}
+
+func caloperate(c *Calendar, counts []int, te chronology.Tick, bounded bool) (*Calendar, error) {
+	if c.Order() != 1 {
+		return nil, fmt.Errorf("calendar: caloperate requires an order-1 calendar, got order %d", c.Order())
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("calendar: caloperate needs at least one group count")
+	}
+	for _, x := range counts {
+		if x <= 0 {
+			return nil, fmt.Errorf("calendar: caloperate group count %d must be positive", x)
+		}
+	}
+	var out []interval.Interval
+	i, g := 0, 0
+	for i < len(c.ivs) {
+		take := counts[g%len(counts)]
+		g++
+		j := i + take
+		if j > len(c.ivs) {
+			j = len(c.ivs)
+		}
+		iv := interval.Interval{Lo: c.ivs[i].Lo, Hi: c.ivs[j-1].Hi}
+		for _, member := range c.ivs[i:j] {
+			if member.Lo < iv.Lo {
+				iv.Lo = member.Lo
+			}
+			if member.Hi > iv.Hi {
+				iv.Hi = member.Hi
+			}
+		}
+		if bounded {
+			if iv.Lo > te {
+				break
+			}
+			if iv.Hi > te {
+				iv.Hi = te
+			}
+		}
+		out = append(out, iv)
+		i = j
+	}
+	return &Calendar{gran: c.gran, ivs: out}, nil
+}

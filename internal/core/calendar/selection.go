@@ -1,0 +1,191 @@
+package calendar
+
+import (
+	"fmt"
+	"strings"
+)
+
+// A SelItem is one term of a selection predicate: a single position, or an
+// inclusive range of positions. Positions are 1-based; negative positions
+// count from the end of the list (-1 is the last element); Last selects the
+// final element (the paper's "n").
+type SelItem struct {
+	Last  bool // the paper's [n]
+	Pos   int  // used when !Last and !IsRange
+	Range bool
+	From  int // range endpoints when Range (both may be negative / Last-less)
+	To    int
+}
+
+// A Selection is the paper's selection predicate [x]/C, where x may be an
+// integer, a list of integers, or an integer range; n selects the last
+// element and a minus sign selects from the end (§3.1).
+type Selection struct {
+	Items []SelItem
+}
+
+// SelectIndex returns the predicate [k].
+func SelectIndex(k int) Selection { return Selection{Items: []SelItem{{Pos: k}}} }
+
+// SelectLast returns the predicate [n].
+func SelectLast() Selection { return Selection{Items: []SelItem{{Last: true}}} }
+
+// SelectList returns the predicate [k1,k2,...].
+func SelectList(ks ...int) Selection {
+	items := make([]SelItem, len(ks))
+	for i, k := range ks {
+		items[i] = SelItem{Pos: k}
+	}
+	return Selection{Items: items}
+}
+
+// SelectRange returns the predicate [from-to] (inclusive).
+func SelectRange(from, to int) Selection {
+	return Selection{Items: []SelItem{{Range: true, From: from, To: to}}}
+}
+
+// String renders the predicate in surface syntax, e.g. "[3]", "[n]",
+// "[1,3,-2]", "[2-5]".
+func (s Selection) String() string {
+	var parts []string
+	for _, it := range s.Items {
+		switch {
+		case it.Last:
+			parts = append(parts, "n")
+		case it.Range:
+			parts = append(parts, fmt.Sprintf("%d-%d", it.From, it.To))
+		default:
+			parts = append(parts, fmt.Sprintf("%d", it.Pos))
+		}
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// Check validates the predicate.
+func (s Selection) Check() error {
+	if len(s.Items) == 0 {
+		return fmt.Errorf("calendar: empty selection predicate")
+	}
+	for _, it := range s.Items {
+		if it.Last {
+			continue
+		}
+		if it.Range {
+			if it.From == 0 || it.To == 0 {
+				return fmt.Errorf("calendar: selection range endpoint 0 is invalid (positions are 1-based)")
+			}
+			continue
+		}
+		if it.Pos == 0 {
+			return fmt.Errorf("calendar: selection position 0 is invalid (positions are 1-based)")
+		}
+	}
+	return nil
+}
+
+// resolve maps a signed 1-based position onto a 0-based index in a list of
+// length ln, returning ok=false when out of range.
+func resolvePos(pos, ln int) (int, bool) {
+	if pos > 0 {
+		if pos > ln {
+			return 0, false
+		}
+		return pos - 1, true
+	}
+	if pos < 0 {
+		if -pos > ln {
+			return 0, false
+		}
+		return ln + pos, true
+	}
+	return 0, false
+}
+
+// indices expands the predicate against a list of length ln. Out-of-range
+// positions select nothing (the paper's examples silently drop months with
+// fewer weeks, e.g. the missing 4-week February entry in §3.1).
+func (s Selection) indices(ln int) []int {
+	var out []int
+	for _, it := range s.Items {
+		switch {
+		case it.Last:
+			if ln > 0 {
+				out = append(out, ln-1)
+			}
+		case it.Range:
+			from, ok1 := resolvePos(it.From, ln)
+			to, ok2 := resolvePos(it.To, ln)
+			if !ok1 && it.From > 0 {
+				continue // starts past the end
+			}
+			if !ok1 {
+				from = 0
+			}
+			if !ok2 && it.To > 0 {
+				to = ln - 1 // clamp open-ended ranges
+				ok2 = true
+			}
+			if !ok2 {
+				continue
+			}
+			for i := from; i <= to && i < ln; i++ {
+				if i >= 0 {
+					out = append(out, i)
+				}
+			}
+		default:
+			if i, ok := resolvePos(it.Pos, ln); ok {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// Single reports whether the predicate selects at most one element (a single
+// index or [n]); in that case selection on an order-n calendar reduces the
+// order by one, per the paper's [3]/WEEKS:overlaps:Year-1993 example.
+func (s Selection) Single() bool {
+	return len(s.Items) == 1 && !s.Items[0].Range
+}
+
+// Select applies the selection predicate to a calendar (the paper's [x]/C).
+//
+// Order 1: the selected intervals form a new order-1 calendar.
+// Order n>1: the predicate is applied to each order n-1 element. If the
+// predicate selects a single element, the chosen intervals collapse into a
+// calendar of order n-1; otherwise each element is replaced by its selection
+// and the order is preserved.
+func Select(s Selection, c *Calendar) (*Calendar, error) {
+	if err := s.Check(); err != nil {
+		return nil, err
+	}
+	return selectRec(s, c), nil
+}
+
+func selectRec(s Selection, c *Calendar) *Calendar {
+	if c.Order() == 1 {
+		idx := s.indices(len(c.ivs))
+		out := &Calendar{gran: c.gran}
+		for _, i := range idx {
+			out.ivs = append(out.ivs, c.ivs[i])
+		}
+		return out
+	}
+	if c.Order() == 2 && s.Single() {
+		// Collapse: pick one interval from each sub-calendar.
+		out := &Calendar{gran: c.gran}
+		for _, sub := range c.subs {
+			idx := s.indices(len(sub.ivs))
+			for _, i := range idx {
+				out.ivs = append(out.ivs, sub.ivs[i])
+			}
+		}
+		return out
+	}
+	subs := make([]*Calendar, 0, len(c.subs))
+	for _, sub := range c.subs {
+		subs = append(subs, selectRec(s, sub))
+	}
+	return &Calendar{gran: c.gran, subs: subs}
+}

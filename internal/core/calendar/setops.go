@@ -1,0 +1,114 @@
+package calendar
+
+import (
+	"fmt"
+
+	"calsys/internal/core/interval"
+)
+
+// The calendar set operators are element-wise: a calendar is an ordered
+// collection of intervals (LMF86), so union keeps the elements of both
+// operands, and difference/intersection trim or split each element of the
+// left operand against the right operand's point coverage — adjacent
+// elements are never merged. The paper's AM_BUS_DAYS stays a list of
+// single-day elements after "WD - HOLIDAYS", exactly as §3.3 displays it.
+
+// checkSetOperands validates the operands of the set operators (+, -,
+// intersects), which the paper applies to order-1 calendars of a common
+// granularity.
+func checkSetOperands(opName string, a, b *Calendar) error {
+	if a.gran != b.gran {
+		return fmt.Errorf("calendar: %s granularity mismatch: %v vs %v", opName, a.gran, b.gran)
+	}
+	if a.Order() != 1 || b.Order() != 1 {
+		return fmt.Errorf("calendar: %s requires order-1 operands (got order %d and %d)", opName, a.Order(), b.Order())
+	}
+	return nil
+}
+
+// Union implements the calendar "+" operator: the merged, ordered element
+// list of both calendars, with exact duplicates kept once (see the EMP-DAYS
+// script of §3.3).
+func Union(a, b *Calendar) (*Calendar, error) {
+	if err := checkSetOperands("+", a, b); err != nil {
+		return nil, err
+	}
+	out := make([]interval.Interval, 0, len(a.ivs)+len(b.ivs))
+	i, j := 0, 0
+	for i < len(a.ivs) || j < len(b.ivs) {
+		switch {
+		case i >= len(a.ivs):
+			out = appendUnlessDup(out, b.ivs[j])
+			j++
+		case j >= len(b.ivs):
+			out = appendUnlessDup(out, a.ivs[i])
+			i++
+		case a.ivs[i] == b.ivs[j]:
+			out = appendUnlessDup(out, a.ivs[i])
+			i++
+			j++
+		case less(a.ivs[i], b.ivs[j]):
+			out = appendUnlessDup(out, a.ivs[i])
+			i++
+		default:
+			out = appendUnlessDup(out, b.ivs[j])
+			j++
+		}
+	}
+	return &Calendar{gran: a.gran, ivs: out}, nil
+}
+
+func less(x, y interval.Interval) bool {
+	if x.Lo != y.Lo {
+		return x.Lo < y.Lo
+	}
+	return x.Hi < y.Hi
+}
+
+func appendUnlessDup(out []interval.Interval, iv interval.Interval) []interval.Interval {
+	if n := len(out); n > 0 && out[n-1] == iv {
+		return out
+	}
+	return append(out, iv)
+}
+
+// Diff implements the calendar "-" operator: each element of a has b's
+// covered ticks removed, splitting where necessary; surviving pieces stay
+// separate elements.
+func Diff(a, b *Calendar) (*Calendar, error) {
+	if err := checkSetOperands("-", a, b); err != nil {
+		return nil, err
+	}
+	bset := b.ToSet()
+	var out []interval.Interval
+	for _, iv := range a.ivs {
+		out = append(out, interval.NewSet(iv).Diff(bset).Intervals()...)
+	}
+	return &Calendar{gran: a.gran, ivs: out}, nil
+}
+
+// Intersect implements the "intersects" operator of the calendar scripts:
+// the pieces of each element of a covered by b. Note this is distinct from
+// the overlaps listop — {LDOM:intersects:HOLIDAYS} in §3.3 yields the
+// order-1 calendar of days that are both.
+func Intersect(a, b *Calendar) (*Calendar, error) {
+	if err := checkSetOperands("intersects", a, b); err != nil {
+		return nil, err
+	}
+	bset := b.ToSet()
+	var out []interval.Interval
+	for _, iv := range a.ivs {
+		out = append(out, interval.NewSet(iv).Intersect(bset).Intervals()...)
+	}
+	return &Calendar{gran: a.gran, ivs: out}, nil
+}
+
+// ClipToInterval restricts an order-1 calendar to the parts of its elements
+// inside iv, dropping elements that fall entirely outside. Evaluation plans
+// use this to honor generation windows and lifespans.
+func ClipToInterval(c *Calendar, iv interval.Interval) (*Calendar, error) {
+	if err := iv.Check(); err != nil {
+		return nil, err
+	}
+	return ForeachInterval(c, interval.Overlaps, true, iv)
+}

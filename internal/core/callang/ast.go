@@ -1,0 +1,311 @@
+package callang
+
+import (
+	"fmt"
+	"strings"
+
+	"calsys/internal/core/calendar"
+	"calsys/internal/core/interval"
+)
+
+// Expr is a calendar expression node.
+type Expr interface {
+	exprNode()
+	// String renders canonical surface syntax.
+	String() string
+	// Children returns sub-expressions for tree walks and rendering.
+	Children() []Expr
+	// Label is the node's own caption in a parse tree (Figures 2-3).
+	Label() string
+}
+
+// Ident references a calendar by name: a basic calendar (DAYS), a derived
+// calendar (Tuesdays), a stored calendar (HOLIDAYS), a script temporary, or
+// the runtime binding `today`.
+type Ident struct {
+	Name string
+	Pos  Pos
+}
+
+// Number is an integer literal (selection labels, call arguments).
+type Number struct {
+	Val int64
+}
+
+// StringLit is a string literal (dates in calls, alert messages).
+type StringLit struct {
+	Val string
+}
+
+// ForeachExpr is the foreach operator {X : Op : Y} (strict) or {X . Op . Y}
+// (relaxed).
+type ForeachExpr struct {
+	X      Expr
+	Op     interval.ListOp
+	Strict bool
+	Y      Expr
+}
+
+// IntersectExpr is {X : intersects : Y}: point-set intersection of two
+// order-1 calendars (see the EMP-DAYS script of §3.3).
+type IntersectExpr struct {
+	X, Y Expr
+}
+
+// SelectExpr is the selection operator [pred]/X.
+type SelectExpr struct {
+	Pred calendar.Selection
+	X    Expr
+}
+
+// LabelSelExpr is label-based selection such as 1993/YEARS, which selects
+// the unit labeled 1993 rather than the 1993rd element.
+type LabelSelExpr struct {
+	Num int64
+	X   Expr
+}
+
+// BinExpr is calendar union (+) or difference (-).
+type BinExpr struct {
+	Op   byte // '+' or '-'
+	X, Y Expr
+}
+
+// CallExpr invokes a built-in function: generate, caloperate, interval,
+// points.
+type CallExpr struct {
+	Name string
+	Args []Expr
+}
+
+func (*Ident) exprNode()         {}
+func (*Number) exprNode()        {}
+func (*StringLit) exprNode()     {}
+func (*ForeachExpr) exprNode()   {}
+func (*IntersectExpr) exprNode() {}
+func (*SelectExpr) exprNode()    {}
+func (*LabelSelExpr) exprNode()  {}
+func (*BinExpr) exprNode()       {}
+func (*CallExpr) exprNode()      {}
+
+func (e *Ident) String() string     { return e.Name }
+func (e *Number) String() string    { return fmt.Sprintf("%d", e.Val) }
+func (e *StringLit) String() string { return fmt.Sprintf("%q", e.Val) }
+
+func (e *ForeachExpr) String() string {
+	sep := ":"
+	if !e.Strict {
+		sep = "."
+	}
+	return fmt.Sprintf("%s%s%s%s%s", paren(e.X), sep, e.Op, sep, paren(e.Y))
+}
+
+func (e *IntersectExpr) String() string {
+	return fmt.Sprintf("%s:intersects:%s", paren(e.X), paren(e.Y))
+}
+
+func (e *SelectExpr) String() string {
+	return fmt.Sprintf("%s/%s", e.Pred, paren(e.X))
+}
+
+func (e *LabelSelExpr) String() string {
+	return fmt.Sprintf("%d/%s", e.Num, paren(e.X))
+}
+
+func (e *BinExpr) String() string {
+	return fmt.Sprintf("%s %c %s", paren(e.X), e.Op, paren(e.Y))
+}
+
+func (e *CallExpr) String() string {
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", e.Name, strings.Join(args, ", "))
+}
+
+// paren wraps composite operands so rendered syntax re-parses with the same
+// shape.
+func paren(e Expr) string {
+	switch e.(type) {
+	case *Ident, *Number, *StringLit, *CallExpr:
+		return e.String()
+	default:
+		return "(" + e.String() + ")"
+	}
+}
+
+func (e *Ident) Children() []Expr         { return nil }
+func (e *Number) Children() []Expr        { return nil }
+func (e *StringLit) Children() []Expr     { return nil }
+func (e *ForeachExpr) Children() []Expr   { return []Expr{e.X, e.Y} }
+func (e *IntersectExpr) Children() []Expr { return []Expr{e.X, e.Y} }
+func (e *SelectExpr) Children() []Expr    { return []Expr{e.X} }
+func (e *LabelSelExpr) Children() []Expr  { return []Expr{e.X} }
+func (e *BinExpr) Children() []Expr       { return []Expr{e.X, e.Y} }
+func (e *CallExpr) Children() []Expr      { return e.Args }
+
+func (e *Ident) Label() string     { return e.Name }
+func (e *Number) Label() string    { return fmt.Sprintf("%d", e.Val) }
+func (e *StringLit) Label() string { return fmt.Sprintf("%q", e.Val) }
+func (e *ForeachExpr) Label() string {
+	mode := "strict"
+	if !e.Strict {
+		mode = "relaxed"
+	}
+	return fmt.Sprintf("foreach %s (%s)", e.Op, mode)
+}
+func (e *IntersectExpr) Label() string { return "intersects" }
+func (e *SelectExpr) Label() string    { return "select " + e.Pred.String() }
+func (e *LabelSelExpr) Label() string  { return fmt.Sprintf("select label %d", e.Num) }
+func (e *BinExpr) Label() string       { return string(e.Op) }
+func (e *CallExpr) Label() string      { return e.Name + "()" }
+
+// NodeCount returns the number of nodes in the expression tree; the paper's
+// factorization claim (Figures 2-3) is that it shrinks this count.
+func NodeCount(e Expr) int {
+	n := 1
+	for _, c := range e.Children() {
+		n += NodeCount(c)
+	}
+	return n
+}
+
+// TreeString renders the parse tree in the style of Figures 2 and 3.
+func TreeString(e Expr) string {
+	var b strings.Builder
+	renderTree(&b, e, "", true, true)
+	return b.String()
+}
+
+func renderTree(b *strings.Builder, e Expr, prefix string, isLast, isRoot bool) {
+	if isRoot {
+		b.WriteString(e.Label())
+		b.WriteByte('\n')
+	} else {
+		b.WriteString(prefix)
+		if isLast {
+			b.WriteString("└── ")
+			prefix += "    "
+		} else {
+			b.WriteString("├── ")
+			prefix += "│   "
+		}
+		b.WriteString(e.Label())
+		b.WriteByte('\n')
+	}
+	kids := e.Children()
+	for i, k := range kids {
+		childPrefix := prefix
+		if isRoot {
+			childPrefix = ""
+		}
+		renderTree(b, k, childPrefix, i == len(kids)-1, false)
+	}
+}
+
+// --- Statements -------------------------------------------------------
+
+// Stmt is a calendar-script statement.
+type Stmt interface {
+	stmtNode()
+	String() string
+}
+
+// AssignStmt binds a temporary calendar variable: name = expr;
+type AssignStmt struct {
+	Name string
+	X    Expr
+}
+
+// IfStmt is if (cond) action [else action]; a null (empty) calendar
+// condition is false.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// WhileStmt is while (cond) action; the body may be empty (the paper's
+// "do nothing" wait loop).
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+}
+
+// ReturnStmt yields the script's result: a calendar or an alert string.
+type ReturnStmt struct {
+	X Expr
+}
+
+// ExprStmt evaluates an expression for effect (rare; kept for completeness).
+type ExprStmt struct {
+	X Expr
+}
+
+func (*AssignStmt) stmtNode() {}
+func (*IfStmt) stmtNode()     {}
+func (*WhileStmt) stmtNode()  {}
+func (*ReturnStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()   {}
+
+func (s *AssignStmt) String() string { return fmt.Sprintf("%s = %s;", s.Name, s.X) }
+func (s *ReturnStmt) String() string { return fmt.Sprintf("return (%s);", s.X) }
+func (s *ExprStmt) String() string   { return s.X.String() + ";" }
+
+func (s *IfStmt) String() string {
+	out := fmt.Sprintf("if (%s) %s", s.Cond, blockString(s.Then))
+	if len(s.Else) > 0 {
+		out += " else " + blockString(s.Else)
+	}
+	return out
+}
+
+func (s *WhileStmt) String() string {
+	if len(s.Body) == 0 {
+		return fmt.Sprintf("while (%s) ;", s.Cond)
+	}
+	return fmt.Sprintf("while (%s) %s", s.Cond, blockString(s.Body))
+}
+
+func blockString(ss []Stmt) string {
+	if len(ss) == 1 {
+		return ss[0].String()
+	}
+	parts := make([]string, len(ss))
+	for i, s := range ss {
+		parts[i] = s.String()
+	}
+	return "{ " + strings.Join(parts, " ") + " }"
+}
+
+// Script is a parsed calendar script: the derivation-script column of the
+// CALENDARS catalog.
+type Script struct {
+	Stmts []Stmt
+}
+
+// String renders the script in canonical surface syntax.
+func (s *Script) String() string {
+	parts := make([]string, len(s.Stmts))
+	for i, st := range s.Stmts {
+		parts[i] = st.String()
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// SingleExpr reports whether the script consists of exactly one expression
+// (optionally a single return), in which case derived-calendar references to
+// it can be inlined for factorization.
+func (s *Script) SingleExpr() (Expr, bool) {
+	if len(s.Stmts) != 1 {
+		return nil, false
+	}
+	switch st := s.Stmts[0].(type) {
+	case *ReturnStmt:
+		return st.X, true
+	case *ExprStmt:
+		return st.X, true
+	}
+	return nil, false
+}

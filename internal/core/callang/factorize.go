@@ -1,0 +1,206 @@
+package callang
+
+import (
+	"calsys/internal/chronology"
+	"calsys/internal/core/interval"
+)
+
+// KindResolver reports the element kind of a named calendar: the basic
+// granularity its elements are units of (WEEKS elements are weeks even when
+// their ticks are expressed in days). Basic calendar names resolve to
+// themselves; the catalog supplies kinds for stored and derived calendars.
+type KindResolver interface {
+	ElemKindOf(name string) (chronology.Granularity, bool)
+}
+
+// KindMap is a KindResolver over a map. Basic calendar names are always
+// resolved, even with an empty map.
+type KindMap map[string]chronology.Granularity
+
+// ElemKindOf implements KindResolver.
+func (m KindMap) ElemKindOf(name string) (chronology.Granularity, bool) {
+	if g, err := chronology.ParseGranularity(name); err == nil {
+		return g, true
+	}
+	g, ok := m[name]
+	return g, ok
+}
+
+// ElemKind computes the element kind of an expression, per the factorization
+// rule's granularity comparison ("if the granularity of Y and Z are the
+// same"). Selection and foreach preserve the kind of their subject calendar.
+func ElemKind(e Expr, kinds KindResolver) (chronology.Granularity, bool) {
+	switch n := e.(type) {
+	case *Ident:
+		return kinds.ElemKindOf(n.Name)
+	case *SelectExpr:
+		return ElemKind(n.X, kinds)
+	case *LabelSelExpr:
+		return ElemKind(n.X, kinds)
+	case *ForeachExpr:
+		return ElemKind(n.X, kinds)
+	case *IntersectExpr:
+		return ElemKind(n.X, kinds)
+	case *BinExpr:
+		return ElemKind(n.X, kinds)
+	case *CallExpr:
+		if n.Name == "generate" && len(n.Args) >= 1 {
+			return ElemKind(n.Args[0], kinds)
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
+// equalExpr compares expressions structurally via their canonical rendering.
+func equalExpr(a, b Expr) bool { return a.String() == b.String() }
+
+// subsetOf conservatively decides the rule's "Z ∈ Y" condition: every
+// element of Z is an element of Y. It holds when Z is Y itself, a selection
+// over something subset of Y, a during-foreach over something subset of Y
+// (during keeps elements whole), any relaxed foreach over a subset of Y, or
+// an intersection with one side subset of Y.
+func subsetOf(z, y Expr) bool {
+	if equalExpr(z, y) {
+		return true
+	}
+	switch n := z.(type) {
+	case *SelectExpr:
+		return subsetOf(n.X, y)
+	case *LabelSelExpr:
+		return subsetOf(n.X, y)
+	case *ForeachExpr:
+		if n.Op == interval.During || !n.Strict {
+			return subsetOf(n.X, y)
+		}
+		return false
+	case *IntersectExpr:
+		return subsetOf(n.X, y) || subsetOf(n.Y, y)
+	}
+	return false
+}
+
+// Factorize applies the rewrite rule of the parsing algorithm (§3.4) until a
+// fixpoint:
+//
+//	{(X : Op1 : Y) : Op2 : Z}  →  {X : Op1 : Z}
+//
+// when gran(Y) = gran(Z) and Z ∈ Y — "except when Op1 is ≤ and Op2 is ≤; in
+// the latter case the expression is reduced to {X : Op2 : Z}". The rule also
+// fires through selection wrappers, as in the paper's Example 2 where X is
+// [3]/WEEKS.
+func Factorize(e Expr, kinds KindResolver) Expr {
+	for {
+		out, changed := factorizeOnce(e, kinds)
+		if !changed {
+			return out
+		}
+		e = out
+	}
+}
+
+func factorizeOnce(e Expr, kinds KindResolver) (Expr, bool) {
+	switch n := e.(type) {
+	case *Ident, *Number, *StringLit:
+		return e, false
+	case *SelectExpr:
+		x, ch := factorizeOnce(n.X, kinds)
+		if ch {
+			return &SelectExpr{Pred: n.Pred, X: x}, true
+		}
+		return n, false
+	case *LabelSelExpr:
+		x, ch := factorizeOnce(n.X, kinds)
+		if ch {
+			return &LabelSelExpr{Num: n.Num, X: x}, true
+		}
+		return n, false
+	case *IntersectExpr:
+		x, chx := factorizeOnce(n.X, kinds)
+		y, chy := factorizeOnce(n.Y, kinds)
+		if chx || chy {
+			return &IntersectExpr{X: x, Y: y}, true
+		}
+		return n, false
+	case *BinExpr:
+		x, chx := factorizeOnce(n.X, kinds)
+		y, chy := factorizeOnce(n.Y, kinds)
+		if chx || chy {
+			return &BinExpr{Op: n.Op, X: x, Y: y}, true
+		}
+		return n, false
+	case *CallExpr:
+		changed := false
+		args := make([]Expr, len(n.Args))
+		for i, a := range n.Args {
+			fa, ch := factorizeOnce(a, kinds)
+			args[i] = fa
+			changed = changed || ch
+		}
+		if changed {
+			return &CallExpr{Name: n.Name, Args: args}, true
+		}
+		return n, false
+	case *ForeachExpr:
+		if out, ok := applyRule(n, kinds); ok {
+			return out, true
+		}
+		x, chx := factorizeOnce(n.X, kinds)
+		y, chy := factorizeOnce(n.Y, kinds)
+		if chx || chy {
+			return &ForeachExpr{X: x, Op: n.Op, Strict: n.Strict, Y: y}, true
+		}
+		return n, false
+	}
+	return e, false
+}
+
+// applyRule attempts the factorization rewrite at the root of outer, peeling
+// selection wrappers off the left operand to expose the inner foreach.
+func applyRule(outer *ForeachExpr, kinds KindResolver) (Expr, bool) {
+	// Peel selection wrappers: outer.X = Sel1(Sel2(...(inner Foreach)...)).
+	var wrappers []Expr
+	cur := outer.X
+peel:
+	for {
+		switch w := cur.(type) {
+		case *SelectExpr:
+			wrappers = append(wrappers, w)
+			cur = w.X
+		case *LabelSelExpr:
+			wrappers = append(wrappers, w)
+			cur = w.X
+		default:
+			break peel
+		}
+	}
+	inner, ok := cur.(*ForeachExpr)
+	if !ok {
+		return nil, false
+	}
+	y, z := inner.Y, outer.Y
+	gy, oky := ElemKind(y, kinds)
+	gz, okz := ElemKind(z, kinds)
+	if !oky || !okz || gy != gz {
+		return nil, false
+	}
+	if !subsetOf(z, y) {
+		return nil, false
+	}
+	op := inner.Op
+	if inner.Op == interval.BeforeEquals && outer.Op == interval.BeforeEquals {
+		// The paper's stated exception: reduce to {X : Op2 : Z}.
+		op = outer.Op
+	}
+	rewritten := Expr(&ForeachExpr{X: inner.X, Op: op, Strict: inner.Strict, Y: z})
+	// Re-apply the peeled selection wrappers innermost-first.
+	for i := len(wrappers) - 1; i >= 0; i-- {
+		switch w := wrappers[i].(type) {
+		case *SelectExpr:
+			rewritten = &SelectExpr{Pred: w.Pred, X: rewritten}
+		case *LabelSelExpr:
+			rewritten = &LabelSelExpr{Num: w.Num, X: rewritten}
+		}
+	}
+	return rewritten, true
+}

@@ -1,0 +1,113 @@
+package callang
+
+import "fmt"
+
+// ScriptLookup resolves a derived calendar's derivation script. The database
+// catalog (table CALENDARS) implements this; tests use maps.
+type ScriptLookup interface {
+	// DerivationOf returns the parsed derivation script of a derived
+	// calendar, or ok=false if name is not a derived calendar (it may then
+	// be a basic calendar, a stored calendar, or a script temporary).
+	DerivationOf(name string) (*Script, bool)
+}
+
+// ScriptMap is a ScriptLookup over a map (testing convenience).
+type ScriptMap map[string]*Script
+
+// DerivationOf implements ScriptLookup.
+func (m ScriptMap) DerivationOf(name string) (*Script, bool) {
+	s, ok := m[name]
+	return s, ok
+}
+
+// maxInlineDepth bounds derivation chains to catch mutually recursive
+// calendar definitions.
+const maxInlineDepth = 32
+
+// Inline implements the first step of the parsing algorithm of §3.4: "When a
+// derived calendar is encountered, replace it by its derivation script."
+// Only derivations consisting of a single expression are inlined; calendars
+// derived by multi-statement scripts (with if/while) stay opaque references
+// evaluated through their own plans.
+func Inline(e Expr, lookup ScriptLookup) (Expr, error) {
+	return inlineRec(e, lookup, make(map[string]bool), 0)
+}
+
+func inlineRec(e Expr, lookup ScriptLookup, inProgress map[string]bool, depth int) (Expr, error) {
+	if depth > maxInlineDepth {
+		return nil, fmt.Errorf("callang: derivation chain deeper than %d (recursive calendar definition?)", maxInlineDepth)
+	}
+	switch n := e.(type) {
+	case *Ident:
+		script, ok := lookup.DerivationOf(n.Name)
+		if !ok {
+			return n, nil
+		}
+		body, single := script.SingleExpr()
+		if !single {
+			return n, nil
+		}
+		if inProgress[n.Name] {
+			return nil, fmt.Errorf("callang: calendar %q is defined in terms of itself", n.Name)
+		}
+		inProgress[n.Name] = true
+		out, err := inlineRec(body, lookup, inProgress, depth+1)
+		delete(inProgress, n.Name)
+		return out, err
+	case *Number, *StringLit:
+		return e, nil
+	case *ForeachExpr:
+		x, err := inlineRec(n.X, lookup, inProgress, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		y, err := inlineRec(n.Y, lookup, inProgress, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		return &ForeachExpr{X: x, Op: n.Op, Strict: n.Strict, Y: y}, nil
+	case *IntersectExpr:
+		x, err := inlineRec(n.X, lookup, inProgress, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		y, err := inlineRec(n.Y, lookup, inProgress, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		return &IntersectExpr{X: x, Y: y}, nil
+	case *SelectExpr:
+		x, err := inlineRec(n.X, lookup, inProgress, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		return &SelectExpr{Pred: n.Pred, X: x}, nil
+	case *LabelSelExpr:
+		x, err := inlineRec(n.X, lookup, inProgress, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		return &LabelSelExpr{Num: n.Num, X: x}, nil
+	case *BinExpr:
+		x, err := inlineRec(n.X, lookup, inProgress, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		y, err := inlineRec(n.Y, lookup, inProgress, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{Op: n.Op, X: x, Y: y}, nil
+	case *CallExpr:
+		args := make([]Expr, len(n.Args))
+		for i, a := range n.Args {
+			ia, err := inlineRec(a, lookup, inProgress, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = ia
+		}
+		return &CallExpr{Name: n.Name, Args: args}, nil
+	}
+	return nil, fmt.Errorf("callang: inline: unknown expression node %T", e)
+}

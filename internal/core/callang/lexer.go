@@ -1,0 +1,207 @@
+package callang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Lexer splits calendar-language source into tokens. Identifiers may contain
+// hyphens when written without surrounding spaces (the paper writes
+// Expiration-Month and Jan-1993); a '-' with whitespace on either side is the
+// calendar difference operator. Comments are /* ... */.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+var keywords = map[string]Kind{
+	"if":     KWIF,
+	"else":   KWELSE,
+	"while":  KWWHILE,
+	"return": KWRETURN,
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) peekByte() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peekByteAt(k int) byte {
+	if lx.off+k >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+k]
+}
+
+func (lx *Lexer) advance() byte {
+	b := lx.src[lx.off]
+	lx.off++
+	if b == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return b
+}
+
+func isSpace(b byte) bool { return b == ' ' || b == '\t' || b == '\n' || b == '\r' }
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }
+func isIdentStart(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}
+func isIdentPart(b byte) bool { return isIdentStart(b) || isDigit(b) }
+
+// skipTrivia consumes whitespace and comments.
+func (lx *Lexer) skipTrivia() error {
+	for lx.off < len(lx.src) {
+		b := lx.peekByte()
+		switch {
+		case isSpace(b):
+			lx.advance()
+		case b == '/' && lx.peekByteAt(1) == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			for {
+				if lx.off >= len(lx.src) {
+					return fmt.Errorf("%v: unterminated comment", start)
+				}
+				if lx.peekByte() == '*' && lx.peekByteAt(1) == '/' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				lx.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipTrivia(); err != nil {
+		return Token{}, err
+	}
+	p := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: EOF, Pos: p}, nil
+	}
+	b := lx.peekByte()
+	switch {
+	case isIdentStart(b):
+		return lx.lexIdent(p), nil
+	case isDigit(b):
+		return lx.lexInt(p)
+	case b == '"':
+		return lx.lexString(p)
+	}
+	lx.advance()
+	single := map[byte]Kind{
+		'{': LBRACE, '}': RBRACE, '[': LBRACKET, ']': RBRACKET,
+		'(': LPAREN, ')': RPAREN, ':': COLON, '.': DOT, '/': SLASH,
+		'+': PLUS, '-': MINUS, '=': ASSIGN, ';': SEMI, ',': COMMA,
+	}
+	if b == '<' {
+		if lx.peekByte() == '=' {
+			lx.advance()
+			return Token{Kind: LE, Text: "<=", Pos: p}, nil
+		}
+		return Token{Kind: LT, Text: "<", Pos: p}, nil
+	}
+	if k, ok := single[b]; ok {
+		return Token{Kind: k, Text: string(b), Pos: p}, nil
+	}
+	return Token{}, fmt.Errorf("%v: unexpected character %q", p, string(b))
+}
+
+func (lx *Lexer) lexIdent(p Pos) Token {
+	var sb strings.Builder
+	for lx.off < len(lx.src) {
+		b := lx.peekByte()
+		if isIdentPart(b) {
+			sb.WriteByte(lx.advance())
+			continue
+		}
+		// A hyphen glued between identifier characters or digits continues
+		// the identifier ("Expiration-Month", "Jan-1993"); "A - B" is the
+		// difference operator.
+		if b == '-' && (isIdentPart(lx.peekByteAt(1))) {
+			sb.WriteByte(lx.advance())
+			continue
+		}
+		break
+	}
+	text := sb.String()
+	if kk, ok := keywords[text]; ok {
+		return Token{Kind: kk, Text: text, Pos: p}
+	}
+	return Token{Kind: IDENT, Text: text, Pos: p}
+}
+
+func (lx *Lexer) lexInt(p Pos) (Token, error) {
+	var sb strings.Builder
+	for lx.off < len(lx.src) && isDigit(lx.peekByte()) {
+		sb.WriteByte(lx.advance())
+	}
+	// "1993-01-02" style date fragments are not integers; the parser never
+	// needs them, so a digit run followed by an identifier char is an error.
+	if lx.off < len(lx.src) && isIdentStart(lx.peekByte()) {
+		return Token{}, fmt.Errorf("%v: malformed number %q", p, sb.String()+string(lx.peekByte()))
+	}
+	n, err := strconv.ParseInt(sb.String(), 10, 64)
+	if err != nil {
+		return Token{}, fmt.Errorf("%v: integer %q out of range", p, sb.String())
+	}
+	return Token{Kind: INT, Text: sb.String(), Num: n, Pos: p}, nil
+}
+
+func (lx *Lexer) lexString(p Pos) (Token, error) {
+	lx.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if lx.off >= len(lx.src) {
+			return Token{}, fmt.Errorf("%v: unterminated string", p)
+		}
+		b := lx.advance()
+		if b == '"' {
+			return Token{Kind: STRING, Text: sb.String(), Pos: p}, nil
+		}
+		if b == '\\' && lx.off < len(lx.src) {
+			sb.WriteByte(lx.advance())
+			continue
+		}
+		sb.WriteByte(b)
+	}
+}
+
+// LexAll tokenizes the whole input (testing convenience).
+func LexAll(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package callang
+
+import "testing"
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := LexAll("[2]/DAYS:during:WEEKS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{LBRACKET, INT, RBRACKET, SLASH, IDENT, COLON, IDENT, COLON, IDENT, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if toks[1].Num != 2 || toks[4].Text != "DAYS" {
+		t.Error("token payloads wrong")
+	}
+}
+
+func TestLexListOpsAndKeywords(t *testing.T) {
+	toks, err := LexAll("if (a:<=:b) return (x); else while (c:<:d) ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawLE, sawLT bool
+	for _, tok := range toks {
+		switch tok.Kind {
+		case LE:
+			sawLE = true
+		case LT:
+			sawLT = true
+		}
+	}
+	if !sawLE || !sawLT {
+		t.Error("listops < and <= not lexed")
+	}
+	if toks[0].Kind != KWIF {
+		t.Error("if keyword not recognized")
+	}
+}
+
+func TestLexHyphenGluing(t *testing.T) {
+	// Glued hyphens continue identifiers; spaced hyphens are operators.
+	toks, err := LexAll("Expiration-Month Jan-1993 LDOM - LDOM_HOL + LAST_BUS_DAY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "Expiration-Month" || toks[1].Text != "Jan-1993" {
+		t.Errorf("glued identifiers wrong: %v %v", toks[0], toks[1])
+	}
+	want := []Kind{IDENT, IDENT, IDENT, MINUS, IDENT, PLUS, IDENT, EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tokens = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLexNegativeSelection(t *testing.T) {
+	toks, err := LexAll("[-7]/AM_BUS_DAYS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{LBRACKET, MINUS, INT, RBRACKET, SLASH, IDENT, EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tokens = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := LexAll("a /* commentary\nwith newline */ b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Errorf("comment not skipped: %v", toks)
+	}
+	if _, err := LexAll("a /* unterminated"); err == nil {
+		t.Error("unterminated comment should fail")
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := LexAll(`return ("LAST TRADING DAY");`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != STRING || toks[2].Text != "LAST TRADING DAY" {
+		t.Errorf("string token = %v", toks[2])
+	}
+	if _, err := LexAll(`"unterminated`); err == nil {
+		t.Error("unterminated string should fail")
+	}
+	toks, err = LexAll(`"esc\"aped"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != `esc"aped` {
+		t.Errorf("escape wrong: %q", toks[0].Text)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := LexAll("a ? b"); err == nil {
+		t.Error("unexpected character should fail")
+	}
+	if _, err := LexAll("123abc"); err == nil {
+		t.Error("malformed number should fail")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := LexAll("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) || toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("positions = %v, %v", toks[0].Pos, toks[1].Pos)
+	}
+	if toks[1].Pos.String() != "2:3" {
+		t.Errorf("Pos.String = %q", toks[1].Pos.String())
+	}
+}

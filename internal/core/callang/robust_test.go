@@ -1,0 +1,120 @@
+package callang
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The parser must never panic: random byte soup, random token soup, and
+// mutated valid expressions all either parse or return an error.
+func TestParserNeverPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("parser panicked: %v", r)
+		}
+	}()
+	rng := rand.New(rand.NewSource(1994))
+
+	// Random bytes.
+	alphabet := []byte("abzDAYS019[](){}/:.<=+-;,\"' \t\nduringoverlapsmeetsifwhilereturn")
+	for i := 0; i < 3000; i++ {
+		n := rng.Intn(60)
+		buf := make([]byte, n)
+		for j := range buf {
+			buf[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		src := string(buf)
+		_, _ = ParseExpr(src)
+		_, _ = ParseScript(src)
+		_, _ = ParseDerivation(src)
+	}
+
+	// Mutations of valid inputs.
+	seeds := []string{
+		"[2]/DAYS:during:WEEKS",
+		"Mondays:during:Januarys:during:1993/YEARS",
+		"{LDOM = [n]/DAYS:during:MONTHS; return (LDOM - HOLIDAYS);}",
+		`{if (A:intersects:B) return([n]/C:<:D); else return(E);}`,
+		`{while (today:<:temp2) ; return ("LAST TRADING DAY");}`,
+		`generate(YEARS, DAYS, "Jan 1 1987", "Jan 3 1992")`,
+	}
+	for _, seed := range seeds {
+		for i := 0; i < 500; i++ {
+			b := []byte(seed)
+			for k := 0; k < rng.Intn(4)+1; k++ {
+				switch rng.Intn(3) {
+				case 0: // flip a byte
+					if len(b) > 0 {
+						b[rng.Intn(len(b))] = alphabet[rng.Intn(len(alphabet))]
+					}
+				case 1: // delete a byte
+					if len(b) > 1 {
+						p := rng.Intn(len(b))
+						b = append(b[:p], b[p+1:]...)
+					}
+				case 2: // duplicate a byte
+					if len(b) > 0 {
+						p := rng.Intn(len(b))
+						b = append(b[:p+1], b[p:]...)
+					}
+				}
+			}
+			src := string(b)
+			_, _ = ParseExpr(src)
+			_, _ = ParseScript(src)
+		}
+	}
+}
+
+// Everything that parses renders to a string that re-parses to the same
+// rendering (printer/parser agreement on arbitrary accepted inputs).
+func TestPrinterParserAgreementOnRandomInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alphabet := []byte("ABxy12[]()/:.<=+-; during overlaps")
+	agreed := 0
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(40) + 1
+		buf := make([]byte, n)
+		for j := range buf {
+			buf[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		src := string(buf)
+		e, err := ParseExpr(src)
+		if err != nil {
+			continue
+		}
+		rendered := e.String()
+		e2, err := ParseExpr(rendered)
+		if err != nil {
+			t.Fatalf("rendering %q of accepted input %q does not re-parse: %v", rendered, src, err)
+		}
+		if e2.String() != rendered {
+			t.Fatalf("unstable rendering: %q -> %q", rendered, e2.String())
+		}
+		agreed++
+	}
+	if agreed == 0 {
+		t.Error("no random inputs parsed; generator too hostile to be useful")
+	}
+}
+
+// Deeply nested expressions neither crash nor hang.
+func TestDeepNesting(t *testing.T) {
+	deep := strings.Repeat("(", 2000) + "DAYS" + strings.Repeat(")", 2000)
+	if _, err := ParseExpr(deep); err != nil {
+		t.Errorf("deep parens should parse: %v", err)
+	}
+	chain := "DAYS" + strings.Repeat(":during:DAYS", 500)
+	e, err := ParseExpr(chain)
+	if err != nil {
+		t.Fatalf("long chain: %v", err)
+	}
+	if NodeCount(e) != 1001 {
+		t.Errorf("chain nodes = %d", NodeCount(e))
+	}
+	unclosed := strings.Repeat("(", 5000)
+	if _, err := ParseExpr(unclosed); err == nil {
+		t.Error("unclosed parens should fail")
+	}
+}

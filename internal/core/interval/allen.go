@@ -1,0 +1,90 @@
+package interval
+
+import "fmt"
+
+// Relation is one of Allen's thirteen qualitative relations between two
+// intervals (Allen 1985, the paper's [All85]). The paper's five listops are
+// coarsenings of these; the full set is provided because user-defined
+// operators registered with the database may use any of them.
+type Relation int
+
+// Allen's thirteen interval relations.
+const (
+	RelBefore Relation = iota
+	RelMeets
+	RelOverlaps
+	RelStarts
+	RelDuring
+	RelFinishes
+	RelEquals
+	RelFinishedBy
+	RelContains
+	RelStartedBy
+	RelOverlappedBy
+	RelMetBy
+	RelAfter
+)
+
+var relationNames = [...]string{
+	RelBefore:       "before",
+	RelMeets:        "meets",
+	RelOverlaps:     "overlaps",
+	RelStarts:       "starts",
+	RelDuring:       "during",
+	RelFinishes:     "finishes",
+	RelEquals:       "equals",
+	RelFinishedBy:   "finished-by",
+	RelContains:     "contains",
+	RelStartedBy:    "started-by",
+	RelOverlappedBy: "overlapped-by",
+	RelMetBy:        "met-by",
+	RelAfter:        "after",
+}
+
+// String returns the conventional name of the relation.
+func (r Relation) String() string {
+	if r < 0 || int(r) >= len(relationNames) {
+		return fmt.Sprintf("Relation(%d)", int(r))
+	}
+	return relationNames[r]
+}
+
+// Inverse returns the converse relation: if Relate(a,b) = r then
+// Relate(b,a) = r.Inverse().
+func (r Relation) Inverse() Relation { return RelAfter - r }
+
+// Relate classifies the exact Allen relation between a and b.
+//
+// Because intervals are closed spans of discrete ticks, "meets" here means
+// a.Hi+1 = b.Lo would leave no gap; following the paper's definition
+// (u1 = l2), meeting intervals share their boundary tick.
+func Relate(a, b Interval) Relation {
+	switch {
+	case a.Hi < b.Lo:
+		return RelBefore
+	case a.Lo > b.Hi:
+		return RelAfter
+	case a.Lo == b.Lo && a.Hi == b.Hi:
+		return RelEquals
+	case a.Hi == b.Lo:
+		return RelMeets
+	case b.Hi == a.Lo:
+		return RelMetBy
+	case a.Lo == b.Lo && a.Hi < b.Hi:
+		return RelStarts
+	case a.Lo == b.Lo && a.Hi > b.Hi:
+		return RelStartedBy
+	case a.Hi == b.Hi && a.Lo > b.Lo:
+		return RelFinishes
+	case a.Hi == b.Hi && a.Lo < b.Lo:
+		return RelFinishedBy
+	case a.Lo > b.Lo && a.Hi < b.Hi:
+		return RelDuring
+	case a.Lo < b.Lo && a.Hi > b.Hi:
+		return RelContains
+	case a.Lo < b.Lo:
+		return RelOverlaps
+	default:
+		return RelOverlappedBy
+	}
+}

@@ -1,0 +1,69 @@
+package interval
+
+import "fmt"
+
+// A ListOp is one of the paper's interval relationship operators (§3.1),
+// used as the middle argument of the foreach operators:
+//
+//	int1 overlaps int2 := int1 ∩ int2 ≠ ∅
+//	int1 during   int2 := l1 >= l2 ∧ u2 >= u1
+//	int1 meets    int2 := u1 = l2
+//	int1 <        int2 := u1 <= l2
+//	int1 <=       int2 := l1 <= l2 ∧ u2 >= u1
+type ListOp int
+
+// The five listops, exactly as defined in §3.1 of the paper.
+const (
+	Overlaps ListOp = iota
+	During
+	Meets
+	Before       // the paper's "<"
+	BeforeEquals // the paper's "<="
+)
+
+var listOpNames = [...]string{
+	Overlaps:     "overlaps",
+	During:       "during",
+	Meets:        "meets",
+	Before:       "<",
+	BeforeEquals: "<=",
+}
+
+// String returns the operator's surface syntax in the calendar language.
+func (op ListOp) String() string {
+	if op < 0 || int(op) >= len(listOpNames) {
+		return fmt.Sprintf("ListOp(%d)", int(op))
+	}
+	return listOpNames[op]
+}
+
+// Valid reports whether op is one of the five listops.
+func (op ListOp) Valid() bool { return op >= Overlaps && op <= BeforeEquals }
+
+// ParseListOp resolves surface syntax to a ListOp.
+func ParseListOp(s string) (ListOp, error) {
+	for op, name := range listOpNames {
+		if s == name {
+			return ListOp(op), nil
+		}
+	}
+	return 0, fmt.Errorf("interval: unknown listop %q", s)
+}
+
+// Eval applies the operator to (int1, int2) per the paper's definitions.
+func (op ListOp) Eval(int1, int2 Interval) bool {
+	switch op {
+	case Overlaps:
+		_, ok := int1.Intersect(int2)
+		return ok
+	case During:
+		return int1.Lo >= int2.Lo && int2.Hi >= int1.Hi
+	case Meets:
+		return int1.Hi == int2.Lo
+	case Before:
+		return int1.Hi <= int2.Lo
+	case BeforeEquals:
+		return int1.Lo <= int2.Lo && int2.Hi >= int1.Hi
+	}
+	panic(fmt.Sprintf("interval: Eval of invalid listop %d", int(op)))
+}

@@ -1,0 +1,168 @@
+package interval
+
+import (
+	"sort"
+	"strings"
+
+	"calsys/internal/chronology"
+)
+
+// A Set is a normalized list of intervals: sorted by lower bound, pairwise
+// disjoint and non-adjacent (adjacent intervals are coalesced). Sets give the
+// calendar operators +, - and intersects their point-set semantics.
+type Set struct {
+	ivs []Interval
+}
+
+// NewSet builds a normalized set from arbitrary intervals.
+func NewSet(ivs ...Interval) Set {
+	s := Set{ivs: normalize(ivs)}
+	return s
+}
+
+// normalize sorts, merges overlapping and adjacent intervals, and returns a
+// fresh slice.
+func normalize(in []Interval) []Interval {
+	if len(in) == 0 {
+		return nil
+	}
+	ivs := make([]Interval, len(in))
+	copy(ivs, in)
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].Lo != ivs[j].Lo {
+			return ivs[i].Lo < ivs[j].Lo
+		}
+		return ivs[i].Hi < ivs[j].Hi
+	})
+	out := ivs[:1]
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.Lo <= last.Hi || chronology.NextTick(last.Hi) == iv.Lo {
+			if iv.Hi > last.Hi {
+				last.Hi = iv.Hi
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// Intervals returns the set's intervals in order. The slice is shared; do
+// not modify it.
+func (s Set) Intervals() []Interval { return s.ivs }
+
+// Empty reports whether the set covers no ticks.
+func (s Set) Empty() bool { return len(s.ivs) == 0 }
+
+// Len returns the number of maximal intervals in the set.
+func (s Set) Len() int { return len(s.ivs) }
+
+// Cardinality returns the number of ticks covered.
+func (s Set) Cardinality() int64 {
+	var n int64
+	for _, iv := range s.ivs {
+		n += iv.Length()
+	}
+	return n
+}
+
+// Contains reports whether tick t is covered by the set.
+func (s Set) Contains(t chronology.Tick) bool {
+	if t == 0 {
+		return false
+	}
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].Hi >= t })
+	return i < len(s.ivs) && s.ivs[i].Contains(t)
+}
+
+// Union returns the point-set union (the calendar "+" operator).
+func (s Set) Union(other Set) Set {
+	merged := make([]Interval, 0, len(s.ivs)+len(other.ivs))
+	merged = append(merged, s.ivs...)
+	merged = append(merged, other.ivs...)
+	return Set{ivs: normalize(merged)}
+}
+
+// Intersect returns the point-set intersection (the calendar "intersects"
+// operator).
+func (s Set) Intersect(other Set) Set {
+	var out []Interval
+	i, j := 0, 0
+	for i < len(s.ivs) && j < len(other.ivs) {
+		if iv, ok := s.ivs[i].Intersect(other.ivs[j]); ok {
+			out = append(out, iv)
+		}
+		if s.ivs[i].Hi < other.ivs[j].Hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return Set{ivs: out}
+}
+
+// Diff returns the point-set difference s minus other (the calendar "-"
+// operator).
+func (s Set) Diff(other Set) Set {
+	var out []Interval
+	j := 0
+	for _, iv := range s.ivs {
+		lo := iv.Lo
+		for j < len(other.ivs) && other.ivs[j].Hi < lo {
+			j++
+		}
+		k := j
+		for k < len(other.ivs) && other.ivs[k].Lo <= iv.Hi {
+			cut := other.ivs[k]
+			if cut.Lo > lo {
+				out = append(out, Interval{Lo: lo, Hi: chronology.PrevTick(cut.Lo)})
+			}
+			if cut.Hi >= iv.Hi {
+				lo = 0 // fully consumed
+				break
+			}
+			lo = chronology.NextTick(cut.Hi)
+			k++
+		}
+		if lo != 0 && lo <= iv.Hi {
+			out = append(out, Interval{Lo: lo, Hi: iv.Hi})
+		}
+	}
+	return Set{ivs: out}
+}
+
+// Equal reports whether two sets cover exactly the same ticks.
+func (s Set) Equal(other Set) bool {
+	if len(s.ivs) != len(other.ivs) {
+		return false
+	}
+	for i := range s.ivs {
+		if s.ivs[i] != other.ivs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Hull returns the smallest single interval covering the set.
+func (s Set) Hull() (Interval, bool) {
+	if s.Empty() {
+		return Interval{}, false
+	}
+	return Interval{Lo: s.ivs[0].Lo, Hi: s.ivs[len(s.ivs)-1].Hi}, true
+}
+
+// String renders the set in the paper's {(l,u),...} notation.
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, iv := range s.ivs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(iv.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,216 @@
+package plan
+
+import (
+	"fmt"
+
+	"calsys/internal/chronology"
+	"calsys/internal/core/calendar"
+	"calsys/internal/core/callang"
+	"calsys/internal/core/interval"
+)
+
+// execState carries per-evaluation caches shared across the plans of one
+// script run, so that a calendar referenced by several statements is
+// generated once (the paper's shared-calendar marking).
+type execState struct {
+	genCache map[string]*calendar.Calendar
+	depth    int
+}
+
+// maxDerivedDepth bounds nested opaque-derivation evaluation.
+const maxDerivedDepth = 16
+
+func newExecState() *execState {
+	return &execState{genCache: map[string]*calendar.Calendar{}}
+}
+
+// Exec runs the plan and returns the result calendar. vars supplies script
+// temporaries referenced by OpVar (nil when none).
+func (p *Plan) Exec(env *Env, vars map[string]*calendar.Calendar) (*calendar.Calendar, error) {
+	return p.exec(env, vars, newExecState())
+}
+
+func (p *Plan) exec(env *Env, vars map[string]*calendar.Calendar, st *execState) (*calendar.Calendar, error) {
+	regs := make([]*calendar.Calendar, len(p.Ops))
+	get := func(r Reg) (*calendar.Calendar, error) {
+		if r < 0 || int(r) >= len(regs) || regs[r] == nil {
+			return nil, fmt.Errorf("plan: register %%t%d not populated", r)
+		}
+		return regs[r], nil
+	}
+	for i, op := range p.Ops {
+		v, err := p.execOp(env, vars, st, op, get)
+		if err != nil {
+			return nil, fmt.Errorf("plan: %s: %w", op, err)
+		}
+		regs[i] = v
+	}
+	return get(p.Result)
+}
+
+func (p *Plan) execOp(env *Env, vars map[string]*calendar.Calendar, st *execState, op Op, get func(Reg) (*calendar.Calendar, error)) (*calendar.Calendar, error) {
+	switch op.Kind {
+	case OpGenerate:
+		key := fmt.Sprintf("G|%v|%v|%v", op.Of, p.Gran, op.Win)
+		if !env.DisableSharing {
+			if c, ok := st.genCache[key]; ok {
+				return c, nil
+			}
+		}
+		c, err := calendar.GenerateFull(env.Chron, op.Of, p.Gran, op.Win.Lo, op.Win.Hi)
+		if err != nil {
+			return nil, err
+		}
+		st.genCache[key] = c
+		return c, nil
+	case OpGenerateCall:
+		c, err := calendar.Generate(env.Chron, op.Of, op.In, op.Win.Lo, op.Win.Hi)
+		if err != nil {
+			return nil, err
+		}
+		return calendar.ConvertGran(env.Chron, c, p.Gran)
+	case OpUnit:
+		return calendar.Unit(env.Chron, op.Of, p.Gran, op.Tick)
+	case OpLoad:
+		c, ok := env.Cat.StoredCalendar(op.Name)
+		if !ok {
+			return nil, fmt.Errorf("stored calendar %q disappeared", op.Name)
+		}
+		conv, err := calendar.ConvertGran(env.Chron, c, p.Gran)
+		if err != nil {
+			return nil, err
+		}
+		if ls, ok := lifespanIn(env, op.Name, p.Gran); ok {
+			return calendar.ClipToInterval(conv, ls)
+		}
+		return conv, nil
+	case OpDerived:
+		if st.depth >= maxDerivedDepth {
+			return nil, fmt.Errorf("derivation of %q nested deeper than %d", op.Name, maxDerivedDepth)
+		}
+		script, ok := env.Cat.DerivationOf(op.Name)
+		if !ok {
+			return nil, fmt.Errorf("derived calendar %q disappeared", op.Name)
+		}
+		win := op.Win
+		if ls, ok := lifespanIn(env, op.Name, p.Gran); ok {
+			cut, overlap := win.Intersect(ls)
+			if !overlap {
+				// The requested window lies wholly outside the calendar's
+				// lifespan: it describes no time points there.
+				return calendar.Empty(p.Gran), nil
+			}
+			win = cut
+		}
+		st.depth++
+		v, err := runScript(env, script, p.Gran, win, st)
+		st.depth--
+		if err != nil {
+			return nil, fmt.Errorf("evaluating %q: %w", op.Name, err)
+		}
+		if v.Cal == nil {
+			return nil, fmt.Errorf("derived calendar %q returned an alert string, not a calendar", op.Name)
+		}
+		return calendar.ConvertGran(env.Chron, v.Cal, p.Gran)
+	case OpVar:
+		c, ok := vars[op.Name]
+		if !ok {
+			return nil, fmt.Errorf("unbound variable %q", op.Name)
+		}
+		return calendar.ConvertGran(env.Chron, c, p.Gran)
+	case OpToday:
+		if env.Now == nil {
+			return nil, fmt.Errorf("`today` is unavailable: no clock in environment")
+		}
+		tick := env.Chron.TickAt(p.Gran, env.Now())
+		return calendar.FromPoints(p.Gran, []chronology.Tick{tick})
+	case OpConst:
+		return op.Lit, nil
+	case OpForeach:
+		a, err := get(op.A)
+		if err != nil {
+			return nil, err
+		}
+		b, err := get(op.B)
+		if err != nil {
+			return nil, err
+		}
+		return calendar.Foreach(a, op.ListOp, op.Strict, b)
+	case OpIntersect:
+		return binSet(op, get, calendar.Intersect)
+	case OpUnion:
+		return binSet(op, get, calendar.Union)
+	case OpDiff:
+		return binSet(op, get, calendar.Diff)
+	case OpSelect:
+		a, err := get(op.A)
+		if err != nil {
+			return nil, err
+		}
+		return calendar.Select(op.Sel, a)
+	case OpCaloperate:
+		a, err := get(op.A)
+		if err != nil {
+			return nil, err
+		}
+		return calendar.Caloperate(a, op.Counts)
+	}
+	return nil, fmt.Errorf("unimplemented op kind %d", int(op.Kind))
+}
+
+// lifespanIn converts a calendar's day-tick lifespan to granularity g, when
+// the catalog reports one.
+func lifespanIn(env *Env, name string, g chronology.Granularity) (interval.Interval, bool) {
+	lc, ok := env.Cat.(LifespanCatalog)
+	if !ok {
+		return interval.Interval{}, false
+	}
+	lo, hi, ok := lc.LifespanOf(name)
+	if !ok {
+		return interval.Interval{}, false
+	}
+	return convertWindow(env.Chron, chronology.Day, interval.Interval{Lo: lo, Hi: hi}, g), true
+}
+
+func binSet(op Op, get func(Reg) (*calendar.Calendar, error), f func(a, b *calendar.Calendar) (*calendar.Calendar, error)) (*calendar.Calendar, error) {
+	a, err := get(op.A)
+	if err != nil {
+		return nil, err
+	}
+	b, err := get(op.B)
+	if err != nil {
+		return nil, err
+	}
+	// The set operators require order-1 operands; foreach chains can leave
+	// order-2 results whose sub-structure is no longer meaningful to a
+	// point-set operation, so flatten first.
+	return f(a.Flatten(), b.Flatten())
+}
+
+// ExprNode aliases the language's expression type for callers that only
+// import plan.
+type ExprNode = callang.Expr
+
+// Evaluate prepares, compiles and executes a calendar expression over a
+// civil-date window.
+func Evaluate(env *Env, e ExprNode, from, to chronology.Civil) (*calendar.Calendar, error) {
+	p, err := CompileExpr(env, e, nil, from, to)
+	if err != nil {
+		return nil, err
+	}
+	return p.Exec(env, nil)
+}
+
+// EvaluateWindow is Evaluate with an explicit tick window at an explicit
+// granularity (no inference).
+func EvaluateWindow(env *Env, e ExprNode, gran chronology.Granularity, win interval.Interval) (*calendar.Calendar, error) {
+	prepped, _, err := Prepare(env, e, nil)
+	if err != nil {
+		return nil, err
+	}
+	p, err := Compile(env, prepped, nil, gran, win)
+	if err != nil {
+		return nil, err
+	}
+	return p.Exec(env, nil)
+}

@@ -1,0 +1,296 @@
+// Package datearith implements user-defined semantics for date arithmetic —
+// the paper's fourth motivation (§1): "the yield calculation on financial
+// bonds uses a calendar that has 30 days in every month for date arithmetic,
+// but 365 days in the year for the actual yield calculation. If date
+// functions supplied by commercial databases are used, results will be
+// incorrect because these date functions always assume the underlying
+// calendar as the gregorian calendar."
+//
+// A Convention is a day-count calendar; date functions take the convention
+// as an argument, and the package registers them as user-defined database
+// functions so queries can say days("30/360", a, b).
+package datearith
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"calsys/internal/chronology"
+)
+
+// Convention is a day-count calendar: how many days lie between two dates
+// and what fraction of a year they represent.
+type Convention interface {
+	// Name is the market name of the convention (e.g. "30/360").
+	Name() string
+	// Days returns the day count from a to b under the convention
+	// (negative when b precedes a).
+	Days(a, b chronology.Civil) int64
+	// YearFraction returns the fraction of a year from a to b.
+	YearFraction(a, b chronology.Civil) float64
+}
+
+// ActualActual counts real calendar days against real year lengths.
+type ActualActual struct{}
+
+// Name implements Convention.
+func (ActualActual) Name() string { return "actual/actual" }
+
+// Days implements Convention.
+func (ActualActual) Days(a, b chronology.Civil) int64 { return b.Rata() - a.Rata() }
+
+// YearFraction implements Convention: each calendar year's days are divided
+// by that year's true length.
+func (ActualActual) YearFraction(a, b chronology.Civil) float64 {
+	if b.Before(a) {
+		return -ActualActual{}.YearFraction(b, a)
+	}
+	if a.Year == b.Year {
+		return float64(b.Rata()-a.Rata()) / float64(chronology.DaysInYear(a.Year))
+	}
+	frac := float64(chronology.Civil{Year: a.Year + 1, Month: 1, Day: 1}.Rata()-a.Rata()) /
+		float64(chronology.DaysInYear(a.Year))
+	for y := a.Year + 1; y < b.Year; y++ {
+		frac += 1
+	}
+	frac += float64(b.Rata()-chronology.Civil{Year: b.Year, Month: 1, Day: 1}.Rata()) /
+		float64(chronology.DaysInYear(b.Year))
+	return frac
+}
+
+// Actual365 counts real days against a fixed 365-day year (the "actual/365
+// fixed" money-market basis).
+type Actual365 struct{}
+
+// Name implements Convention.
+func (Actual365) Name() string { return "actual/365" }
+
+// Days implements Convention.
+func (Actual365) Days(a, b chronology.Civil) int64 { return b.Rata() - a.Rata() }
+
+// YearFraction implements Convention.
+func (Actual365) YearFraction(a, b chronology.Civil) float64 {
+	return float64(b.Rata()-a.Rata()) / 365
+}
+
+// Actual360 counts real days against a 360-day year (money markets).
+type Actual360 struct{}
+
+// Name implements Convention.
+func (Actual360) Name() string { return "actual/360" }
+
+// Days implements Convention.
+func (Actual360) Days(a, b chronology.Civil) int64 { return b.Rata() - a.Rata() }
+
+// YearFraction implements Convention.
+func (Actual360) YearFraction(a, b chronology.Civil) float64 {
+	return float64(b.Rata()-a.Rata()) / 360
+}
+
+// Thirty360 is the US (NASD) 30/360 bond basis: every month is treated as 30
+// days — the paper's example of application-specific date semantics.
+type Thirty360 struct{}
+
+// Name implements Convention.
+func (Thirty360) Name() string { return "30/360" }
+
+// Days implements Convention.
+func (Thirty360) Days(a, b chronology.Civil) int64 {
+	d1, d2 := a.Day, b.Day
+	if d1 == 31 {
+		d1 = 30
+	}
+	if d2 == 31 && d1 == 30 {
+		d2 = 30
+	}
+	return int64((b.Year-a.Year)*360 + (b.Month-a.Month)*30 + (d2 - d1))
+}
+
+// YearFraction implements Convention.
+func (Thirty360) YearFraction(a, b chronology.Civil) float64 {
+	return float64(Thirty360{}.Days(a, b)) / 360
+}
+
+// Thirty360European is the European 30E/360 variant: both month-end days
+// truncate to 30 unconditionally.
+type Thirty360European struct{}
+
+// Name implements Convention.
+func (Thirty360European) Name() string { return "30E/360" }
+
+// Days implements Convention.
+func (Thirty360European) Days(a, b chronology.Civil) int64 {
+	d1, d2 := a.Day, b.Day
+	if d1 == 31 {
+		d1 = 30
+	}
+	if d2 == 31 {
+		d2 = 30
+	}
+	return int64((b.Year-a.Year)*360 + (b.Month-a.Month)*30 + (d2 - d1))
+}
+
+// YearFraction implements Convention.
+func (Thirty360European) YearFraction(a, b chronology.Civil) float64 {
+	return float64(Thirty360European{}.Days(a, b)) / 360
+}
+
+// Conventions lists every built-in convention.
+func Conventions() []Convention {
+	return []Convention{ActualActual{}, Actual365{}, Actual360{}, Thirty360{}, Thirty360European{}}
+}
+
+// ByName resolves a convention by its market name.
+func ByName(name string) (Convention, error) {
+	n := strings.ToLower(strings.TrimSpace(name))
+	for _, c := range Conventions() {
+		if strings.ToLower(c.Name()) == n {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("datearith: unknown day-count convention %q", name)
+}
+
+// AddMonths moves a date by n calendar months, clamping the day to the
+// target month's length (Jan 31 + 1 month = Feb 28).
+func AddMonths(d chronology.Civil, n int) chronology.Civil {
+	mi := (d.Year*12 + d.Month - 1) + n
+	y, m := mi/12, mi%12+1
+	if mi < 0 {
+		y = (mi - 11) / 12
+		m = mi - y*12 + 1
+	}
+	day := d.Day
+	if dim := chronology.DaysInMonth(y, m); day > dim {
+		day = dim
+	}
+	return chronology.Civil{Year: y, Month: m, Day: day}
+}
+
+// CouponSchedule returns the coupon dates of a bond from issue (exclusive)
+// to maturity (inclusive), every 12/frequency months, generated backwards
+// from maturity as markets do.
+func CouponSchedule(issue, maturity chronology.Civil, frequency int) ([]chronology.Civil, error) {
+	if frequency <= 0 || 12%frequency != 0 {
+		return nil, fmt.Errorf("datearith: coupon frequency %d must divide 12", frequency)
+	}
+	if !issue.Before(maturity) {
+		return nil, fmt.Errorf("datearith: issue %v must precede maturity %v", issue, maturity)
+	}
+	step := 12 / frequency
+	var rev []chronology.Civil
+	for d, k := maturity, 1; issue.Before(d); k++ {
+		rev = append(rev, d)
+		d = AddMonths(maturity, -k*step)
+	}
+	out := make([]chronology.Civil, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out, nil
+}
+
+// Bond is a plain fixed-coupon bond.
+type Bond struct {
+	Issue     chronology.Civil
+	Maturity  chronology.Civil
+	Coupon    float64 // annual coupon rate (0.08 = 8%)
+	Face      float64
+	Frequency int // coupons per year
+	Basis     Convention
+}
+
+// AccruedInterest returns the interest accrued from the last coupon date up
+// to settlement, under the bond's day-count basis — the calculation the
+// paper's 30/360 example is about.
+func (b Bond) AccruedInterest(settle chronology.Civil) (float64, error) {
+	sched, err := CouponSchedule(b.Issue, b.Maturity, b.Frequency)
+	if err != nil {
+		return 0, err
+	}
+	prev := b.Issue
+	var next chronology.Civil
+	found := false
+	for _, c := range sched {
+		if settle.Before(c) {
+			next = c
+			found = true
+			break
+		}
+		prev = c
+	}
+	if !found {
+		return 0, fmt.Errorf("datearith: settlement %v after maturity", settle)
+	}
+	period := b.Basis.Days(prev, next)
+	if period == 0 {
+		return 0, nil
+	}
+	accrued := b.Basis.Days(prev, settle)
+	return b.Face * b.Coupon / float64(b.Frequency) * float64(accrued) / float64(period), nil
+}
+
+// Price returns the dirty price of the bond at settlement for a given
+// annual yield (compounded at the coupon frequency), discounting each cash
+// flow by the basis year-fraction from settlement.
+func (b Bond) Price(settle chronology.Civil, yield float64) (float64, error) {
+	sched, err := CouponSchedule(b.Issue, b.Maturity, b.Frequency)
+	if err != nil {
+		return 0, err
+	}
+	if !settle.Before(b.Maturity) {
+		return 0, fmt.Errorf("datearith: settlement %v after maturity", settle)
+	}
+	coupon := b.Face * b.Coupon / float64(b.Frequency)
+	price := 0.0
+	for _, c := range sched {
+		if !settle.Before(c) {
+			continue
+		}
+		t := b.Basis.YearFraction(settle, c)
+		cash := coupon
+		if c == b.Maturity {
+			cash += b.Face
+		}
+		price += cash / math.Pow(1+yield/float64(b.Frequency), t*float64(b.Frequency))
+	}
+	return price, nil
+}
+
+// Yield solves Price(settle, y) = price by bisection; the answer depends on
+// the day-count convention, which is the paper's point.
+func (b Bond) Yield(settle chronology.Civil, price float64) (float64, error) {
+	if price <= 0 {
+		return 0, fmt.Errorf("datearith: price must be positive")
+	}
+	lo, hi := -0.99, 10.0
+	plo, err := b.Price(settle, lo)
+	if err != nil {
+		return 0, err
+	}
+	phi, err := b.Price(settle, hi)
+	if err != nil {
+		return 0, err
+	}
+	if (plo-price)*(phi-price) > 0 {
+		return 0, fmt.Errorf("datearith: price %v out of range [%v, %v]", price, phi, plo)
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		pm, err := b.Price(settle, mid)
+		if err != nil {
+			return 0, err
+		}
+		if math.Abs(pm-price) < 1e-10 {
+			return mid, nil
+		}
+		// Price decreases in yield.
+		if pm > price {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}

@@ -1,0 +1,258 @@
+package datearith
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"calsys/internal/chronology"
+	"calsys/internal/store"
+)
+
+func d(y, m, day int) chronology.Civil { return chronology.Civil{Year: y, Month: m, Day: day} }
+
+func TestThirty360(t *testing.T) {
+	c := Thirty360{}
+	cases := []struct {
+		a, b chronology.Civil
+		want int64
+	}{
+		{d(1993, 1, 1), d(1993, 2, 1), 30},   // every month has 30 days
+		{d(1993, 1, 1), d(1994, 1, 1), 360},  // a year has 360 days
+		{d(1993, 1, 15), d(1993, 3, 15), 60}, // two "months"
+		{d(1993, 1, 31), d(1993, 2, 28), 28}, // d1 31 -> 30, Feb 28 real
+		{d(1993, 1, 31), d(1993, 3, 31), 60}, // both ends truncate (US rule)
+		{d(1993, 1, 30), d(1993, 1, 31), 0},  // 31st after 30th counts zero
+		{d(1993, 2, 1), d(1993, 1, 1), -30},  // negative spans
+	}
+	for _, tc := range cases {
+		if got := c.Days(tc.a, tc.b); got != tc.want {
+			t.Errorf("30/360 days(%v,%v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+	if got := c.YearFraction(d(1993, 1, 1), d(1993, 7, 1)); got != 0.5 {
+		t.Errorf("half year = %v", got)
+	}
+}
+
+func TestThirty360EuropeanDiffers(t *testing.T) {
+	us, eu := Thirty360{}, Thirty360European{}
+	// d2=31 with d1 not 30/31: US keeps 31, European truncates to 30.
+	a, b := d(1993, 1, 15), d(1993, 1, 31)
+	if us.Days(a, b) != 16 {
+		t.Errorf("US days = %d, want 16", us.Days(a, b))
+	}
+	if eu.Days(a, b) != 15 {
+		t.Errorf("EU days = %d, want 15", eu.Days(a, b))
+	}
+}
+
+func TestActualConventions(t *testing.T) {
+	a, b := d(1993, 1, 1), d(1994, 1, 1) // 365 real days
+	if (ActualActual{}).Days(a, b) != 365 || (Actual365{}).Days(a, b) != 365 || (Actual360{}).Days(a, b) != 365 {
+		t.Error("actual day counts disagree with calendar")
+	}
+	if got := (ActualActual{}).YearFraction(a, b); got != 1.0 {
+		t.Errorf("actual/actual year = %v", got)
+	}
+	if got := (Actual365{}).YearFraction(a, b); got != 1.0 {
+		t.Errorf("actual/365 year = %v", got)
+	}
+	if got := (Actual360{}).YearFraction(a, b); math.Abs(got-365.0/360) > 1e-12 {
+		t.Errorf("actual/360 year = %v", got)
+	}
+	// A leap year under actual/actual is exactly 1.
+	if got := (ActualActual{}).YearFraction(d(1988, 1, 1), d(1989, 1, 1)); got != 1.0 {
+		t.Errorf("leap year fraction = %v", got)
+	}
+	// Cross-year span sums per-year fractions.
+	got := (ActualActual{}).YearFraction(d(1993, 7, 1), d(1995, 7, 1))
+	if math.Abs(got-2.0) > 1e-9 {
+		t.Errorf("two-year fraction = %v", got)
+	}
+	// Negative direction is antisymmetric.
+	if (ActualActual{}).YearFraction(b, a) != -1.0 {
+		t.Error("antisymmetry")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, c := range Conventions() {
+		got, err := ByName(c.Name())
+		if err != nil || got.Name() != c.Name() {
+			t.Errorf("ByName(%q): %v", c.Name(), err)
+		}
+	}
+	if _, err := ByName("13/370"); err == nil {
+		t.Error("unknown convention should fail")
+	}
+}
+
+func TestAddMonths(t *testing.T) {
+	cases := []struct {
+		in   chronology.Civil
+		n    int
+		want chronology.Civil
+	}{
+		{d(1993, 1, 15), 1, d(1993, 2, 15)},
+		{d(1993, 1, 31), 1, d(1993, 2, 28)}, // clamp
+		{d(1988, 1, 31), 1, d(1988, 2, 29)}, // leap clamp
+		{d(1993, 11, 30), 3, d(1994, 2, 28)},
+		{d(1993, 1, 15), -1, d(1992, 12, 15)},
+		{d(1993, 1, 15), -13, d(1991, 12, 15)},
+		{d(1993, 1, 15), 24, d(1995, 1, 15)},
+	}
+	for _, tc := range cases {
+		if got := AddMonths(tc.in, tc.n); got != tc.want {
+			t.Errorf("AddMonths(%v,%d) = %v, want %v", tc.in, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestAddMonthsRoundTripProperty(t *testing.T) {
+	f := func(y int16, mRaw, dRaw uint8, nRaw int8) bool {
+		m := int(mRaw)%12 + 1
+		day := int(dRaw)%28 + 1 // days <= 28 never clamp
+		n := int(nRaw)
+		base := chronology.Civil{Year: int(y), Month: m, Day: day}
+		return AddMonths(AddMonths(base, n), -n) == base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCouponSchedule(t *testing.T) {
+	sched, err := CouponSchedule(d(1993, 1, 15), d(1995, 1, 15), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []chronology.Civil{d(1993, 7, 15), d(1994, 1, 15), d(1994, 7, 15), d(1995, 1, 15)}
+	if len(sched) != len(want) {
+		t.Fatalf("schedule = %v", sched)
+	}
+	for i := range want {
+		if sched[i] != want[i] {
+			t.Errorf("coupon %d = %v, want %v", i, sched[i], want[i])
+		}
+	}
+	if _, err := CouponSchedule(d(1995, 1, 1), d(1993, 1, 1), 2); err == nil {
+		t.Error("reversed dates should fail")
+	}
+	if _, err := CouponSchedule(d(1993, 1, 1), d(1995, 1, 1), 5); err == nil {
+		t.Error("frequency 5 should fail")
+	}
+}
+
+func testBond(basis Convention) Bond {
+	return Bond{
+		Issue: d(1993, 1, 15), Maturity: d(1998, 1, 15),
+		Coupon: 0.08, Face: 100, Frequency: 2, Basis: basis,
+	}
+}
+
+// The paper's point: the same bond on the same date has different accrued
+// interest under 30/360 and actual/actual — using the wrong (Gregorian-only)
+// date functions gives incorrect results.
+func TestAccruedInterestDependsOnConvention(t *testing.T) {
+	settle := d(1993, 3, 1)
+	a30, err := testBond(Thirty360{}).AccruedInterest(settle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aAct, err := testBond(ActualActual{}).AccruedInterest(settle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30/360: 46 days of a 180-day period; actual: 45 of 181.
+	want30 := 100 * 0.04 * 46.0 / 180.0
+	wantAct := 100 * 0.04 * 45.0 / 181.0
+	if math.Abs(a30-want30) > 1e-12 {
+		t.Errorf("30/360 accrued = %v, want %v", a30, want30)
+	}
+	if math.Abs(aAct-wantAct) > 1e-12 {
+		t.Errorf("actual accrued = %v, want %v", aAct, wantAct)
+	}
+	if a30 == aAct {
+		t.Error("conventions must differ — that is the paper's motivation")
+	}
+}
+
+func TestPriceYieldRoundTrip(t *testing.T) {
+	for _, basis := range Conventions() {
+		b := testBond(basis)
+		settle := d(1993, 2, 1)
+		price, err := b.Price(settle, 0.07)
+		if err != nil {
+			t.Fatalf("%s: %v", basis.Name(), err)
+		}
+		if price < 50 || price > 200 {
+			t.Errorf("%s: implausible price %v", basis.Name(), price)
+		}
+		y, err := b.Yield(settle, price)
+		if err != nil {
+			t.Fatalf("%s: %v", basis.Name(), err)
+		}
+		if math.Abs(y-0.07) > 1e-7 {
+			t.Errorf("%s: yield round trip = %v", basis.Name(), y)
+		}
+	}
+}
+
+func TestPriceAtParIntuition(t *testing.T) {
+	// On a coupon date, a bond yielding its coupon trades near par.
+	b := testBond(Thirty360{})
+	price, err := b.Price(d(1993, 1, 15), 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(price-100) > 0.5 {
+		t.Errorf("par price = %v", price)
+	}
+}
+
+func TestBondErrors(t *testing.T) {
+	b := testBond(Thirty360{})
+	if _, err := b.AccruedInterest(d(1999, 1, 1)); err == nil {
+		t.Error("settlement after maturity should fail")
+	}
+	if _, err := b.Price(d(1999, 1, 1), 0.05); err == nil {
+		t.Error("price after maturity should fail")
+	}
+	if _, err := b.Yield(d(1993, 2, 1), -5); err == nil {
+		t.Error("negative price should fail")
+	}
+	if _, err := b.Yield(d(1993, 2, 1), 1e9); err == nil {
+		t.Error("absurd price should fail")
+	}
+}
+
+func TestRegisteredFunctions(t *testing.T) {
+	db := store.NewDB()
+	if err := Register(db); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.CallFunc("days", []store.Value{
+		store.NewText("30/360"), store.NewText("1993-01-01"), store.NewText("1994-01-01")})
+	if err != nil || v.I != 360 {
+		t.Errorf("days() = %v, %v", v, err)
+	}
+	v, err = db.CallFunc("yearfrac", []store.Value{
+		store.NewText("actual/365"), store.NewText("1993-01-01"), store.NewText("1994-01-01")})
+	if err != nil || v.F != 1.0 {
+		t.Errorf("yearfrac() = %v, %v", v, err)
+	}
+	v, err = db.CallFunc("addmonths", []store.Value{store.NewText("1993-01-31"), store.NewInt(1)})
+	if err != nil || v.D != d(1993, 2, 28) {
+		t.Errorf("addmonths() = %v, %v", v, err)
+	}
+	if _, err := db.CallFunc("days", []store.Value{store.NewText("nope"), store.NewText("1993-01-01"), store.NewText("1994-01-01")}); err == nil {
+		t.Error("unknown convention should fail")
+	}
+	if _, err := db.CallFunc("days", []store.Value{store.NewInt(1), store.NewText("1993-01-01"), store.NewText("1994-01-01")}); err == nil {
+		t.Error("non-text convention should fail")
+	}
+	if _, err := db.CallFunc("addmonths", []store.Value{store.NewText("1993-01-31"), store.NewText("x")}); err == nil {
+		t.Error("non-int month count should fail")
+	}
+}

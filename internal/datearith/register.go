@@ -1,0 +1,73 @@
+package datearith
+
+import (
+	"fmt"
+
+	"calsys/internal/store"
+)
+
+// Register declares the convention-parameterized date functions as
+// user-defined database functions, the extensible-database route the paper
+// proposes: queries can then say days("30/360", a, b) or
+// yearfrac("actual/365", a, b) with any registered convention.
+func Register(db *store.DB) error {
+	conv := func(v store.Value) (Convention, error) {
+		if v.T != store.TText {
+			return nil, fmt.Errorf("datearith: convention argument must be text")
+		}
+		return ByName(v.S)
+	}
+	dates := func(args []store.Value) (a, b store.Value, err error) {
+		a, err = args[1].CoerceTo(store.TDate)
+		if err != nil {
+			return
+		}
+		b, err = args[2].CoerceTo(store.TDate)
+		return
+	}
+	if err := db.RegisterFunc(store.UserFunc{
+		Name: "days", MinArgs: 3, MaxArgs: 3,
+		Fn: func(args []store.Value) (store.Value, error) {
+			c, err := conv(args[0])
+			if err != nil {
+				return store.Null, err
+			}
+			a, b, err := dates(args)
+			if err != nil {
+				return store.Null, err
+			}
+			return store.NewInt(c.Days(a.D, b.D)), nil
+		},
+	}); err != nil {
+		return err
+	}
+	if err := db.RegisterFunc(store.UserFunc{
+		Name: "yearfrac", MinArgs: 3, MaxArgs: 3,
+		Fn: func(args []store.Value) (store.Value, error) {
+			c, err := conv(args[0])
+			if err != nil {
+				return store.Null, err
+			}
+			a, b, err := dates(args)
+			if err != nil {
+				return store.Null, err
+			}
+			return store.NewFloat(c.YearFraction(a.D, b.D)), nil
+		},
+	}); err != nil {
+		return err
+	}
+	return db.RegisterFunc(store.UserFunc{
+		Name: "addmonths", MinArgs: 2, MaxArgs: 2,
+		Fn: func(args []store.Value) (store.Value, error) {
+			d, err := args[0].CoerceTo(store.TDate)
+			if err != nil {
+				return store.Null, err
+			}
+			if args[1].T != store.TInt {
+				return store.Null, fmt.Errorf("datearith: addmonths takes an integer month count")
+			}
+			return store.NewDate(AddMonths(d.D, int(args[1].I))), nil
+		},
+	})
+}

@@ -1,0 +1,138 @@
+package postquel
+
+import (
+	"calsys/internal/store"
+)
+
+// expr is a scalar expression evaluated per tuple.
+type expr interface{ exprNode() }
+
+// litExpr is a literal value.
+type litExpr struct{ v store.Value }
+
+// colExpr references a column, optionally qualified: price, stocks.price,
+// NEW.price, CURRENT.price.
+type colExpr struct {
+	qual string // "" when unqualified
+	name string
+}
+
+// binExpr applies a binary operator: = != < <= > >= + - * / and or.
+type binExpr struct {
+	op   string
+	l, r expr
+}
+
+// notExpr negates a boolean.
+type notExpr struct{ x expr }
+
+// callExpr invokes a builtin or user-defined function.
+type callExpr struct {
+	name string
+	args []expr
+}
+
+// calMemberExpr tests whether a date column falls inside a calendar
+// expression (the incal(col, "expr") builtin gets its own node so the
+// calendar is evaluated once per query, not per row).
+type calMemberExpr struct {
+	arg expr
+	src string // calendar expression source
+}
+
+func (*litExpr) exprNode()       {}
+func (*colExpr) exprNode()       {}
+func (*binExpr) exprNode()       {}
+func (*notExpr) exprNode()       {}
+func (*callExpr) exprNode()      {}
+func (*calMemberExpr) exprNode() {}
+
+// target is one retrieve target: an expression with an output name, or an
+// aggregate over an expression.
+type target struct {
+	name string
+	x    expr
+	agg  string // "", count, sum, avg, min, max
+}
+
+// assign is one col = expr pair in append/replace.
+type assign struct {
+	col string
+	x   expr
+}
+
+// stmt is a parsed Postquel statement.
+type stmt interface{ stmtNode() }
+
+type createTableStmt struct {
+	table string
+	cols  []store.Column
+}
+
+type createIndexStmt struct {
+	table string
+	col   string
+}
+
+type appendStmt struct {
+	table   string
+	assigns []assign
+}
+
+type retrieveStmt struct {
+	targets []target
+	table   string
+	onCal   string // calendar expression source ("" when absent)
+	onCol   string // date column the on-clause filters ("" = first date col)
+	where   expr   // nil when absent
+}
+
+type replaceStmt struct {
+	table   string
+	assigns []assign
+	where   expr
+}
+
+type deleteStmt struct {
+	table string
+	where expr
+}
+
+type defineCalendarStmt struct {
+	name   string
+	script string // derivation script source
+	gran   string // optional granularity name
+	points []int64
+	stored bool
+}
+
+type defineRuleStmt struct {
+	name     string
+	temporal bool
+	calExpr  string // temporal rules
+	event    string // event rules
+	table    string
+	where    expr
+	actions  []stmt // the do-block commands
+}
+
+type dropStmt struct {
+	kind string // "calendar" | "rule" | "table"
+	name string
+}
+
+type showStmt struct {
+	kind string // "calendar" | "rule" | "tables"
+	name string
+}
+
+func (*createTableStmt) stmtNode()    {}
+func (*createIndexStmt) stmtNode()    {}
+func (*appendStmt) stmtNode()         {}
+func (*retrieveStmt) stmtNode()       {}
+func (*replaceStmt) stmtNode()        {}
+func (*deleteStmt) stmtNode()         {}
+func (*defineCalendarStmt) stmtNode() {}
+func (*defineRuleStmt) stmtNode()     {}
+func (*dropStmt) stmtNode()           {}
+func (*showStmt) stmtNode()           {}

@@ -1,0 +1,138 @@
+// Package postquel implements a Postquel-flavored query language over the
+// store, with the paper's calendar extensions: calendar expressions in
+// retrieve ... on clauses, calendar membership predicates in where clauses,
+// and define statements for calendars and (temporal) rules. It is the
+// query-language face of the system, standing in for the POSTGRES Postquel
+// of the paper.
+package postquel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tName
+	tInt
+	tFloat
+	tString
+	tPunct // ( ) , = < > <= >= != + - * / .
+)
+
+type token struct {
+	kind tokKind
+	text string
+	i    int64
+	f    float64
+	off  int // byte offset in source (for raw slicing of calendar exprs)
+	end  int
+}
+
+type lexer struct {
+	src  string
+	toks []token
+}
+
+func lex(src string) (*lexer, error) {
+	lx := &lexer{src: src}
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && src[i+1] == '-': // comment to end of line
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case isNameStart(c):
+			j := i + 1
+			for j < n && isNamePart(src[j]) {
+				j++
+			}
+			lx.toks = append(lx.toks, token{kind: tName, text: src[i:j], off: i, end: j})
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			dots := 0
+			for j < n && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				if src[j] == '.' {
+					// A dot followed by a non-digit ends the number (column
+					// qualification never follows a number).
+					if j+1 >= n || src[j+1] < '0' || src[j+1] > '9' {
+						break
+					}
+					dots++
+				}
+				j++
+			}
+			text := src[i:j]
+			if dots > 1 {
+				return nil, fmt.Errorf("postquel: malformed number %q", text)
+			}
+			if dots == 1 {
+				f, err := strconv.ParseFloat(text, 64)
+				if err != nil {
+					return nil, fmt.Errorf("postquel: bad float %q", text)
+				}
+				lx.toks = append(lx.toks, token{kind: tFloat, text: text, f: f, off: i, end: j})
+			} else {
+				v, err := strconv.ParseInt(text, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("postquel: bad integer %q", text)
+				}
+				lx.toks = append(lx.toks, token{kind: tInt, text: text, i: v, off: i, end: j})
+			}
+			i = j
+		case c == '"' || c == '\'':
+			quote := c
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= n {
+					return nil, fmt.Errorf("postquel: unterminated string")
+				}
+				if src[j] == quote {
+					break
+				}
+				if src[j] == '\\' && j+1 < n {
+					j++
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			lx.toks = append(lx.toks, token{kind: tString, text: sb.String(), off: i, end: j + 1})
+			i = j + 1
+		case strings.IndexByte("(),=+-*/.", c) >= 0:
+			lx.toks = append(lx.toks, token{kind: tPunct, text: string(c), off: i, end: i + 1})
+			i++
+		case c == '<' || c == '>' || c == '!':
+			text := string(c)
+			j := i + 1
+			if j < n && src[j] == '=' {
+				text += "="
+				j++
+			}
+			if text == "!" {
+				return nil, fmt.Errorf("postquel: unexpected '!'")
+			}
+			lx.toks = append(lx.toks, token{kind: tPunct, text: text, off: i, end: j})
+			i = j
+		default:
+			return nil, fmt.Errorf("postquel: unexpected character %q", string(c))
+		}
+	}
+	lx.toks = append(lx.toks, token{kind: tEOF, off: n, end: n})
+	return lx, nil
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isNamePart(c byte) bool { return isNameStart(c) || (c >= '0' && c <= '9') }

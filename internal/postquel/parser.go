@@ -1,0 +1,802 @@
+package postquel
+
+import (
+	"fmt"
+	"strings"
+
+	"calsys/internal/store"
+)
+
+// parser is a recursive-descent parser over the token stream.
+//
+// Statement grammar (keywords case-insensitive):
+//
+//	create <table> (col type, ...)
+//	create index on <table> (col)
+//	append <table> (col = expr, ...)
+//	retrieve (targets) [from <table>] [on <calendar>] [using <col>] [where expr]
+//	replace <table> (col = expr, ...) [where expr]
+//	delete <table> [where expr]
+//	define calendar <name> as <calendar-or-script-string> [granularity g]
+//	define stored calendar <name> values (t1, t2, ...)
+//	define rule <name> on <event> to <table> [where expr] do ( commands )
+//	define temporal rule <name> on <calendar> do ( commands )
+//	drop calendar|rule|table <name>
+//	show calendars|rules|tables | show calendar <name> | show rule <name>
+//
+// A <calendar> is either a bare calendar name or a quoted calendar-language
+// expression ("[2]/DAYS:during:WEEKS").
+type parser struct {
+	toks []token
+	i    int
+}
+
+func parse(src string) ([]stmt, error) {
+	lx, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: lx.toks}
+	var out []stmt
+	for p.cur().kind != tEOF {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("postquel: empty input")
+	}
+	return out, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) isKw(kw string) bool {
+	t := p.cur()
+	return t.kind == tName && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) eatKw(kw string) bool {
+	if p.isKw(kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.eatKw(kw) {
+		return fmt.Errorf("postquel: expected %q, got %q", kw, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.cur()
+	if t.kind != tPunct || t.text != s {
+		return fmt.Errorf("postquel: expected %q, got %q", s, t.text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectName() (string, error) {
+	t := p.cur()
+	if t.kind != tName {
+		return "", fmt.Errorf("postquel: expected name, got %q", t.text)
+	}
+	p.next()
+	return t.text, nil
+}
+
+func (p *parser) parseStmt() (stmt, error) {
+	switch {
+	case p.eatKw("create"):
+		return p.parseCreate()
+	case p.eatKw("append"):
+		return p.parseAppend()
+	case p.eatKw("retrieve"):
+		return p.parseRetrieve()
+	case p.eatKw("replace"):
+		return p.parseReplace()
+	case p.eatKw("delete"):
+		return p.parseDelete()
+	case p.eatKw("define"):
+		return p.parseDefine()
+	case p.eatKw("drop"):
+		return p.parseDrop()
+	case p.eatKw("show"):
+		return p.parseShow()
+	}
+	return nil, fmt.Errorf("postquel: unknown statement starting with %q", p.cur().text)
+}
+
+func (p *parser) parseCreate() (stmt, error) {
+	if p.eatKw("index") {
+		if err := p.expectKw("on"); err != nil {
+			return nil, err
+		}
+		table, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		col, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return &createIndexStmt{table: table, col: col}, nil
+	}
+	table, err := p.expectName()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var cols []store.Column
+	for {
+		name, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		tname, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		typ, err := store.ParseType(tname)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, store.Column{Name: name, Type: typ})
+		if p.cur().kind == tPunct && p.cur().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return &createTableStmt{table: table, cols: cols}, nil
+}
+
+func (p *parser) parseAssigns() ([]assign, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var out []assign
+	for {
+		col, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, assign{col: col, x: x})
+		if p.cur().kind == tPunct && p.cur().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *parser) parseAppend() (stmt, error) {
+	table, err := p.expectName()
+	if err != nil {
+		return nil, err
+	}
+	assigns, err := p.parseAssigns()
+	if err != nil {
+		return nil, err
+	}
+	return &appendStmt{table: table, assigns: assigns}, nil
+}
+
+var aggNames = map[string]bool{"count": true, "sum": true, "avg": true, "min": true, "max": true}
+
+func (p *parser) parseRetrieve() (stmt, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	st := &retrieveStmt{}
+	for {
+		tgt := target{}
+		// Aggregate form: agg(expr).
+		if t := p.cur(); t.kind == tName && aggNames[strings.ToLower(t.text)] &&
+			p.toks[p.i+1].kind == tPunct && p.toks[p.i+1].text == "(" {
+			tgt.agg = strings.ToLower(p.next().text)
+			p.next() // (
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			tgt.x = x
+			tgt.name = tgt.agg
+		} else {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			tgt.x = x
+			tgt.name = exprName(x)
+		}
+		if p.eatKw("as") {
+			n, err := p.expectName()
+			if err != nil {
+				return nil, err
+			}
+			tgt.name = n
+		}
+		st.targets = append(st.targets, tgt)
+		if p.cur().kind == tPunct && p.cur().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	// Table: explicit from-clause or inferred from qualified targets.
+	if p.eatKw("from") {
+		t, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		st.table = t
+	} else {
+		st.table = inferTable(st.targets)
+	}
+	if p.eatKw("on") {
+		src, err := p.parseCalendarRef()
+		if err != nil {
+			return nil, err
+		}
+		st.onCal = src
+		if p.eatKw("using") {
+			c, err := p.expectName()
+			if err != nil {
+				return nil, err
+			}
+			st.onCol = c
+		}
+	}
+	if p.eatKw("where") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.where = w
+	}
+	if st.table == "" {
+		return nil, fmt.Errorf("postquel: retrieve cannot determine the target table; qualify a column or add from")
+	}
+	return st, nil
+}
+
+// parseCalendarRef accepts a bare calendar name or a quoted calendar
+// expression.
+func (p *parser) parseCalendarRef() (string, error) {
+	t := p.cur()
+	switch t.kind {
+	case tString:
+		p.next()
+		return t.text, nil
+	case tName:
+		p.next()
+		return t.text, nil
+	}
+	return "", fmt.Errorf("postquel: expected calendar name or quoted expression, got %q", t.text)
+}
+
+func exprName(x expr) string {
+	switch n := x.(type) {
+	case *colExpr:
+		return n.name
+	case *callExpr:
+		return n.name
+	}
+	return "expr"
+}
+
+func inferTable(targets []target) string {
+	for _, t := range targets {
+		if name := findQual(t.x); name != "" {
+			return name
+		}
+	}
+	return ""
+}
+
+func findQual(x expr) string {
+	switch n := x.(type) {
+	case *colExpr:
+		if n.qual != "" && !strings.EqualFold(n.qual, "NEW") && !strings.EqualFold(n.qual, "CURRENT") {
+			return n.qual
+		}
+	case *binExpr:
+		if q := findQual(n.l); q != "" {
+			return q
+		}
+		return findQual(n.r)
+	case *notExpr:
+		return findQual(n.x)
+	case *callExpr:
+		for _, a := range n.args {
+			if q := findQual(a); q != "" {
+				return q
+			}
+		}
+	case *calMemberExpr:
+		return findQual(n.arg)
+	}
+	return ""
+}
+
+func (p *parser) parseReplace() (stmt, error) {
+	table, err := p.expectName()
+	if err != nil {
+		return nil, err
+	}
+	assigns, err := p.parseAssigns()
+	if err != nil {
+		return nil, err
+	}
+	st := &replaceStmt{table: table, assigns: assigns}
+	if p.eatKw("where") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.where = w
+	}
+	return st, nil
+}
+
+func (p *parser) parseDelete() (stmt, error) {
+	table, err := p.expectName()
+	if err != nil {
+		return nil, err
+	}
+	st := &deleteStmt{table: table}
+	if p.eatKw("where") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.where = w
+	}
+	return st, nil
+}
+
+func (p *parser) parseDefine() (stmt, error) {
+	switch {
+	case p.eatKw("calendar"):
+		name, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("as"); err != nil {
+			return nil, err
+		}
+		t := p.cur()
+		if t.kind != tString {
+			return nil, fmt.Errorf("postquel: define calendar needs a quoted derivation script")
+		}
+		p.next()
+		st := &defineCalendarStmt{name: name, script: t.text}
+		if p.eatKw("granularity") {
+			g, err := p.expectName()
+			if err != nil {
+				return nil, err
+			}
+			st.gran = g
+		}
+		return st, nil
+	case p.eatKw("stored"):
+		if err := p.expectKw("calendar"); err != nil {
+			return nil, err
+		}
+		name, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("values"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		st := &defineCalendarStmt{name: name, stored: true}
+		for {
+			neg := false
+			if p.cur().kind == tPunct && p.cur().text == "-" {
+				neg = true
+				p.next()
+			}
+			t := p.cur()
+			if t.kind != tInt {
+				return nil, fmt.Errorf("postquel: stored calendar values must be integer ticks")
+			}
+			p.next()
+			v := t.i
+			if neg {
+				v = -v
+			}
+			st.points = append(st.points, v)
+			if p.cur().kind == tPunct && p.cur().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if p.eatKw("granularity") {
+			g, err := p.expectName()
+			if err != nil {
+				return nil, err
+			}
+			st.gran = g
+		}
+		return st, nil
+	case p.eatKw("temporal"):
+		if err := p.expectKw("rule"); err != nil {
+			return nil, err
+		}
+		name, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("on"); err != nil {
+			return nil, err
+		}
+		calSrc, err := p.parseCalendarRef()
+		if err != nil {
+			return nil, err
+		}
+		actions, err := p.parseDoBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &defineRuleStmt{name: name, temporal: true, calExpr: calSrc, actions: actions}, nil
+	case p.eatKw("rule"):
+		name, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("on"); err != nil {
+			return nil, err
+		}
+		event, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("to"); err != nil {
+			return nil, err
+		}
+		table, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		st := &defineRuleStmt{name: name, event: event, table: table}
+		if p.eatKw("where") {
+			w, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.where = w
+		}
+		actions, err := p.parseDoBlock()
+		if err != nil {
+			return nil, err
+		}
+		st.actions = actions
+		return st, nil
+	}
+	return nil, fmt.Errorf("postquel: expected calendar, stored, rule or temporal after define")
+}
+
+// parseDoBlock parses do ( commands ), where commands are full statements.
+func (p *parser) parseDoBlock() ([]stmt, error) {
+	if err := p.expectKw("do"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var out []stmt
+	for {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+		if p.cur().kind == tPunct && p.cur().text == ")" {
+			p.next()
+			return out, nil
+		}
+	}
+}
+
+func (p *parser) parseDrop() (stmt, error) {
+	kind := strings.ToLower(p.cur().text)
+	if kind != "calendar" && kind != "rule" && kind != "table" {
+		return nil, fmt.Errorf("postquel: drop expects calendar, rule or table")
+	}
+	p.next()
+	name, err := p.expectName()
+	if err != nil {
+		return nil, err
+	}
+	return &dropStmt{kind: kind, name: name}, nil
+}
+
+func (p *parser) parseShow() (stmt, error) {
+	switch {
+	case p.eatKw("calendars"):
+		return &showStmt{kind: "calendars"}, nil
+	case p.eatKw("rules"):
+		return &showStmt{kind: "rules"}, nil
+	case p.eatKw("tables"):
+		return &showStmt{kind: "tables"}, nil
+	case p.eatKw("calendar"):
+		name, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		return &showStmt{kind: "calendar", name: name}, nil
+	case p.eatKw("rule"):
+		name, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		return &showStmt{kind: "rule", name: name}, nil
+	}
+	return nil, fmt.Errorf("postquel: show expects calendars, rules, tables, calendar <n> or rule <n>")
+}
+
+// --- expressions ------------------------------------------------------
+
+// Precedence: or < and < not < comparison < additive < multiplicative.
+func (p *parser) parseExpr() (expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.eatKw("or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &binExpr{op: "or", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.eatKw("and") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &binExpr{op: "and", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (expr, error) {
+	if p.eatKw("not") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &notExpr{x: x}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind == tPunct {
+		switch t.text {
+		case "=", "!=", "<", "<=", ">", ">=":
+			p.next()
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &binExpr{op: t.text, l: l, r: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind == tPunct && (t.text == "+" || t.text == "-") {
+			p.next()
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &binExpr{op: t.text, l: l, r: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseMul() (expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind == tPunct && (t.text == "*" || t.text == "/") {
+			p.next()
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &binExpr{op: t.text, l: l, r: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	t := p.cur()
+	if t.kind == tPunct && t.text == "-" {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &binExpr{op: "-", l: &litExpr{v: store.NewInt(0)}, r: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tInt:
+		p.next()
+		return &litExpr{v: store.NewInt(t.i)}, nil
+	case tFloat:
+		p.next()
+		return &litExpr{v: store.NewFloat(t.f)}, nil
+	case tString:
+		p.next()
+		return &litExpr{v: store.NewText(t.text)}, nil
+	case tName:
+		switch strings.ToLower(t.text) {
+		case "true":
+			p.next()
+			return &litExpr{v: store.NewBool(true)}, nil
+		case "false":
+			p.next()
+			return &litExpr{v: store.NewBool(false)}, nil
+		case "null":
+			p.next()
+			return &litExpr{v: store.Null}, nil
+		}
+		name := p.next().text
+		// Function call.
+		if p.cur().kind == tPunct && p.cur().text == "(" {
+			p.next()
+			if strings.EqualFold(name, "incal") {
+				return p.parseInCal()
+			}
+			var args []expr
+			if !(p.cur().kind == tPunct && p.cur().text == ")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.cur().kind == tPunct && p.cur().text == "," {
+						p.next()
+						continue
+					}
+					break
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return &callExpr{name: name, args: args}, nil
+		}
+		// Qualified column.
+		if p.cur().kind == tPunct && p.cur().text == "." {
+			p.next()
+			col, err := p.expectName()
+			if err != nil {
+				return nil, err
+			}
+			return &colExpr{qual: name, name: col}, nil
+		}
+		return &colExpr{name: name}, nil
+	case tPunct:
+		if t.text == "(" {
+			p.next()
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return x, nil
+		}
+	}
+	return nil, fmt.Errorf("postquel: unexpected %q in expression", t.text)
+}
+
+// parseInCal parses incal(<expr>, <calendar>) after the opening paren.
+func (p *parser) parseInCal() (expr, error) {
+	arg, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return nil, err
+	}
+	src, err := p.parseCalendarRef()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return &calMemberExpr{arg: arg, src: src}, nil
+}

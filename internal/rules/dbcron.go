@@ -1,0 +1,158 @@
+package rules
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// DBCron is the daemon of Figure 4, modeled on the UNIX cron utility: every
+// T time units it probes RULE-TIME for the temporal rules triggering within
+// the next T units, holds them in an in-memory min-heap, and fires each at
+// its trigger instant.
+//
+// DBCron is deliberately step-driven: AdvanceTo(now) performs every probe
+// and firing due up to `now`, so tests and benchmarks run years of rule
+// activity deterministically under a virtual clock. Run wraps the same
+// stepping in a goroutine for wall-clock operation (cmd/dbcrond).
+type DBCron struct {
+	eng *Engine
+	// T is the probe period in seconds.
+	T int64
+
+	mu        sync.Mutex
+	pending   firingHeap
+	scheduled map[string]bool // rules already in the heap this window
+	nextProbe int64
+	fired     int64 // lifetime firing count
+	lateSum   int64 // total firing lateness (for monitoring)
+}
+
+// NewDBCron creates a daemon over the engine with probe period T seconds,
+// anchored so the first probe happens at startAt.
+func NewDBCron(eng *Engine, T int64, startAt int64) (*DBCron, error) {
+	if T <= 0 {
+		return nil, fmt.Errorf("rules: probe period must be positive")
+	}
+	return &DBCron{eng: eng, T: T, scheduled: map[string]bool{}, nextProbe: startAt}, nil
+}
+
+// firingHeap is a min-heap of upcoming firings ordered by time.
+type firingHeap []Firing
+
+func (h firingHeap) Len() int           { return len(h) }
+func (h firingHeap) Less(i, j int) bool { return h[i].At < h[j].At }
+func (h firingHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *firingHeap) Push(x any)        { *h = append(*h, x.(Firing)) }
+func (h *firingHeap) Pop() any          { old := *h; n := len(old); f := old[n-1]; *h = old[:n-1]; return f }
+
+// probe loads the rules due within the next T seconds into the heap.
+func (c *DBCron) probe(now int64) error {
+	due, err := c.eng.DueWithin(now, c.T)
+	if err != nil {
+		return err
+	}
+	for _, f := range due {
+		if c.scheduled[f.Rule] {
+			continue
+		}
+		c.scheduled[f.Rule] = true
+		heap.Push(&c.pending, f)
+	}
+	c.nextProbe = now + c.T
+	return nil
+}
+
+// AdvanceTo processes all probes and firings due at or before `now`, in
+// timestamp order, and returns the firings executed. A rule that fails stops
+// processing and surfaces the error (remaining work resumes on the next
+// call).
+func (c *DBCron) AdvanceTo(now int64) ([]Firing, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var fired []Firing
+	for {
+		// Next event is either a probe or the earliest pending firing.
+		nextAt := c.nextProbe
+		isFiring := false
+		if len(c.pending) > 0 && c.pending[0].At <= nextAt {
+			nextAt = c.pending[0].At
+			isFiring = true
+		}
+		if nextAt > now {
+			return fired, nil
+		}
+		if isFiring {
+			f := heap.Pop(&c.pending).(Firing)
+			delete(c.scheduled, f.Rule)
+			if err := c.eng.fire(f.Rule, f.At); err != nil {
+				return fired, err
+			}
+			c.fired++
+			c.lateSum += now - f.At
+			fired = append(fired, f)
+			// If the rule re-armed inside the current probe window, schedule
+			// it now — the next probe would otherwise scan past it.
+			if next := c.eng.nextOf(f.Rule); next <= c.nextProbe && !c.scheduled[f.Rule] {
+				c.scheduled[f.Rule] = true
+				heap.Push(&c.pending, Firing{Rule: f.Rule, At: next})
+			}
+			continue
+		}
+		if err := c.probe(nextAt); err != nil {
+			return fired, err
+		}
+	}
+}
+
+// NextWakeup returns the next instant the daemon must act (probe or firing).
+func (c *DBCron) NextWakeup() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	next := c.nextProbe
+	if len(c.pending) > 0 && c.pending[0].At < next {
+		next = c.pending[0].At
+	}
+	return next
+}
+
+// Stats reports lifetime firing count and cumulative lateness seconds.
+func (c *DBCron) Stats() (fired int64, lateSum int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fired, c.lateSum
+}
+
+// Run drives the daemon against a real (or virtual) clock until stop is
+// closed, sleeping between wakeups. Errors are delivered to errs (dropped
+// when full) and processing continues with the next event.
+func (c *DBCron) Run(clock Clock, stop <-chan struct{}, errs chan<- error) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		now := clock.Now()
+		if _, err := c.AdvanceTo(now); err != nil && errs != nil {
+			select {
+			case errs <- err:
+			default:
+			}
+		}
+		wake := c.NextWakeup()
+		sleep := wake - clock.Now()
+		if sleep < 1 {
+			sleep = 1
+		}
+		if sleep > c.T {
+			sleep = c.T
+		}
+		select {
+		case <-stop:
+			return
+		case <-time.After(time.Duration(sleep) * time.Second):
+		}
+	}
+}

@@ -1,0 +1,496 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"calsys/internal/caldb"
+	"calsys/internal/chronology"
+	"calsys/internal/core/callang"
+	"calsys/internal/core/plan"
+	"calsys/internal/store"
+)
+
+// Catalog table names (Figure 4).
+const (
+	RuleInfoTable = "RULE_INFO"
+	RuleTimeTable = "RULE_TIME"
+)
+
+// Action is what a rule does when it triggers. The Postquel package supplies
+// an implementation that runs query-language commands; tests and examples
+// use Go callbacks.
+type Action interface {
+	// Execute runs the action inside the firing transaction. ev is non-nil
+	// for event rules; firedAt is the trigger instant (epoch seconds) for
+	// temporal rules.
+	Execute(tx *store.Txn, ev *store.Event, firedAt int64) error
+	// Describe renders the action for the RULE-INFO catalog.
+	Describe() string
+}
+
+// FuncAction wraps a Go callback as an Action (the paper's "do Proc_X").
+type FuncAction struct {
+	Name string
+	Fn   func(tx *store.Txn, ev *store.Event, firedAt int64) error
+}
+
+// Execute implements Action.
+func (a FuncAction) Execute(tx *store.Txn, ev *store.Event, firedAt int64) error {
+	return a.Fn(tx, ev, firedAt)
+}
+
+// Describe implements Action.
+func (a FuncAction) Describe() string { return a.Name }
+
+// Condition guards an event rule (the where clause); nil means always.
+type Condition func(tx *store.Txn, ev store.Event) (bool, error)
+
+// temporalRule is the in-memory form of one temporal rule.
+type temporalRule struct {
+	name   string
+	src    string
+	expr   callang.Expr
+	action Action
+	// prepped is the inlined+factorized expression with its inferred
+	// granularity, cached at definition so each firing only recompiles the
+	// window-dependent plan (derivation changes after definition are picked
+	// up lazily on the next DefineTemporalRule of the same name).
+	prepped callang.Expr
+	gran    chronology.Granularity
+	// next trigger in epoch seconds; noTrigger when dormant.
+	next int64
+}
+
+// eventRule is the in-memory form of one event rule.
+type eventRule struct {
+	name   string
+	op     store.EventOp
+	table  string
+	cond   Condition
+	action Action
+}
+
+// noTrigger marks a dormant temporal rule (no upcoming instant in the
+// lookahead horizon).
+const noTrigger = int64(1) << 62
+
+// Engine owns both rule catalogs and dispatches event rules; DBCron drives
+// its temporal rules.
+type Engine struct {
+	cal *caldb.Manager
+	db  *store.DB
+
+	// LookaheadDays bounds how far ahead next-trigger computation searches
+	// (default 730 days).
+	LookaheadDays int64
+
+	mu       sync.Mutex
+	temporal map[string]*temporalRule
+	events   map[string]*eventRule
+	// orphans are rule names found in RULE-INFO at startup (e.g. after a
+	// snapshot restore) whose actions — which are code — have not been
+	// re-attached yet. Redefining an orphaned rule replaces its catalog
+	// rows instead of failing as a duplicate.
+	orphans map[string]bool
+}
+
+// NewEngine creates the rule catalogs and registers the event dispatcher.
+func NewEngine(cal *caldb.Manager) (*Engine, error) {
+	e := &Engine{
+		cal:           cal,
+		db:            cal.DB(),
+		LookaheadDays: 730,
+		temporal:      map[string]*temporalRule{},
+		events:        map[string]*eventRule{},
+		orphans:       map[string]bool{},
+	}
+	if _, ok := e.db.Table(RuleInfoTable); !ok {
+		schema, err := store.NewSchema(
+			store.Column{Name: "name", Type: store.TText},
+			store.Column{Name: "kind", Type: store.TText}, // temporal | event
+			store.Column{Name: "event", Type: store.TText},
+			store.Column{Name: "tab", Type: store.TText},
+			store.Column{Name: "calendar_expr", Type: store.TText},
+			store.Column{Name: "eval_plan", Type: store.TText},
+			store.Column{Name: "action", Type: store.TText},
+		)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.db.CreateTable(RuleInfoTable, schema); err != nil {
+			return nil, err
+		}
+		if err := e.db.CreateIndex(RuleInfoTable, "name"); err != nil {
+			return nil, err
+		}
+	}
+	if _, ok := e.db.Table(RuleTimeTable); !ok {
+		schema, err := store.NewSchema(
+			store.Column{Name: "name", Type: store.TText},
+			store.Column{Name: "next_trigger", Type: store.TInt}, // epoch seconds
+		)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.db.CreateTable(RuleTimeTable, schema); err != nil {
+			return nil, err
+		}
+		if err := e.db.CreateIndex(RuleTimeTable, "next_trigger"); err != nil {
+			return nil, err
+		}
+	}
+	// Rules restored from a snapshot have catalog rows but no attached
+	// actions (actions are code); record them so redefinition reattaches.
+	if tab, ok := e.db.Table(RuleInfoTable); ok {
+		tab.Scan(func(_ int64, row store.Row) bool {
+			e.orphans[strings.ToLower(row[0].S)] = true
+			return true
+		})
+	}
+	e.db.AddListener(e.dispatch)
+	return e, nil
+}
+
+// Orphans lists rules present in RULE-INFO whose actions must be reattached
+// by redefining them (after a snapshot restore).
+func (e *Engine) Orphans() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.orphans))
+	for name := range e.orphans {
+		out = append(out, name)
+	}
+	return out
+}
+
+// reattachIfOrphan clears the stale catalog rows of an orphaned rule so a
+// fresh definition can replace them. It reports whether name was orphaned.
+func (e *Engine) reattachIfOrphan(name string) (bool, error) {
+	key := strings.ToLower(name)
+	e.mu.Lock()
+	orphan := e.orphans[key]
+	if orphan {
+		delete(e.orphans, key)
+	}
+	e.mu.Unlock()
+	if !orphan {
+		return false, nil
+	}
+	err := e.db.RunTxn(func(tx *store.Txn) error {
+		for _, table := range []string{RuleInfoTable, RuleTimeTable} {
+			tab, _ := e.db.Table(table)
+			rids, err := tab.LookupEq("name", store.NewText(name))
+			if err != nil {
+				return err
+			}
+			for _, rid := range rids {
+				if err := tx.Delete(table, rid); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	return true, err
+}
+
+// Cal exposes the calendar catalog.
+func (e *Engine) Cal() *caldb.Manager { return e.cal }
+
+// DefineTemporalRule declares a rule "On <calendar expression> do <action>".
+// The expression is parsed, its plan stored in RULE-INFO, and the rule's
+// first trigger strictly after `now` recorded in RULE-TIME.
+func (e *Engine) DefineTemporalRule(name, calExpr string, action Action, now int64) error {
+	if strings.TrimSpace(name) == "" {
+		return fmt.Errorf("rules: empty rule name")
+	}
+	if action == nil {
+		return fmt.Errorf("rules: rule %q needs an action", name)
+	}
+	e.mu.Lock()
+	_, dupT := e.temporal[strings.ToLower(name)]
+	_, dupE := e.events[strings.ToLower(name)]
+	e.mu.Unlock()
+	if dupT || dupE {
+		return fmt.Errorf("rules: rule %q already defined", name)
+	}
+	if _, err := e.reattachIfOrphan(name); err != nil {
+		return err
+	}
+	expr, err := callang.ParseExpr(calExpr)
+	if err != nil {
+		return err
+	}
+	r := &temporalRule{name: name, src: calExpr, expr: expr, action: action}
+	next, planText, err := e.nextTrigger(r, now)
+	if err != nil {
+		return err
+	}
+	r.next = next
+
+	if err := e.db.RunTxn(func(tx *store.Txn) error {
+		if _, err := tx.Append(RuleInfoTable, store.Row{
+			store.NewText(name), store.NewText("temporal"), store.NewText(""), store.NewText(""),
+			store.NewText(calExpr), store.NewText(planText), store.NewText(action.Describe()),
+		}); err != nil {
+			return err
+		}
+		_, err := tx.Append(RuleTimeTable, store.Row{store.NewText(name), store.NewInt(next)})
+		return err
+	}); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.temporal[strings.ToLower(name)] = r
+	e.mu.Unlock()
+	return nil
+}
+
+// DefineEventRule declares "On <event> to <table> [where cond] do <action>".
+func (e *Engine) DefineEventRule(name string, op store.EventOp, table string, cond Condition, action Action) error {
+	if strings.TrimSpace(name) == "" {
+		return fmt.Errorf("rules: empty rule name")
+	}
+	if action == nil {
+		return fmt.Errorf("rules: rule %q needs an action", name)
+	}
+	if _, ok := e.db.Table(table); !ok {
+		return fmt.Errorf("rules: no table %q", table)
+	}
+	e.mu.Lock()
+	_, dupT := e.temporal[strings.ToLower(name)]
+	_, dupE := e.events[strings.ToLower(name)]
+	e.mu.Unlock()
+	if dupT || dupE {
+		return fmt.Errorf("rules: rule %q already defined", name)
+	}
+	if _, err := e.reattachIfOrphan(name); err != nil {
+		return err
+	}
+	if err := e.db.RunTxn(func(tx *store.Txn) error {
+		_, err := tx.Append(RuleInfoTable, store.Row{
+			store.NewText(name), store.NewText("event"), store.NewText(op.String()), store.NewText(table),
+			store.NewText(""), store.NewText(""), store.NewText(action.Describe()),
+		})
+		return err
+	}); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.events[strings.ToLower(name)] = &eventRule{name: name, op: op, table: table, cond: cond, action: action}
+	e.mu.Unlock()
+	return nil
+}
+
+// DropRule removes a rule of either kind.
+func (e *Engine) DropRule(name string) error {
+	key := strings.ToLower(name)
+	e.mu.Lock()
+	_, isT := e.temporal[key]
+	_, isE := e.events[key]
+	delete(e.temporal, key)
+	delete(e.events, key)
+	e.mu.Unlock()
+	if !isT && !isE {
+		return fmt.Errorf("rules: no rule %q", name)
+	}
+	return e.db.RunTxn(func(tx *store.Txn) error {
+		for _, table := range []string{RuleInfoTable, RuleTimeTable} {
+			tab, _ := e.db.Table(table)
+			rids, err := tab.LookupEq("name", store.NewText(name))
+			if err != nil {
+				return err
+			}
+			for _, rid := range rids {
+				if err := tx.Delete(table, rid); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// RuleNames lists rules of both kinds.
+func (e *Engine) RuleNames() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []string
+	for _, r := range e.temporal {
+		out = append(out, r.name)
+	}
+	for _, r := range e.events {
+		out = append(out, r.name)
+	}
+	return out
+}
+
+// dispatch is the store listener delivering events to event rules.
+func (e *Engine) dispatch(tx *store.Txn, ev store.Event) error {
+	// Never dispatch on the rule catalogs themselves.
+	if ev.Table == RuleInfoTable || ev.Table == RuleTimeTable {
+		return nil
+	}
+	e.mu.Lock()
+	matching := make([]*eventRule, 0, 2)
+	for _, r := range e.events {
+		if r.op == ev.Op && strings.EqualFold(r.table, ev.Table) {
+			matching = append(matching, r)
+		}
+	}
+	e.mu.Unlock()
+	for _, r := range matching {
+		if r.cond != nil {
+			ok, err := r.cond(tx, ev)
+			if err != nil {
+				return fmt.Errorf("rules: rule %s condition: %w", r.name, err)
+			}
+			if !ok {
+				continue
+			}
+		}
+		if err := r.action.Execute(tx, &ev, 0); err != nil {
+			return fmt.Errorf("rules: rule %s action: %w", r.name, err)
+		}
+	}
+	return nil
+}
+
+// nextTrigger evaluates a temporal rule's calendar expression over the
+// lookahead horizon and returns the first trigger instant strictly after
+// now, plus the compiled plan's rendering for RULE-INFO.
+func (e *Engine) nextTrigger(r *temporalRule, now int64) (int64, string, error) {
+	ch := e.cal.Chron()
+	env := e.cal.Env()
+	fromDay := ch.TickAt(chronology.Day, now)
+	from := ch.CivilOfDayTick(fromDay)
+	to := from.AddDays(e.LookaheadDays)
+
+	if r.prepped == nil {
+		prepped, gran, err := plan.Prepare(env, r.expr, nil)
+		if err != nil {
+			return 0, "", err
+		}
+		r.prepped, r.gran = prepped, gran
+	}
+	prepped, gran := r.prepped, r.gran
+	win, err := plan.CivilWindow(ch, gran, from, to)
+	if err != nil {
+		return 0, "", err
+	}
+	p, err := plan.Compile(env, prepped, nil, gran, win)
+	if err != nil {
+		return 0, "", err
+	}
+	cal, err := p.Exec(env, nil)
+	if err != nil {
+		return 0, "", err
+	}
+	next := int64(noTrigger)
+	for _, iv := range cal.Flatten().Intervals() {
+		at := ch.UnitStart(gran, iv.Lo)
+		if at > now && at < next {
+			next = at
+		}
+	}
+	return next, p.String(), nil
+}
+
+// updateRuleTime persists a rule's recomputed next trigger.
+func (e *Engine) updateRuleTime(name string, next int64) error {
+	tab, _ := e.db.Table(RuleTimeTable)
+	rids, err := tab.LookupEq("name", store.NewText(name))
+	if err != nil || len(rids) == 0 {
+		return fmt.Errorf("rules: RULE_TIME row for %q missing", name)
+	}
+	return e.db.RunTxn(func(tx *store.Txn) error {
+		return tx.Replace(RuleTimeTable, rids[0], store.Row{store.NewText(name), store.NewInt(next)})
+	})
+}
+
+// DueWithin returns the temporal rules with next trigger at or before
+// now+T from RULE-TIME — DBCRON's probe. Overdue rules (trigger <= now) are
+// included so a busy or restarted daemon never loses a firing.
+func (e *Engine) DueWithin(now, T int64) ([]Firing, error) {
+	tab, ok := e.db.Table(RuleTimeTable)
+	if !ok {
+		return nil, fmt.Errorf("rules: RULE_TIME missing")
+	}
+	hi := store.NewInt(now + T)
+	rids, err := tab.LookupRange("next_trigger", nil, &hi)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Firing, 0, len(rids))
+	for _, rid := range rids {
+		row, ok := tab.Get(rid)
+		if !ok {
+			continue
+		}
+		out = append(out, Firing{Rule: row[0].S, At: row[1].I})
+	}
+	return out, nil
+}
+
+// Firing is one scheduled rule activation.
+type Firing struct {
+	Rule string
+	At   int64 // epoch seconds
+}
+
+// fire executes a temporal rule's action and recomputes its next trigger.
+func (e *Engine) fire(name string, at int64) error {
+	e.mu.Lock()
+	r, ok := e.temporal[strings.ToLower(name)]
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("rules: temporal rule %q disappeared", name)
+	}
+	if err := e.db.RunTxn(func(tx *store.Txn) error {
+		return r.action.Execute(tx, nil, at)
+	}); err != nil {
+		return fmt.Errorf("rules: rule %s action: %w", name, err)
+	}
+	next, _, err := e.nextTrigger(r, at)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	r.next = next
+	e.mu.Unlock()
+	return e.updateRuleTime(name, next)
+}
+
+// nextOf reports a temporal rule's cached next trigger (noTrigger when
+// dormant or unknown).
+func (e *Engine) nextOf(name string) int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if r, ok := e.temporal[strings.ToLower(name)]; ok {
+		return r.next
+	}
+	return noTrigger
+}
+
+// RuleInfoRow renders a rule's RULE-INFO tuple.
+func (e *Engine) RuleInfoRow(name string) (string, error) {
+	tab, _ := e.db.Table(RuleInfoTable)
+	rids, err := tab.LookupEq("name", store.NewText(name))
+	if err != nil || len(rids) == 0 {
+		return "", fmt.Errorf("rules: no rule %q", name)
+	}
+	row, _ := tab.Get(rids[0])
+	var b strings.Builder
+	fmt.Fprintf(&b, "Name     | %s\n", row[0].S)
+	fmt.Fprintf(&b, "Kind     | %s\n", row[1].S)
+	if row[1].S == "event" {
+		fmt.Fprintf(&b, "Event    | %s on %s\n", row[2].S, row[3].S)
+	} else {
+		fmt.Fprintf(&b, "Calendar | %s\n", row[4].S)
+		fmt.Fprintf(&b, "Plan     | %s\n", strings.ReplaceAll(row[5].S, "\n", " ; "))
+	}
+	fmt.Fprintf(&b, "Action   | %s\n", row[6].S)
+	return b.String(), nil
+}

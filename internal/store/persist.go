@@ -1,0 +1,316 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"calsys/internal/chronology"
+	"calsys/internal/core/calendar"
+	"calsys/internal/core/interval"
+)
+
+// Snapshot format: a line-oriented, typed text dump of all tables, schemas,
+// indexes and rows. Values are URL-style %-escaped so embedded separators
+// and newlines round-trip. The format is versioned; Load rejects unknown
+// versions.
+//
+//	calsysdb 1
+//	table <name> <ncols>
+//	col <name> <type>
+//	index <column>
+//	row <v1> <v2> ...          (one field per column: <type>:<escaped>)
+//	end
+//
+// User-defined functions and event listeners are code, not data, and are
+// re-registered by the application after Load.
+
+const snapshotMagic = "calsysdb 1"
+
+// Save writes a snapshot of every table to w. It runs as a reader holding
+// the transaction lock, so the snapshot is consistent.
+func (db *DB) Save(w io.Writer) error {
+	db.txnMu.Lock()
+	defer db.txnMu.Unlock()
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, snapshotMagic)
+	for _, name := range db.TableNames() {
+		t, _ := db.Table(name)
+		fmt.Fprintf(bw, "table %s %d\n", escape(t.Name), len(t.Schema.Cols))
+		for _, c := range t.Schema.Cols {
+			fmt.Fprintf(bw, "col %s %s\n", escape(c.Name), c.Type)
+		}
+		for col := range t.indexes {
+			fmt.Fprintf(bw, "index %s\n", escape(col))
+		}
+		var rowErr error
+		t.Scan(func(_ int64, row Row) bool {
+			bw.WriteString("row")
+			for _, v := range row {
+				field, err := encodeValue(v)
+				if err != nil {
+					rowErr = err
+					return false
+				}
+				bw.WriteByte(' ')
+				bw.WriteString(field)
+			}
+			bw.WriteByte('\n')
+			return true
+		})
+		if rowErr != nil {
+			return rowErr
+		}
+		fmt.Fprintln(bw, "end")
+	}
+	return bw.Flush()
+}
+
+// Load replaces the database's tables with a snapshot previously written by
+// Save. The database must be empty of tables.
+func (db *DB) Load(r io.Reader) error {
+	if len(db.TableNames()) != 0 {
+		return fmt.Errorf("store: Load requires an empty database")
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	if !sc.Scan() || sc.Text() != snapshotMagic {
+		return fmt.Errorf("store: not a calsys snapshot (bad magic)")
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if fields[0] != "table" || len(fields) != 3 {
+			return fmt.Errorf("store: expected table header, got %q", line)
+		}
+		name, err := unescape(fields[1])
+		if err != nil {
+			return err
+		}
+		ncols, err := strconv.Atoi(fields[2])
+		if err != nil || ncols <= 0 {
+			return fmt.Errorf("store: bad column count in %q", line)
+		}
+		if err := db.loadTable(sc, name, ncols); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+func (db *DB) loadTable(sc *bufio.Scanner, name string, ncols int) error {
+	var cols []Column
+	var indexCols []string
+	var rows []Row
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "end":
+			schema, err := NewSchema(cols...)
+			if err != nil {
+				return err
+			}
+			if len(schema.Cols) != ncols {
+				return fmt.Errorf("store: table %s has %d cols, header said %d", name, len(schema.Cols), ncols)
+			}
+			if err := db.CreateTable(name, schema); err != nil {
+				return err
+			}
+			if err := db.RunTxn(func(tx *Txn) error {
+				for _, row := range rows {
+					if _, err := tx.Append(name, row); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			for _, col := range indexCols {
+				if err := db.CreateIndex(name, col); err != nil {
+					return err
+				}
+			}
+			return nil
+		case strings.HasPrefix(line, "col "):
+			fields := strings.Fields(line)
+			if len(fields) != 3 {
+				return fmt.Errorf("store: bad col line %q", line)
+			}
+			cname, err := unescape(fields[1])
+			if err != nil {
+				return err
+			}
+			typ, err := ParseType(fields[2])
+			if err != nil {
+				return err
+			}
+			cols = append(cols, Column{Name: cname, Type: typ})
+		case strings.HasPrefix(line, "index "):
+			col, err := unescape(strings.TrimPrefix(line, "index "))
+			if err != nil {
+				return err
+			}
+			indexCols = append(indexCols, col)
+		case strings.HasPrefix(line, "row"):
+			fields := strings.Fields(line)[1:]
+			if len(fields) != ncols {
+				return fmt.Errorf("store: row has %d fields, want %d: %q", len(fields), ncols, line)
+			}
+			row := make(Row, ncols)
+			for i, f := range fields {
+				v, err := decodeValue(f)
+				if err != nil {
+					return fmt.Errorf("store: %w in row %q", err, line)
+				}
+				row[i] = v
+			}
+			rows = append(rows, row)
+		default:
+			return fmt.Errorf("store: unexpected line %q in table %s", line, name)
+		}
+	}
+	return fmt.Errorf("store: table %s not terminated", name)
+}
+
+// encodeValue renders a value as <type>:<escaped payload>.
+func encodeValue(v Value) (string, error) {
+	switch v.T {
+	case TNull:
+		return "null:", nil
+	case TInt:
+		return "int:" + strconv.FormatInt(v.I, 10), nil
+	case TFloat:
+		return "float:" + strconv.FormatFloat(v.F, 'g', -1, 64), nil
+	case TText:
+		return "text:" + escape(v.S), nil
+	case TBool:
+		return "bool:" + strconv.FormatBool(v.B), nil
+	case TDate:
+		return "date:" + v.D.String(), nil
+	case TInterval:
+		return fmt.Sprintf("interval:%d,%d", v.Iv.Lo, v.Iv.Hi), nil
+	case TCalendar:
+		if v.Cal == nil {
+			return "calendar:", nil
+		}
+		return fmt.Sprintf("calendar:%s%s", v.Cal.Granularity(), escape(v.Cal.String())), nil
+	}
+	return "", fmt.Errorf("store: cannot encode type %v", v.T)
+}
+
+func decodeValue(field string) (Value, error) {
+	kind, payload, ok := strings.Cut(field, ":")
+	if !ok {
+		return Null, fmt.Errorf("malformed field %q", field)
+	}
+	switch kind {
+	case "null":
+		return Null, nil
+	case "int":
+		n, err := strconv.ParseInt(payload, 10, 64)
+		if err != nil {
+			return Null, err
+		}
+		return NewInt(n), nil
+	case "float":
+		f, err := strconv.ParseFloat(payload, 64)
+		if err != nil {
+			return Null, err
+		}
+		return NewFloat(f), nil
+	case "text":
+		s, err := unescape(payload)
+		if err != nil {
+			return Null, err
+		}
+		return NewText(s), nil
+	case "bool":
+		return NewBool(payload == "true"), nil
+	case "date":
+		d, err := chronology.ParseCivil(payload)
+		if err != nil {
+			return Null, err
+		}
+		return NewDate(d), nil
+	case "interval":
+		lo, hi, ok := strings.Cut(payload, ",")
+		if !ok {
+			return Null, fmt.Errorf("malformed interval %q", payload)
+		}
+		l, err1 := strconv.ParseInt(lo, 10, 64)
+		h, err2 := strconv.ParseInt(hi, 10, 64)
+		if err1 != nil || err2 != nil {
+			return Null, fmt.Errorf("malformed interval %q", payload)
+		}
+		iv, err := interval.New(l, h)
+		if err != nil {
+			return Null, err
+		}
+		return NewInterval(iv), nil
+	case "calendar":
+		if payload == "" {
+			return Value{T: TCalendar}, nil
+		}
+		// The payload is GRANNAME{...} with the braces escaped.
+		cut := strings.Index(payload, "%7B") // '{'
+		if cut < 0 {
+			return Null, fmt.Errorf("malformed calendar %q", payload)
+		}
+		g, err := chronology.ParseGranularity(payload[:cut])
+		if err != nil {
+			return Null, err
+		}
+		body, err := unescape(payload[cut:])
+		if err != nil {
+			return Null, err
+		}
+		cal, err := calendar.Parse(g, body)
+		if err != nil {
+			return Null, err
+		}
+		return NewCalendar(cal), nil
+	}
+	return Null, fmt.Errorf("unknown field type %q", kind)
+}
+
+// escape percent-encodes spaces, percent signs, braces and control bytes so
+// fields stay whitespace-free single tokens.
+func escape(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c <= ' ' || c == '%' || c == '{' || c == '}' || c == 0x7f {
+			fmt.Fprintf(&b, "%%%02X", c)
+			continue
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+func unescape(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '%' {
+			b.WriteByte(c)
+			continue
+		}
+		if i+2 >= len(s) {
+			return "", fmt.Errorf("store: truncated escape in %q", s)
+		}
+		n, err := strconv.ParseUint(s[i+1:i+3], 16, 8)
+		if err != nil {
+			return "", fmt.Errorf("store: bad escape in %q", s)
+		}
+		b.WriteByte(byte(n))
+		i += 2
+	}
+	return b.String(), nil
+}

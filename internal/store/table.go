@@ -1,0 +1,251 @@
+package store
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Cols []Column
+}
+
+// NewSchema builds a schema, rejecting duplicate or empty column names.
+func NewSchema(cols ...Column) (Schema, error) {
+	seen := map[string]bool{}
+	for _, c := range cols {
+		name := strings.ToLower(c.Name)
+		if name == "" {
+			return Schema{}, fmt.Errorf("store: empty column name")
+		}
+		if seen[name] {
+			return Schema{}, fmt.Errorf("store: duplicate column %q", c.Name)
+		}
+		if c.Type == TNull {
+			return Schema{}, fmt.Errorf("store: column %q needs a concrete type", c.Name)
+		}
+		seen[name] = true
+	}
+	return Schema{Cols: cols}, nil
+}
+
+// ColIndex returns the position of a column (case-insensitive), or -1.
+func (s Schema) ColIndex(name string) int {
+	for i, c := range s.Cols {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Row is one tuple; its length and types match the table schema.
+type Row []Value
+
+// Clone copies a row (values are immutable, so a shallow copy suffices).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Table is a heap relation: rows indexed by a stable row id, with optional
+// B-tree secondary indexes. All mutation goes through a Txn.
+type Table struct {
+	Name    string
+	Schema  Schema
+	rows    []Row // nil entries are deleted (tombstones); row id = slice index
+	live    int
+	indexes map[string]*BTree // lower-case column name -> index
+}
+
+func newTable(name string, schema Schema) *Table {
+	return &Table{Name: name, Schema: schema, indexes: map[string]*BTree{}}
+}
+
+// Len returns the number of live rows.
+func (t *Table) Len() int { return t.live }
+
+// Get returns the row with the given id.
+func (t *Table) Get(rid int64) (Row, bool) {
+	if rid < 0 || rid >= int64(len(t.rows)) || t.rows[rid] == nil {
+		return nil, false
+	}
+	return t.rows[rid], true
+}
+
+// Scan visits live rows in insertion order; the visitor returns false to
+// stop.
+func (t *Table) Scan(visit func(rid int64, row Row) bool) {
+	for rid, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		if !visit(int64(rid), row) {
+			return
+		}
+	}
+}
+
+// HasIndex reports whether column col is indexed.
+func (t *Table) HasIndex(col string) bool {
+	_, ok := t.indexes[strings.ToLower(col)]
+	return ok
+}
+
+// LookupEq returns the ids of rows whose column equals val, via the column's
+// index when present, else a scan.
+func (t *Table) LookupEq(col string, val Value) ([]int64, error) {
+	ci := t.Schema.ColIndex(col)
+	if ci < 0 {
+		return nil, fmt.Errorf("store: table %s has no column %q", t.Name, col)
+	}
+	if idx, ok := t.indexes[strings.ToLower(col)]; ok {
+		rids := idx.Lookup(val)
+		out := make([]int64, len(rids))
+		copy(out, rids)
+		return out, nil
+	}
+	var out []int64
+	t.Scan(func(rid int64, row Row) bool {
+		if Equal(row[ci], val) {
+			out = append(out, rid)
+		}
+		return true
+	})
+	return out, nil
+}
+
+// LookupRange returns ids of rows with lo <= col <= hi (nil bounds open),
+// using the index when available.
+func (t *Table) LookupRange(col string, lo, hi *Value) ([]int64, error) {
+	ci := t.Schema.ColIndex(col)
+	if ci < 0 {
+		return nil, fmt.Errorf("store: table %s has no column %q", t.Name, col)
+	}
+	if idx, ok := t.indexes[strings.ToLower(col)]; ok {
+		var out []int64
+		idx.Ascend(lo, hi, func(_ Value, rids []int64) bool {
+			out = append(out, rids...)
+			return true
+		})
+		return out, nil
+	}
+	var out []int64
+	var scanErr error
+	t.Scan(func(rid int64, row Row) bool {
+		v := row[ci]
+		if lo != nil {
+			c, err := Compare(v, *lo)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if c < 0 {
+				return true
+			}
+		}
+		if hi != nil {
+			c, err := Compare(v, *hi)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if c > 0 {
+				return true
+			}
+		}
+		out = append(out, rid)
+		return true
+	})
+	return out, scanErr
+}
+
+// validateRow coerces a row to the table schema.
+func (t *Table) validateRow(row Row) (Row, error) {
+	if len(row) != len(t.Schema.Cols) {
+		return nil, fmt.Errorf("store: table %s expects %d values, got %d", t.Name, len(t.Schema.Cols), len(row))
+	}
+	out := make(Row, len(row))
+	for i, v := range row {
+		cv, err := v.CoerceTo(t.Schema.Cols[i].Type)
+		if err != nil {
+			return nil, fmt.Errorf("store: column %s: %w", t.Schema.Cols[i].Name, err)
+		}
+		out[i] = cv
+	}
+	return out, nil
+}
+
+func (t *Table) indexInsert(rid int64, row Row) error {
+	for col, idx := range t.indexes {
+		ci := t.Schema.ColIndex(col)
+		if err := idx.Insert(row[ci], rid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Table) indexDelete(rid int64, row Row) {
+	for col, idx := range t.indexes {
+		ci := t.Schema.ColIndex(col)
+		idx.Delete(row[ci], rid)
+	}
+}
+
+// insertRaw appends a validated row (txn internal).
+func (t *Table) insertRaw(row Row) (int64, error) {
+	rid := int64(len(t.rows))
+	if err := t.indexInsert(rid, row); err != nil {
+		return 0, err
+	}
+	t.rows = append(t.rows, row)
+	t.live++
+	return rid, nil
+}
+
+// deleteRaw tombstones a row (txn internal).
+func (t *Table) deleteRaw(rid int64) (Row, error) {
+	row, ok := t.Get(rid)
+	if !ok {
+		return nil, fmt.Errorf("store: table %s has no row %d", t.Name, rid)
+	}
+	t.indexDelete(rid, row)
+	t.rows[rid] = nil
+	t.live--
+	return row, nil
+}
+
+// restoreRaw resurrects a row at its old id (rollback internal).
+func (t *Table) restoreRaw(rid int64, row Row) {
+	for int64(len(t.rows)) <= rid {
+		t.rows = append(t.rows, nil)
+	}
+	if t.rows[rid] == nil {
+		t.live++
+	}
+	t.rows[rid] = row
+	_ = t.indexInsert(rid, row)
+}
+
+// updateRaw replaces a row in place (txn internal).
+func (t *Table) updateRaw(rid int64, row Row) (Row, error) {
+	old, ok := t.Get(rid)
+	if !ok {
+		return nil, fmt.Errorf("store: table %s has no row %d", t.Name, rid)
+	}
+	t.indexDelete(rid, old)
+	if err := t.indexInsert(rid, row); err != nil {
+		_ = t.indexInsert(rid, old)
+		return nil, err
+	}
+	t.rows[rid] = row
+	return old, nil
+}

@@ -1,0 +1,226 @@
+// Package store implements the extensible-database substrate that plays the
+// role POSTGRES plays in the paper: typed heap tables with B-tree indexes, a
+// catalog, undo-logged transactions, and — the extensibility hooks the
+// calendar system needs — user-defined types (calendar, interval, date) and
+// a registry of user-defined functions and operators usable from queries.
+package store
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"calsys/internal/chronology"
+	"calsys/internal/core/calendar"
+	"calsys/internal/core/interval"
+)
+
+// Type identifies a column type. Calendar, Interval and Date are the
+// "complex data types" of the paper's §1: they are first-class column types
+// with registered operators.
+type Type int
+
+// Column types.
+const (
+	TNull Type = iota
+	TInt
+	TFloat
+	TText
+	TBool
+	TDate     // a civil date
+	TInterval // a tick interval
+	TCalendar // a calendar ADT value
+)
+
+var typeNames = [...]string{
+	TNull: "null", TInt: "int", TFloat: "float", TText: "text",
+	TBool: "bool", TDate: "date", TInterval: "interval", TCalendar: "calendar",
+}
+
+// String names the type.
+func (t Type) String() string {
+	if t < 0 || int(t) >= len(typeNames) {
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+	return typeNames[t]
+}
+
+// ParseType resolves a type name.
+func ParseType(s string) (Type, error) {
+	for i, n := range typeNames {
+		if n == strings.ToLower(strings.TrimSpace(s)) && i != int(TNull) {
+			return Type(i), nil
+		}
+	}
+	return 0, fmt.Errorf("store: unknown type %q", s)
+}
+
+// Value is a dynamically typed cell value.
+type Value struct {
+	T   Type
+	I   int64
+	F   float64
+	S   string
+	B   bool
+	D   chronology.Civil
+	Iv  interval.Interval
+	Cal *calendar.Calendar
+}
+
+// Null is the SQL-ish null value.
+var Null = Value{T: TNull}
+
+// NewInt builds an int value.
+func NewInt(v int64) Value { return Value{T: TInt, I: v} }
+
+// NewFloat builds a float value.
+func NewFloat(v float64) Value { return Value{T: TFloat, F: v} }
+
+// NewText builds a text value.
+func NewText(v string) Value { return Value{T: TText, S: v} }
+
+// NewBool builds a bool value.
+func NewBool(v bool) Value { return Value{T: TBool, B: v} }
+
+// NewDate builds a date value.
+func NewDate(v chronology.Civil) Value { return Value{T: TDate, D: v} }
+
+// NewInterval builds an interval value.
+func NewInterval(v interval.Interval) Value { return Value{T: TInterval, Iv: v} }
+
+// NewCalendar builds a calendar value.
+func NewCalendar(v *calendar.Calendar) Value { return Value{T: TCalendar, Cal: v} }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.T == TNull }
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.T {
+	case TNull:
+		return "null"
+	case TInt:
+		return strconv.FormatInt(v.I, 10)
+	case TFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case TText:
+		return v.S
+	case TBool:
+		return strconv.FormatBool(v.B)
+	case TDate:
+		return v.D.String()
+	case TInterval:
+		return v.Iv.String()
+	case TCalendar:
+		if v.Cal == nil {
+			return "{}"
+		}
+		return v.Cal.String()
+	}
+	return fmt.Sprintf("?%d", int(v.T))
+}
+
+// Compare orders two values of the same type: -1, 0 or 1. Null sorts before
+// everything; comparing incompatible types is an error. Calendars are not
+// ordered.
+func Compare(a, b Value) (int, error) {
+	if a.T == TNull || b.T == TNull {
+		switch {
+		case a.T == TNull && b.T == TNull:
+			return 0, nil
+		case a.T == TNull:
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	}
+	// Int and float compare numerically with each other.
+	if (a.T == TInt || a.T == TFloat) && (b.T == TInt || b.T == TFloat) {
+		af, bf := a.asFloat(), b.asFloat()
+		if a.T == TInt && b.T == TInt {
+			return cmpInt(a.I, b.I), nil
+		}
+		switch {
+		case af < bf:
+			return -1, nil
+		case af > bf:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	if a.T != b.T {
+		return 0, fmt.Errorf("store: cannot compare %v with %v", a.T, b.T)
+	}
+	switch a.T {
+	case TText:
+		return strings.Compare(a.S, b.S), nil
+	case TBool:
+		x, y := 0, 0
+		if a.B {
+			x = 1
+		}
+		if b.B {
+			y = 1
+		}
+		return cmpInt(int64(x), int64(y)), nil
+	case TDate:
+		return cmpInt(a.D.Rata(), b.D.Rata()), nil
+	case TInterval:
+		if c := cmpInt(a.Iv.Lo, b.Iv.Lo); c != 0 {
+			return c, nil
+		}
+		return cmpInt(a.Iv.Hi, b.Iv.Hi), nil
+	}
+	return 0, fmt.Errorf("store: type %v is not ordered", a.T)
+}
+
+func (v Value) asFloat() float64 {
+	if v.T == TInt {
+		return float64(v.I)
+	}
+	return v.F
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports value equality; unlike Compare it also handles calendars
+// (structural equality).
+func Equal(a, b Value) bool {
+	if a.T == TCalendar || b.T == TCalendar {
+		if a.T != b.T {
+			return false
+		}
+		return a.Cal.Equal(b.Cal)
+	}
+	c, err := Compare(a, b)
+	return err == nil && c == 0
+}
+
+// CoerceTo converts a value to a column type where a lossless conversion
+// exists (int→float, text→date).
+func (v Value) CoerceTo(t Type) (Value, error) {
+	if v.T == t || v.T == TNull {
+		return v, nil
+	}
+	switch {
+	case v.T == TInt && t == TFloat:
+		return NewFloat(float64(v.I)), nil
+	case v.T == TText && t == TDate:
+		d, err := chronology.ParseCivil(v.S)
+		if err != nil {
+			return Null, err
+		}
+		return NewDate(d), nil
+	}
+	return Null, fmt.Errorf("store: cannot coerce %v to %v", v.T, t)
+}

@@ -1,0 +1,101 @@
+package calsys
+
+import (
+	"strings"
+	"testing"
+)
+
+// Snapshot round trip through the public API: tables, the CALENDARS catalog
+// and rule catalogs all survive; rule actions are orphaned until redefined.
+func TestSnapshotRoundTripSystem(t *testing.T) {
+	clock := NewVirtualClock(0)
+	sys := MustOpen(WithClock(clock))
+	clock.Set(sys.SecondsOf(MustDate(1993, 1, 1)))
+
+	if _, err := sys.Exec(`create stocks (sym text, day date, price float)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Exec(`append stocks (sym = "IBM", day = "1993-01-05", price = 50.0)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.DefineCalendar("Tuesdays", "[2]/DAYS:during:WEEKS", GranAuto); err != nil {
+		t.Fatal(err)
+	}
+	hol, err := PointCalendar(Day, 2223)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.DefineStoredCalendar("HOLIDAYS", hol); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.OnCalendar("tue", "Tuesdays", func(tx *Txn, at int64) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf strings.Builder
+	if err := sys.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	clock2 := NewVirtualClock(0)
+	restored, err := OpenSnapshot(strings.NewReader(buf.String()), WithClock(clock2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock2.Set(restored.SecondsOf(MustDate(1993, 1, 1)))
+
+	// Data survives.
+	res, err := restored.ExecOne(`retrieve (stocks.price) where stocks.sym = "IBM"`)
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].F != 50 {
+		t.Fatalf("restored query: %v, %v", res.Rows, err)
+	}
+	// Calendars survive, both derived and stored.
+	cal, err := restored.EvalCalendar("Tuesdays", MustDate(1993, 1, 1), MustDate(1993, 1, 31))
+	if err != nil || cal.Flatten().Len() != 5 {
+		t.Fatalf("restored Tuesdays: %v, %v", cal, err)
+	}
+	stored, ok := restored.CalendarEntryOf("HOLIDAYS")
+	if !ok || stored.Values == nil || stored.Values.String() != "{(2223,2223)}" {
+		t.Fatalf("restored HOLIDAYS: %+v", stored)
+	}
+	// The rule is orphaned: present in RULE-INFO, action detached.
+	orphans := restored.OrphanedRules()
+	if len(orphans) != 1 || orphans[0] != "tue" {
+		t.Fatalf("orphans = %v", orphans)
+	}
+	// Reattaching by redefinition works and the rule fires again.
+	fired := 0
+	if err := restored.OnCalendar("tue", "Tuesdays", func(tx *Txn, at int64) error {
+		fired++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(restored.OrphanedRules()) != 0 {
+		t.Error("orphan not cleared after reattachment")
+	}
+	cron, err := restored.StartDBCron(SecondsPerDay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if _, err := cron.AdvanceTo(clock2.Advance(SecondsPerDay)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fired != 1 {
+		t.Errorf("reattached rule fired %d times in a week, want 1", fired)
+	}
+	// Exactly one catalog row for the rule (reattachment replaced, not
+	// duplicated).
+	info, err := restored.ExecOne(`show rules`)
+	if err != nil || len(info.Rows) != 1 {
+		t.Errorf("rules after reattach = %v, %v", info.Rows, err)
+	}
+}
+
+func TestOpenSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := OpenSnapshot(strings.NewReader("not a snapshot")); err == nil {
+		t.Error("garbage snapshot should fail")
+	}
+}
