@@ -1,0 +1,34 @@
+# Mirrors .github/workflows/ci.yml: `make check` runs exactly what CI runs.
+
+GO ?= go
+
+.PHONY: check build vet fmt-check test race bench-smoke bench
+
+check: build vet fmt-check test race bench-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; \
+		echo "$$out" >&2; \
+		exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/store/... ./internal/rules/... ./internal/core/plan/...
+
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x ./... | tee bench-smoke.txt
+
+# Full benchmark run (not part of check; takes a while).
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -5,6 +5,7 @@ import (
 	"calsys/internal/chronology"
 	"calsys/internal/core/calendar"
 	"calsys/internal/core/interval"
+	"calsys/internal/core/matcache"
 	"calsys/internal/core/plan"
 	"calsys/internal/datearith"
 	"calsys/internal/postquel"
@@ -49,6 +50,8 @@ type (
 	CalendarEntry = caldb.Entry
 	// Lifespan is a calendar's validity range in day ticks.
 	Lifespan = caldb.Lifespan
+	// MatCacheStats snapshots the shared materialization cache's counters.
+	MatCacheStats = matcache.Stats
 
 	// DB is the extensible database substrate.
 	DB = store.DB

@@ -126,6 +126,10 @@ func (s *System) Now() int64 { return s.clock.Now() }
 // Today returns the current civil date under the system clock.
 func (s *System) Today() Civil { return s.chron.CivilOf(s.clock.Now()) }
 
+// MatStats snapshots the shared materialization cache's counters
+// (hits/misses/evictions/bytes; process-wide, aggregated across catalogs).
+func (s *System) MatStats() MatCacheStats { return s.cal.MatStats() }
+
 // --- queries ------------------------------------------------------------
 
 // Exec runs a batch of Postquel statements.

@@ -11,11 +11,13 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"calsys/internal/chronology"
 	"calsys/internal/core/calendar"
 	"calsys/internal/core/callang"
 	"calsys/internal/core/interval"
+	"calsys/internal/core/matcache"
 	"calsys/internal/core/plan"
 	"calsys/internal/store"
 )
@@ -57,7 +59,10 @@ type Entry struct {
 	Lifespan   Lifespan
 	Gran       chronology.Granularity
 	Values     *calendar.Calendar // nil for derived calendars
-	script     *callang.Script
+	// Version is the catalog generation this entry was last written at;
+	// materializations computed against an older generation are stale.
+	Version uint64
+	script  *callang.Script
 }
 
 // Manager owns the CALENDARS table and resolves calendar names for the
@@ -66,9 +71,24 @@ type Manager struct {
 	db    *store.DB
 	chron *chronology.Chronology
 
+	// mat is the shared cross-evaluation materialization cache; scope
+	// namespaces this manager's entries in it. gen is the catalog
+	// generation, bumped on every Define/Replace/Drop so stale
+	// materializations stop being addressable.
+	mat   *matcache.Cache
+	scope string
+	gen   atomic.Uint64
+
 	mu    sync.RWMutex
 	cache map[string]*Entry // lower-case name -> decoded entry
+	// volatile memoizes VolatileOf per generation (volGen is the generation
+	// the memo was computed at).
+	volatile map[string]bool
+	volGen   uint64
 }
+
+// scopeCounter distinguishes managers sharing the process-wide cache.
+var scopeCounter atomic.Uint64
 
 // New creates (if necessary) the CALENDARS table and returns a Manager.
 func New(db *store.DB, chron *chronology.Chronology) (*Manager, error) {
@@ -91,12 +111,25 @@ func New(db *store.DB, chron *chronology.Chronology) (*Manager, error) {
 			return nil, err
 		}
 	}
-	m := &Manager{db: db, chron: chron, cache: map[string]*Entry{}}
+	m := &Manager{
+		db: db, chron: chron, cache: map[string]*Entry{},
+		mat:   matcache.Shared(),
+		scope: fmt.Sprintf("caldb%d|%v", scopeCounter.Add(1), chron.Epoch()),
+	}
+	m.gen.Store(1)
 	if err := m.reload(); err != nil {
 		return nil, err
 	}
 	return m, nil
 }
+
+// CatalogGeneration implements plan.VersionedCatalog: a counter bumped on
+// every Define/Replace/Drop. Shared materializations of catalog-dependent
+// calendars are keyed by it, so any catalog mutation invalidates them.
+func (m *Manager) CatalogGeneration() uint64 { return m.gen.Load() }
+
+// bump advances the catalog generation and returns the new value.
+func (m *Manager) bump() uint64 { return m.gen.Add(1) }
 
 // DB exposes the underlying database.
 func (m *Manager) DB() *store.DB { return m.db }
@@ -104,11 +137,15 @@ func (m *Manager) DB() *store.DB { return m.db }
 // Chron exposes the chronology.
 func (m *Manager) Chron() *chronology.Chronology { return m.chron }
 
-// Env returns a fresh evaluation environment bound to this catalog. Callers
-// set Now/Wait as needed.
+// Env returns a fresh evaluation environment bound to this catalog and the
+// shared materialization cache. Callers set Now/Wait as needed.
 func (m *Manager) Env() *plan.Env {
-	return &plan.Env{Chron: m.chron, Cat: m}
+	return &plan.Env{Chron: m.chron, Cat: m, Mat: m.mat, MatScope: m.scope}
 }
+
+// MatStats snapshots the shared materialization cache's counters (the cache
+// is process-wide; the counters aggregate across catalogs).
+func (m *Manager) MatStats() matcache.Stats { return m.mat.Stats() }
 
 // reload rebuilds the cache from the table (startup, or after external
 // writes).
@@ -130,6 +167,10 @@ func (m *Manager) reload() error {
 	})
 	if decodeErr != nil {
 		return decodeErr
+	}
+	gen := m.bump()
+	for _, e := range cache {
+		e.Version = gen
 	}
 	m.mu.Lock()
 	m.cache = cache
@@ -257,10 +298,12 @@ func (m *Manager) ReplaceStored(name string, values *calendar.Calendar) error {
 	}); err != nil {
 		return err
 	}
+	gen := m.bump()
 	m.mu.Lock()
 	upd := *e
 	upd.Values = values
 	upd.Gran = values.Granularity()
+	upd.Version = gen
 	m.cache[strings.ToLower(name)] = &upd
 	m.mu.Unlock()
 	return nil
@@ -278,6 +321,7 @@ func (m *Manager) Drop(name string) error {
 	if !ok {
 		return fmt.Errorf("caldb: no calendar %q", name)
 	}
+	m.bump()
 	tab, _ := m.db.Table(TableName)
 	rids, err := tab.LookupEq("name", store.NewText(e.Name))
 	if err != nil {
@@ -320,6 +364,7 @@ func (m *Manager) exists(name string) bool {
 }
 
 func (m *Manager) insert(e *Entry) error {
+	e.Version = m.bump()
 	values := store.Value{T: store.TCalendar}
 	if e.Values != nil {
 		values = store.NewCalendar(e.Values)
@@ -433,7 +478,140 @@ func (m *Manager) StoredCalendar(name string) (*calendar.Calendar, bool) {
 	return e.Values, true
 }
 
+// VolatileOf implements plan.VolatilityCatalog: whether the named calendar's
+// value can change between evaluations at one catalog generation, because
+// its derivation — directly or through referenced calendars — reads `today`
+// or waits on the clock. Volatile calendars are never served from the shared
+// materialization cache. Results are memoized per catalog generation.
+func (m *Manager) VolatileOf(name string) bool {
+	key := strings.ToLower(name)
+	gen := m.gen.Load()
+	m.mu.Lock()
+	if m.volGen != gen {
+		m.volatile = map[string]bool{}
+		m.volGen = gen
+	} else if v, ok := m.volatile[key]; ok {
+		m.mu.Unlock()
+		return v
+	}
+	m.mu.Unlock()
+	v := m.computeVolatile(key, map[string]bool{})
+	m.mu.Lock()
+	if m.volGen == gen {
+		m.volatile[key] = v
+	}
+	m.mu.Unlock()
+	return v
+}
+
+// computeVolatile walks a calendar's derivation graph; visiting guards
+// against reference cycles (which evaluation rejects separately).
+func (m *Manager) computeVolatile(key string, visiting map[string]bool) bool {
+	if key == "today" {
+		return true
+	}
+	if visiting[key] {
+		return false
+	}
+	visiting[key] = true
+	e, ok := m.Lookup(key)
+	if !ok || e.script == nil {
+		return false
+	}
+	if scriptWaits(e.script) {
+		return true
+	}
+	for ref := range callang.AnalyzeScript(e.script, m).Refs {
+		lower := strings.ToLower(ref)
+		if lower == "today" {
+			return true
+		}
+		if _, err := chronology.ParseGranularity(ref); err == nil {
+			continue
+		}
+		if m.computeVolatile(lower, visiting) {
+			return true
+		}
+	}
+	return false
+}
+
+// scriptWaits reports whether a script contains an empty-bodied while loop
+// (the paper's "do nothing" wait), whose result depends on when it runs.
+func scriptWaits(s *callang.Script) bool {
+	var walk func([]callang.Stmt) bool
+	walk = func(ss []callang.Stmt) bool {
+		for _, st := range ss {
+			switch n := st.(type) {
+			case *callang.IfStmt:
+				if walk(n.Then) || walk(n.Else) {
+					return true
+				}
+			case *callang.WhileStmt:
+				if len(n.Body) == 0 || walk(n.Body) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return walk(s.Stmts)
+}
+
+// exprVolatile reports whether an expression's value can change between
+// evaluations at one catalog generation (it reads `today`, directly or via a
+// referenced derived calendar).
+func (m *Manager) exprVolatile(e callang.Expr) bool {
+	for ref := range callang.Analyze(e, m).Refs {
+		if strings.EqualFold(ref, "today") || m.VolatileOf(ref) {
+			return true
+		}
+	}
+	return false
+}
+
 // --- evaluation conveniences -------------------------------------------
+
+// evalCached evaluates an expression, consulting the shared materialization
+// cache for the whole expression's result first. Expression results are
+// cached under their exact window only (derived windows have boundary
+// effects, so slicing a superset is unsound) and keyed by the catalog
+// generation, so any Define/Replace/Drop invalidates them. Volatile
+// expressions (reading `today`) and environments with any optimization
+// ablated bypass the cache so results and benchmarks stay honest.
+func (m *Manager) evalCached(env *plan.Env, e callang.Expr, from, to chronology.Civil) (*calendar.Calendar, error) {
+	if env.Mat == nil || env.DisableSharing || env.DisableFactorization ||
+		env.DisableWindowInference || m.exprVolatile(e) {
+		return plan.Evaluate(env, e, from, to)
+	}
+	prepped, gran, err := plan.Prepare(env, e, nil)
+	if err != nil {
+		return nil, err
+	}
+	win, err := plan.CivilWindow(env.Chron, gran, from, to)
+	if err != nil {
+		return nil, err
+	}
+	key := matcache.Key{
+		Scope:   env.MatScope,
+		ID:      "E|" + e.String(),
+		Version: m.gen.Load(),
+		Gran:    gran,
+	}
+	if c, ok := env.Mat.Get(key, win); ok {
+		return c, nil
+	}
+	p, err := plan.Compile(env, prepped, nil, gran, win)
+	if err != nil {
+		return nil, err
+	}
+	c, err := p.Exec(env, nil)
+	if err != nil {
+		return nil, err
+	}
+	env.Mat.Put(key, win, c, false)
+	return c, nil
+}
 
 // EvalExpr parses and evaluates a calendar expression over a civil window.
 func (m *Manager) EvalExpr(src string, from, to chronology.Civil) (*calendar.Calendar, error) {
@@ -441,7 +619,7 @@ func (m *Manager) EvalExpr(src string, from, to chronology.Civil) (*calendar.Cal
 	if err != nil {
 		return nil, err
 	}
-	return plan.Evaluate(m.Env(), e, from, to)
+	return m.evalCached(m.Env(), e, from, to)
 }
 
 // EvalExprEnv is EvalExpr with a caller-supplied environment (clock, wait
@@ -451,7 +629,7 @@ func (m *Manager) EvalExprEnv(env *plan.Env, src string, from, to chronology.Civ
 	if err != nil {
 		return nil, err
 	}
-	return plan.Evaluate(env, e, from, to)
+	return m.evalCached(env, e, from, to)
 }
 
 // RunScript parses and runs a calendar script over a civil window.

@@ -1,0 +1,150 @@
+package caldb
+
+import (
+	"testing"
+
+	"calsys/internal/chronology"
+	"calsys/internal/core/calendar"
+	"calsys/internal/core/plan"
+)
+
+// uncachedEnv evaluates with the shared materialization cache bypassed, for
+// ground-truth comparisons.
+func (m *Manager) uncachedEnv() *plan.Env {
+	return &plan.Env{Chron: m.chron, Cat: m, DisableSharing: true}
+}
+
+// Replacing a stored calendar must invalidate every cached materialization
+// that depends on it: a warmed evaluation re-run after ReplaceStored has to
+// reflect the new values, not the stale cache entry.
+func TestCacheInvalidationOnReplaceStored(t *testing.T) {
+	m := newManager(t)
+	ls := lifespanFrom1985()
+	// Jan 31 1993 (tick 2223) is a Sunday: removing it from weekdays is a
+	// no-op, so the pre-replace result keeps all weekdays.
+	hol, _ := calendar.FromPoints(chronology.Day, []chronology.Tick{2223})
+	if err := m.DefineStored("HOLIDAYS", hol, ls); err != nil {
+		t.Fatal(err)
+	}
+	const expr = "([1,2,3,4,5]/DAYS:during:WEEKS) - HOLIDAYS"
+	from, to := d(1993, 1, 1), d(1993, 1, 31)
+
+	first, err := m.EvalExpr(expr, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitsBefore := m.MatStats().Hits
+	warm, err := m.EvalExpr(expr, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Equal(first) {
+		t.Fatalf("warm re-evaluation diverged:\n%v\nvs\n%v", warm, first)
+	}
+	if m.MatStats().Hits == hitsBefore {
+		t.Fatal("second evaluation did not hit the materialization cache")
+	}
+
+	// Move the holiday to Monday Jan 25 1993 (tick 2217); the weekday set
+	// must now lose that day.
+	hol2, _ := calendar.FromPoints(chronology.Day, []chronology.Tick{2217})
+	if err := m.ReplaceStored("HOLIDAYS", hol2); err != nil {
+		t.Fatal(err)
+	}
+	after, err := m.EvalExpr(expr, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Equal(first) {
+		t.Fatal("evaluation after ReplaceStored returned the stale cached value")
+	}
+	truth, err := m.EvalExprEnv(m.uncachedEnv(), expr, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Equal(truth) {
+		t.Fatalf("post-replace cached evaluation = %v, want %v", after, truth)
+	}
+}
+
+// Dropping and redefining a derived calendar must likewise invalidate its
+// cached materializations.
+func TestCacheInvalidationOnRedefineDerived(t *testing.T) {
+	m := newManager(t)
+	ls := lifespanFrom1985()
+	if err := m.DefineDerived("PICKED", "{[1]/DAYS:during:WEEKS;}", ls, GranAuto); err != nil {
+		t.Fatal(err)
+	}
+	from, to := d(1993, 1, 1), d(1993, 3, 31)
+	mondays, err := m.EvalExpr("PICKED", from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the cache, then swap the definition to Tuesdays.
+	if _, err := m.EvalExpr("PICKED", from, to); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Drop("PICKED"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DefineDerived("PICKED", "{[2]/DAYS:during:WEEKS;}", ls, GranAuto); err != nil {
+		t.Fatal(err)
+	}
+	after, err := m.EvalExpr("PICKED", from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Equal(mondays) {
+		t.Fatal("redefined calendar still evaluates to the stale cached value")
+	}
+	truth, err := m.EvalExprEnv(m.uncachedEnv(), "PICKED", from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Equal(truth) {
+		t.Fatalf("post-redefine evaluation = %v, want %v", after, truth)
+	}
+}
+
+// Expressions reading `today` are volatile: two evaluations at different
+// clock instants must see different values even at one catalog generation.
+func TestVolatileTodayNeverCached(t *testing.T) {
+	m := newManager(t)
+	now := m.chron.EpochSecondsOf(d(1993, 1, 4))
+	env := m.Env()
+	env.Now = func() int64 { return now }
+	from, to := d(1993, 1, 1), d(1993, 12, 31)
+	first, err := m.EvalExprEnv(env, "today", from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now = m.chron.EpochSecondsOf(d(1993, 1, 5))
+	second, err := m.EvalExprEnv(env, "today", from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Equal(second) {
+		t.Fatalf("`today` was served from cache across a clock change: %v", second)
+	}
+}
+
+// VolatileOf must see through derivation references: a calendar defined in
+// terms of another calendar that reads `today` is itself volatile.
+func TestVolatilityIsTransitive(t *testing.T) {
+	m := newManager(t)
+	ls := lifespanFrom1985()
+	if err := m.DefineDerived("ANCHOR", "{today;}", ls, chronology.Day); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DefineDerived("WRAPPED", "{ANCHOR + ([1]/DAYS:during:WEEKS);}", ls, chronology.Day); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DefineDerived("STEADY", "{[1]/DAYS:during:WEEKS;}", ls, GranAuto); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]bool{"ANCHOR": true, "WRAPPED": true, "STEADY": false} {
+		if got := m.VolatileOf(name); got != want {
+			t.Errorf("VolatileOf(%s) = %v, want %v", name, got, want)
+		}
+	}
+}

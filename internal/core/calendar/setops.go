@@ -2,6 +2,7 @@ package calendar
 
 import (
 	"fmt"
+	"sort"
 
 	"calsys/internal/core/interval"
 )
@@ -111,4 +112,21 @@ func ClipToInterval(c *Calendar, iv interval.Interval) (*Calendar, error) {
 		return nil, err
 	}
 	return ForeachInterval(c, interval.Overlaps, true, iv)
+}
+
+// SliceOverlapping returns the order-1 sub-calendar of c whose elements
+// overlap win, untruncated. When c's intervals are sorted with
+// non-decreasing upper bounds — the shape of every generated calendar, whose
+// units partition time — the result is exactly what generating c's calendar
+// over win directly would produce, which is what lets the materialization
+// cache serve subset windows from a superset materialization by slicing.
+// The backing array is shared; calendars are immutable.
+func SliceOverlapping(c *Calendar, win interval.Interval) *Calendar {
+	ivs := c.Intervals()
+	lo := sort.Search(len(ivs), func(i int) bool { return ivs[i].Hi >= win.Lo })
+	hi := sort.Search(len(ivs), func(i int) bool { return ivs[i].Lo > win.Hi })
+	if hi < lo {
+		hi = lo
+	}
+	return &Calendar{gran: c.gran, ivs: ivs[lo:hi]}
 }

@@ -1,0 +1,279 @@
+// Package matcache implements a process-wide materialized-calendar cache:
+// the cross-evaluation form of the paper's "mark any calendar that is
+// encountered more than once to avoid generating values of the calendar
+// unnecessarily" (§3.4). The per-evaluation generation cache of the plan
+// executor dedupes work within one query; this cache dedupes it across
+// queries, rule firings and timeseries probes, which overwhelmingly re-ask
+// for the same periodic calendars over overlapping windows.
+//
+// Entries are keyed by (scope, calendar identity, version, granularity) and
+// hold one or more materialized windows. Window coalescing means a cached
+// superset window serves any subset request by slicing: generated basic
+// calendars are consecutive sorted interval runs, so the slice of a larger
+// materialization over a smaller window is byte-for-byte what generating the
+// smaller window would produce. Versions implement invalidation: the catalog
+// bumps its generation on Define/Replace/Drop, so stale entries stop being
+// addressable and age out of the LRU.
+//
+// The cache is bounded by a byte budget with LRU eviction and exposes
+// expvar-style counters via Stats.
+package matcache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"calsys/internal/chronology"
+	"calsys/internal/core/calendar"
+	"calsys/internal/core/interval"
+)
+
+// Key identifies one cached calendar materialization line (all windows of
+// one calendar identity at one granularity).
+type Key struct {
+	// Scope namespaces keys by owner (one catalog manager, including its
+	// epoch), so unrelated databases in one process never cross-serve.
+	Scope string
+	// ID is the calendar identity: "G|<basic>" for generated basic
+	// calendars, "D|<name>" for derived catalog entries, "E|<expr>" for
+	// whole-expression materializations.
+	ID string
+	// Version is the catalog version the materialization was computed
+	// against; basic calendars, which depend only on the chronology, use 0.
+	Version uint64
+	// Gran is the tick granularity the values are expressed in.
+	Gran chronology.Granularity
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%s@v%d/%v", k.Scope, k.ID, k.Version, k.Gran)
+}
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	Hits      int64 // requests served from a cached window
+	Misses    int64 // requests that found no covering window
+	Puts      int64 // materializations inserted
+	Rejected  int64 // materializations too large for the budget
+	Evictions int64 // entries evicted by LRU pressure
+	Coalesced int64 // entries dropped because a superset window subsumed them
+	Entries   int   // resident (key, window) entries
+	Bytes     int64 // resident bytes (estimated)
+	Budget    int64 // configured byte budget
+}
+
+// String renders the counters in expvar style.
+func (s Stats) String() string {
+	return fmt.Sprintf(`{"hits": %d, "misses": %d, "puts": %d, "rejected": %d, "evictions": %d, "coalesced": %d, "entries": %d, "bytes": %d, "budget": %d}`,
+		s.Hits, s.Misses, s.Puts, s.Rejected, s.Evictions, s.Coalesced, s.Entries, s.Bytes, s.Budget)
+}
+
+// entry is one materialized window of one key.
+type entry struct {
+	key       Key
+	win       interval.Interval
+	cal       *calendar.Calendar
+	sliceable bool
+	bytes     int64
+	elem      *list.Element
+}
+
+// Cache is a byte-bounded LRU of materialized calendars. It is safe for
+// concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	budget  int64
+	bytes   int64
+	buckets map[Key][]*entry
+	lru     *list.List // front = most recently used; values are *entry
+
+	hits, misses, puts, rejected, evictions, coalesced int64
+}
+
+// DefaultBudget is the byte budget of the shared process-wide cache.
+const DefaultBudget = 64 << 20
+
+// New returns an empty cache with the given byte budget (<= 0 means
+// DefaultBudget).
+func New(budget int64) *Cache {
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	return &Cache{budget: budget, buckets: map[Key][]*entry{}, lru: list.New()}
+}
+
+var (
+	sharedOnce sync.Once
+	shared     *Cache
+)
+
+// Shared returns the process-wide cache every catalog manager plugs into.
+func Shared() *Cache {
+	sharedOnce.Do(func() { shared = New(DefaultBudget) })
+	return shared
+}
+
+// Get returns the calendar materialized for key over exactly win, served
+// from any cached window that covers it. Sliceable entries (sorted
+// consecutive interval runs, the shape of every generated calendar) serve
+// subset windows by slicing; other entries serve exact window matches only.
+func (c *Cache) Get(k Key, win interval.Interval) (*calendar.Calendar, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.buckets[k] {
+		if e.win == win || (e.sliceable && e.win.Lo <= win.Lo && win.Hi <= e.win.Hi) {
+			c.lru.MoveToFront(e.elem)
+			c.hits++
+			if e.win == win {
+				return e.cal, true
+			}
+			return calendar.SliceOverlapping(e.cal, win), true
+		}
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put records a materialization of key over win. sliceable promises that cal
+// is an order-1 calendar whose intervals are sorted with non-decreasing
+// upper bounds (generated runs), so subset windows may later be sliced out
+// of it; it is ignored for higher-order calendars. Entries whose windows the
+// new one subsumes are coalesced away; if a cached sliceable window already
+// covers win, the insert is a no-op.
+func (c *Cache) Put(k Key, win interval.Interval, cal *calendar.Calendar, sliceable bool) {
+	if cal == nil {
+		return
+	}
+	if sliceable && cal.Order() != 1 {
+		sliceable = false
+	}
+	size := SizeOf(cal)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size > c.budget {
+		c.rejected++
+		return
+	}
+	bucket := c.buckets[k]
+	for _, e := range bucket {
+		if e.win == win || (e.sliceable && e.win.Lo <= win.Lo && win.Hi <= e.win.Hi) {
+			// Already covered by an equal or wider materialization.
+			return
+		}
+	}
+	kept := bucket[:0]
+	for _, e := range bucket {
+		if sliceable && e.win.Lo >= win.Lo && e.win.Hi <= win.Hi {
+			// The new window subsumes this one: coalesce.
+			c.removeLocked(e)
+			c.coalesced++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	e := &entry{key: k, win: win, cal: cal, sliceable: sliceable, bytes: size}
+	e.elem = c.lru.PushFront(e)
+	c.buckets[k] = append(kept, e)
+	c.bytes += size
+	c.puts++
+	for c.bytes > c.budget {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*entry)
+		c.removeLocked(victim)
+		c.dropFromBucket(victim)
+		c.evictions++
+	}
+}
+
+// removeLocked detaches e from the LRU and byte accounting (not the bucket).
+func (c *Cache) removeLocked(e *entry) {
+	c.lru.Remove(e.elem)
+	c.bytes -= e.bytes
+}
+
+// dropFromBucket removes e from its bucket slice.
+func (c *Cache) dropFromBucket(e *entry) {
+	bucket := c.buckets[e.key]
+	for i, x := range bucket {
+		if x == e {
+			c.buckets[e.key] = append(bucket[:i], bucket[i+1:]...)
+			break
+		}
+	}
+	if len(c.buckets[e.key]) == 0 {
+		delete(c.buckets, e.key)
+	}
+}
+
+// Reset empties the cache, keeping the budget and counters.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buckets = map[Key][]*entry{}
+	c.lru.Init()
+	c.bytes = 0
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits: c.hits, Misses: c.misses, Puts: c.puts, Rejected: c.rejected,
+		Evictions: c.evictions, Coalesced: c.coalesced,
+		Entries: c.lru.Len(), Bytes: c.bytes, Budget: c.budget,
+	}
+}
+
+// SizeOf estimates a calendar's resident bytes: 16 per leaf interval plus a
+// fixed overhead per calendar node.
+func SizeOf(c *calendar.Calendar) int64 {
+	const nodeOverhead = 64
+	if c.Order() == 1 {
+		return nodeOverhead + 16*int64(len(c.Intervals()))
+	}
+	size := int64(nodeOverhead)
+	for _, s := range c.Subs() {
+		size += SizeOf(s)
+	}
+	return size
+}
+
+// minChunk and maxChunk bound the window-alignment grid (in ticks).
+const (
+	minChunk = 1 << 6
+	maxChunk = 1 << 22
+)
+
+// AlignedWindow pads a requested generation window outward to a power-of-two
+// chunk grid, so that the shifted, overlapping windows of successive queries
+// (a rule's advancing lookahead, a series' growing horizon) land on the same
+// materialization instead of each missing by a few ticks. The chunk is the
+// smallest power of two covering the request, clamped to [minChunk,
+// maxChunk], so a cold padded generation costs at most a small constant
+// factor over the request itself.
+func AlignedWindow(win interval.Interval) interval.Interval {
+	lo := chronology.OffsetFromTick(win.Lo)
+	hi := chronology.OffsetFromTick(win.Hi)
+	n := hi - lo + 1
+	chunk := int64(minChunk)
+	for chunk < n && chunk < maxChunk {
+		chunk <<= 1
+	}
+	alo := floorDiv(lo, chunk) * chunk
+	ahi := (floorDiv(hi, chunk)+1)*chunk - 1
+	return interval.Interval{Lo: chronology.TickFromOffset(alo), Hi: chronology.TickFromOffset(ahi)}
+}
+
+// floorDiv is integer division rounding toward negative infinity.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

@@ -1,0 +1,173 @@
+package matcache
+
+import (
+	"testing"
+
+	"calsys/internal/chronology"
+	"calsys/internal/core/calendar"
+	"calsys/internal/core/interval"
+)
+
+func gen(t *testing.T, ch *chronology.Chronology, of, in chronology.Granularity, lo, hi chronology.Tick) *calendar.Calendar {
+	t.Helper()
+	c, err := calendar.GenerateFull(ch, of, in, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSubsetServedFromSupersetWindow(t *testing.T) {
+	ch := chronology.MustNew(chronology.DefaultEpoch)
+	c := New(0)
+	k := Key{Scope: "t", ID: "G|weeks", Gran: chronology.Day}
+	super := interval.Interval{Lo: 1, Hi: 3650}
+	c.Put(k, super, gen(t, ch, chronology.Week, chronology.Day, super.Lo, super.Hi), true)
+
+	sub := interval.Interval{Lo: 100, Hi: 400}
+	got, ok := c.Get(k, sub)
+	if !ok {
+		t.Fatalf("subset window %v not served from cached superset %v", sub, super)
+	}
+	want := gen(t, ch, chronology.Week, chronology.Day, sub.Lo, sub.Hi)
+	if !got.Equal(want) {
+		t.Fatalf("sliced subset differs from direct generation:\n got %v\nwant %v", got, want)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("stats = %v, want 1 hit 0 misses", st)
+	}
+}
+
+func TestExactMatchOnlyForUnsliceable(t *testing.T) {
+	ch := chronology.MustNew(chronology.DefaultEpoch)
+	c := New(0)
+	k := Key{Scope: "t", ID: "E|expr", Gran: chronology.Day}
+	win := interval.Interval{Lo: 1, Hi: 100}
+	c.Put(k, win, gen(t, ch, chronology.Week, chronology.Day, 1, 100), false)
+	if _, ok := c.Get(k, interval.Interval{Lo: 10, Hi: 50}); ok {
+		t.Fatal("unsliceable entry served a subset window")
+	}
+	if _, ok := c.Get(k, win); !ok {
+		t.Fatal("unsliceable entry did not serve its exact window")
+	}
+}
+
+func TestVersionMiss(t *testing.T) {
+	ch := chronology.MustNew(chronology.DefaultEpoch)
+	c := New(0)
+	win := interval.Interval{Lo: 1, Hi: 100}
+	cal := gen(t, ch, chronology.Week, chronology.Day, 1, 100)
+	c.Put(Key{Scope: "t", ID: "D|paydays", Version: 1, Gran: chronology.Day}, win, cal, false)
+	if _, ok := c.Get(Key{Scope: "t", ID: "D|paydays", Version: 2, Gran: chronology.Day}, win); ok {
+		t.Fatal("entry served across a version bump")
+	}
+	if _, ok := c.Get(Key{Scope: "other", ID: "D|paydays", Version: 1, Gran: chronology.Day}, win); ok {
+		t.Fatal("entry served across scopes")
+	}
+}
+
+func TestCoalescingDropsSubsumedWindows(t *testing.T) {
+	ch := chronology.MustNew(chronology.DefaultEpoch)
+	c := New(0)
+	k := Key{Scope: "t", ID: "G|days", Gran: chronology.Day}
+	for _, w := range []interval.Interval{{Lo: 1, Hi: 100}, {Lo: 200, Hi: 300}} {
+		c.Put(k, w, gen(t, ch, chronology.Day, chronology.Day, w.Lo, w.Hi), true)
+	}
+	// A window subsuming both replaces them.
+	big := interval.Interval{Lo: 1, Hi: 400}
+	c.Put(k, big, gen(t, ch, chronology.Day, chronology.Day, big.Lo, big.Hi), true)
+	st := c.Stats()
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d after coalescing, want 1", st.Entries)
+	}
+	if st.Coalesced != 2 {
+		t.Fatalf("coalesced = %d, want 2", st.Coalesced)
+	}
+	// Re-putting a covered window is a no-op.
+	c.Put(k, interval.Interval{Lo: 50, Hi: 60}, gen(t, ch, chronology.Day, chronology.Day, 50, 60), true)
+	if got := c.Stats().Entries; got != 1 {
+		t.Fatalf("entries = %d after covered put, want 1", got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	ch := chronology.MustNew(chronology.DefaultEpoch)
+	// Each 100-day materialization is ~64 + 16*100 bytes; budget fits ~3.
+	c := New(5000)
+	mk := func(id string) Key { return Key{Scope: "t", ID: id, Gran: chronology.Day} }
+	win := interval.Interval{Lo: 1, Hi: 100}
+	cal := gen(t, ch, chronology.Day, chronology.Day, 1, 100)
+	for _, id := range []string{"a", "b", "c", "d", "e"} {
+		c.Put(mk(id), win, cal, true)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under byte pressure: %v", st)
+	}
+	if st.Bytes > st.Budget {
+		t.Fatalf("resident bytes %d exceed budget %d", st.Bytes, st.Budget)
+	}
+	// The most recently inserted entry must survive.
+	if _, ok := c.Get(mk("e"), win); !ok {
+		t.Fatal("most recent entry was evicted")
+	}
+	// The oldest must be gone.
+	if _, ok := c.Get(mk("a"), win); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+}
+
+func TestOversizeRejected(t *testing.T) {
+	ch := chronology.MustNew(chronology.DefaultEpoch)
+	c := New(100)
+	k := Key{Scope: "t", ID: "G|days", Gran: chronology.Day}
+	win := interval.Interval{Lo: 1, Hi: 1000}
+	c.Put(k, win, gen(t, ch, chronology.Day, chronology.Day, 1, 1000), true)
+	st := c.Stats()
+	if st.Rejected != 1 || st.Entries != 0 {
+		t.Fatalf("oversize entry not rejected: %v", st)
+	}
+}
+
+func TestAlignedWindowCoversAndAligns(t *testing.T) {
+	cases := []interval.Interval{
+		{Lo: 1, Hi: 10},
+		{Lo: 100, Hi: 500},
+		{Lo: -300, Hi: 200},
+		{Lo: -5, Hi: -1},
+		{Lo: 1, Hi: 3_000_000},
+	}
+	for _, win := range cases {
+		a := AlignedWindow(win)
+		if a.Lo > win.Lo || a.Hi < win.Hi {
+			t.Fatalf("AlignedWindow(%v) = %v does not cover the request", win, a)
+		}
+		if err := a.Check(); err != nil {
+			t.Fatalf("AlignedWindow(%v) = %v invalid: %v", win, a, err)
+		}
+		n := win.Length()
+		if got := a.Length(); got > 4*n+2*maxChunk {
+			t.Fatalf("AlignedWindow(%v) = %v over-pads: %d ticks for a %d-tick request", win, a, got, n)
+		}
+		// Stability: any subwindow of the request aligns inside a.
+		subAligned := AlignedWindow(interval.Interval{Lo: win.Lo, Hi: win.Lo})
+		if subAligned.Lo < a.Lo-maxChunk {
+			t.Fatalf("alignment grid unstable: %v vs %v", subAligned, a)
+		}
+	}
+}
+
+func TestSliceOverlappingMatchesDirectGeneration(t *testing.T) {
+	ch := chronology.MustNew(chronology.DefaultEpoch)
+	for _, of := range []chronology.Granularity{chronology.Week, chronology.Month, chronology.Year} {
+		super := gen(t, ch, of, chronology.Day, -700, 3650)
+		for _, win := range []interval.Interval{{Lo: 1, Hi: 365}, {Lo: -100, Hi: 40}, {Lo: 500, Hi: 501}} {
+			direct := gen(t, ch, of, chronology.Day, win.Lo, win.Hi)
+			sliced := calendar.SliceOverlapping(super, win)
+			if !sliced.Equal(direct) {
+				t.Fatalf("%v over %v: slice %v != direct %v", of, win, sliced, direct)
+			}
+		}
+	}
+}

@@ -2,11 +2,14 @@ package plan
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 
 	"calsys/internal/chronology"
 	"calsys/internal/core/calendar"
 	"calsys/internal/core/callang"
 	"calsys/internal/core/interval"
+	"calsys/internal/core/matcache"
 )
 
 // execState carries per-evaluation caches shared across the plans of one
@@ -31,6 +34,7 @@ func (p *Plan) Exec(env *Env, vars map[string]*calendar.Calendar) (*calendar.Cal
 }
 
 func (p *Plan) exec(env *Env, vars map[string]*calendar.Calendar, st *execState) (*calendar.Calendar, error) {
+	p.prefetchGenerates(env, st)
 	regs := make([]*calendar.Calendar, len(p.Ops))
 	get := func(r Reg) (*calendar.Calendar, error) {
 		if r < 0 || int(r) >= len(regs) || regs[r] == nil {
@@ -57,7 +61,7 @@ func (p *Plan) execOp(env *Env, vars map[string]*calendar.Calendar, st *execStat
 				return c, nil
 			}
 		}
-		c, err := calendar.GenerateFull(env.Chron, op.Of, p.Gran, op.Win.Lo, op.Win.Hi)
+		c, err := p.generateShared(env, op)
 		if err != nil {
 			return nil, err
 		}
@@ -102,6 +106,12 @@ func (p *Plan) execOp(env *Env, vars map[string]*calendar.Calendar, st *execStat
 			}
 			win = cut
 		}
+		dkey, cacheable := p.derivedKey(env, op.Name)
+		if cacheable {
+			if c, ok := env.Mat.Get(dkey, win); ok {
+				return c, nil
+			}
+		}
 		st.depth++
 		v, err := runScript(env, script, p.Gran, win, st)
 		st.depth--
@@ -111,7 +121,11 @@ func (p *Plan) execOp(env *Env, vars map[string]*calendar.Calendar, st *execStat
 		if v.Cal == nil {
 			return nil, fmt.Errorf("derived calendar %q returned an alert string, not a calendar", op.Name)
 		}
-		return calendar.ConvertGran(env.Chron, v.Cal, p.Gran)
+		out, err := calendar.ConvertGran(env.Chron, v.Cal, p.Gran)
+		if err == nil && cacheable {
+			env.Mat.Put(dkey, win, out, false)
+		}
+		return out, err
 	case OpVar:
 		c, ok := vars[op.Name]
 		if !ok {
@@ -156,6 +170,112 @@ func (p *Plan) execOp(env *Env, vars map[string]*calendar.Calendar, st *execStat
 		return calendar.Caloperate(a, op.Counts)
 	}
 	return nil, fmt.Errorf("unimplemented op kind %d", int(op.Kind))
+}
+
+// generateShared evaluates one OpGenerate, consulting the process-wide
+// materialization cache when the environment carries one. Cache misses
+// generate a chunk-aligned superset of the requested window and store that,
+// so the shifted, overlapping windows of later evaluations are served by
+// slicing; the value returned for this request is always the exact slice
+// over op.Win, which for the consecutive sorted runs of a generated basic
+// calendar is identical to generating op.Win directly.
+func (p *Plan) generateShared(env *Env, op Op) (*calendar.Calendar, error) {
+	if env.Mat == nil || env.DisableSharing {
+		return calendar.GenerateFull(env.Chron, op.Of, p.Gran, op.Win.Lo, op.Win.Hi)
+	}
+	key := matcache.Key{Scope: env.MatScope, ID: "G|" + op.Of.String(), Gran: p.Gran}
+	if c, ok := env.Mat.Get(key, op.Win); ok {
+		return c, nil
+	}
+	padded := matcache.AlignedWindow(op.Win)
+	c, err := calendar.GenerateFull(env.Chron, op.Of, p.Gran, padded.Lo, padded.Hi)
+	if err != nil {
+		// Padding pushed the window somewhere generation rejects; fall back
+		// to the exact request.
+		return calendar.GenerateFull(env.Chron, op.Of, p.Gran, op.Win.Lo, op.Win.Hi)
+	}
+	env.Mat.Put(key, padded, c, true)
+	return calendar.SliceOverlapping(c, op.Win), nil
+}
+
+// derivedKey returns the shared-cache key for a derived calendar's
+// materialization at this plan's granularity, and whether caching is sound:
+// the catalog must report a generation (for invalidation) and must vouch
+// that the calendar is not volatile (no `today`, no clock waits, directly or
+// transitively).
+func (p *Plan) derivedKey(env *Env, name string) (matcache.Key, bool) {
+	if env.Mat == nil || env.DisableSharing {
+		return matcache.Key{}, false
+	}
+	vc, ok := env.Cat.(VersionedCatalog)
+	if !ok {
+		return matcache.Key{}, false
+	}
+	volc, ok := env.Cat.(VolatilityCatalog)
+	if !ok || volc.VolatileOf(name) {
+		return matcache.Key{}, false
+	}
+	return matcache.Key{
+		Scope:   env.MatScope,
+		ID:      "D|" + strings.ToLower(name),
+		Version: vc.CatalogGeneration(),
+		Gran:    p.Gran,
+	}, true
+}
+
+// prefetchGenerates evaluates the distinct generate ops of a plan on a
+// bounded worker pool before the sequential pass, so independent generations
+// overlap on multicore hardware. Results land in the per-run cache; workers
+// swallow errors, which the sequential pass then reproduces with the proper
+// op context.
+func (p *Plan) prefetchGenerates(env *Env, st *execState) {
+	if env.DisableSharing || env.parallelism() <= 1 {
+		return
+	}
+	type job struct {
+		key string
+		op  Op
+	}
+	var jobs []job
+	seen := map[string]bool{}
+	for _, op := range p.Ops {
+		if op.Kind != OpGenerate {
+			continue
+		}
+		key := fmt.Sprintf("G|%v|%v|%v", op.Of, p.Gran, op.Win)
+		if seen[key] || st.genCache[key] != nil {
+			continue
+		}
+		seen[key] = true
+		jobs = append(jobs, job{key, op})
+	}
+	if len(jobs) < 2 {
+		return
+	}
+	workers := env.parallelism()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]*calendar.Calendar, len(jobs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if c, err := p.generateShared(env, jobs[i].op); err == nil {
+				results[i] = c
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, j := range jobs {
+		if results[i] != nil {
+			st.genCache[j.key] = results[i]
+		}
+	}
 }
 
 // lifespanIn converts a calendar's day-tick lifespan to granularity g, when

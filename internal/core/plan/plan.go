@@ -8,12 +8,14 @@ package plan
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"calsys/internal/chronology"
 	"calsys/internal/core/calendar"
 	"calsys/internal/core/callang"
 	"calsys/internal/core/interval"
+	"calsys/internal/core/matcache"
 )
 
 // Catalog resolves calendar names for compilation and execution. The
@@ -80,11 +82,38 @@ func (m *MapCatalog) StoredCalendar(name string) (*calendar.Calendar, bool) {
 	return c, ok
 }
 
+// VersionedCatalog is an optional Catalog extension reporting a monotonic
+// generation counter bumped on every catalog mutation (Define / Replace /
+// Drop). The executor keys shared materializations of catalog-dependent
+// calendars by this generation, so a mutation invalidates them wholesale.
+type VersionedCatalog interface {
+	CatalogGeneration() uint64
+}
+
+// VolatilityCatalog is an optional Catalog extension reporting whether a
+// named calendar's value can change between evaluations of the same catalog
+// generation (its derivation — directly or transitively — reads `today` or
+// waits on the clock). Volatile calendars are never served from the shared
+// materialization cache.
+type VolatilityCatalog interface {
+	VolatileOf(name string) bool
+}
+
 // Env carries everything evaluation needs: the chronology, the catalog, and
 // the bindings to real time used by `today` and waiting while-loops.
 type Env struct {
 	Chron *chronology.Chronology
 	Cat   Catalog
+	// Mat is the shared cross-evaluation materialization cache; nil keeps
+	// evaluation self-contained (per-run sharing only).
+	Mat *matcache.Cache
+	// MatScope namespaces this environment's entries in the shared cache
+	// (one scope per catalog manager).
+	MatScope string
+	// Parallelism bounds the worker pool that evaluates independent
+	// generate ops of one plan concurrently: 0 means GOMAXPROCS, 1 runs
+	// serially.
+	Parallelism int
 	// Now returns the current instant in epoch seconds; nil makes `today`
 	// unavailable.
 	Now func() int64
@@ -113,6 +142,14 @@ func (e *Env) maxWhile() int {
 		return e.MaxWhileIters
 	}
 	return 100000
+}
+
+// parallelism resolves the generate-op worker-pool bound.
+func (e *Env) parallelism() int {
+	if e.Parallelism > 0 {
+		return e.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Reg identifies a plan temporary (the %t_i of the procedural statements).

@@ -54,11 +54,13 @@ type temporalRule struct {
 	expr   callang.Expr
 	action Action
 	// prepped is the inlined+factorized expression with its inferred
-	// granularity, cached at definition so each firing only recompiles the
-	// window-dependent plan (derivation changes after definition are picked
-	// up lazily on the next DefineTemporalRule of the same name).
+	// granularity, so each firing only recompiles the window-dependent plan.
+	// prepGen records the calendar-catalog generation it was prepared at;
+	// next-trigger computation re-prepares when the catalog has changed, so
+	// redefined calendars are picked up on the next firing.
 	prepped callang.Expr
 	gran    chronology.Granularity
+	prepGen uint64
 	// next trigger in epoch seconds; noTrigger when dormant.
 	next int64
 }
@@ -368,14 +370,23 @@ func (e *Engine) nextTrigger(r *temporalRule, now int64) (int64, string, error) 
 	from := ch.CivilOfDayTick(fromDay)
 	to := from.AddDays(e.LookaheadDays)
 
-	if r.prepped == nil {
-		prepped, gran, err := plan.Prepare(env, r.expr, nil)
+	gen := e.cal.CatalogGeneration()
+	e.mu.Lock()
+	prepped, gran := r.prepped, r.gran
+	if r.prepGen != gen {
+		prepped = nil
+	}
+	e.mu.Unlock()
+	if prepped == nil {
+		var err error
+		prepped, gran, err = plan.Prepare(env, r.expr, nil)
 		if err != nil {
 			return 0, "", err
 		}
-		r.prepped, r.gran = prepped, gran
+		e.mu.Lock()
+		r.prepped, r.gran, r.prepGen = prepped, gran, gen
+		e.mu.Unlock()
 	}
-	prepped, gran := r.prepped, r.gran
 	win, err := plan.CivilWindow(ch, gran, from, to)
 	if err != nil {
 		return 0, "", err

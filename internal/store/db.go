@@ -190,22 +190,5 @@ func (db *DB) CreateIndex(table, col string) error {
 	if t.Schema.Cols[ci].Type == TCalendar {
 		return fmt.Errorf("store: calendar columns are not indexable")
 	}
-	key := strings.ToLower(col)
-	if _, ok := t.indexes[key]; ok {
-		return fmt.Errorf("store: index on %s.%s already exists", table, col)
-	}
-	idx := NewBTree()
-	var buildErr error
-	t.Scan(func(rid int64, row Row) bool {
-		if err := idx.Insert(row[ci], rid); err != nil {
-			buildErr = err
-			return false
-		}
-		return true
-	})
-	if buildErr != nil {
-		return buildErr
-	}
-	t.indexes[key] = idx
-	return nil
+	return t.addIndex(col)
 }

@@ -42,7 +42,7 @@ func (db *DB) Save(w io.Writer) error {
 		for _, c := range t.Schema.Cols {
 			fmt.Fprintf(bw, "col %s %s\n", escape(c.Name), c.Type)
 		}
-		for col := range t.indexes {
+		for _, col := range t.indexColumns() {
 			fmt.Fprintf(bw, "index %s\n", escape(col))
 		}
 		var rowErr error

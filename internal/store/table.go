@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Column describes one attribute of a relation.
@@ -56,10 +57,14 @@ func (r Row) Clone() Row {
 }
 
 // Table is a heap relation: rows indexed by a stable row id, with optional
-// B-tree secondary indexes. All mutation goes through a Txn.
+// B-tree secondary indexes. All mutation goes through a Txn; mu lets readers
+// (index probes, scans) run concurrently with the single writing transaction
+// — DBCRON probes RULE-TIME while sessions define rules and calendars.
 type Table struct {
-	Name    string
-	Schema  Schema
+	Name   string
+	Schema Schema
+
+	mu      sync.RWMutex
 	rows    []Row // nil entries are deleted (tombstones); row id = slice index
 	live    int
 	indexes map[string]*BTree // lower-case column name -> index
@@ -70,10 +75,21 @@ func newTable(name string, schema Schema) *Table {
 }
 
 // Len returns the number of live rows.
-func (t *Table) Len() int { return t.live }
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.live
+}
 
 // Get returns the row with the given id.
 func (t *Table) Get(rid int64) (Row, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.getLocked(rid)
+}
+
+// getLocked is Get for callers already holding mu.
+func (t *Table) getLocked(rid int64) (Row, bool) {
 	if rid < 0 || rid >= int64(len(t.rows)) || t.rows[rid] == nil {
 		return nil, false
 	}
@@ -81,9 +97,14 @@ func (t *Table) Get(rid int64) (Row, bool) {
 }
 
 // Scan visits live rows in insertion order; the visitor returns false to
-// stop.
+// stop. The visitor runs against a snapshot taken under the read lock, so it
+// may itself access the table (event-rule actions do) without deadlocking.
 func (t *Table) Scan(visit func(rid int64, row Row) bool) {
-	for rid, row := range t.rows {
+	t.mu.RLock()
+	snap := make([]Row, len(t.rows))
+	copy(snap, t.rows)
+	t.mu.RUnlock()
+	for rid, row := range snap {
 		if row == nil {
 			continue
 		}
@@ -95,6 +116,8 @@ func (t *Table) Scan(visit func(rid int64, row Row) bool) {
 
 // HasIndex reports whether column col is indexed.
 func (t *Table) HasIndex(col string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	_, ok := t.indexes[strings.ToLower(col)]
 	return ok
 }
@@ -106,12 +129,15 @@ func (t *Table) LookupEq(col string, val Value) ([]int64, error) {
 	if ci < 0 {
 		return nil, fmt.Errorf("store: table %s has no column %q", t.Name, col)
 	}
+	t.mu.RLock()
 	if idx, ok := t.indexes[strings.ToLower(col)]; ok {
 		rids := idx.Lookup(val)
 		out := make([]int64, len(rids))
 		copy(out, rids)
+		t.mu.RUnlock()
 		return out, nil
 	}
+	t.mu.RUnlock()
 	var out []int64
 	t.Scan(func(rid int64, row Row) bool {
 		if Equal(row[ci], val) {
@@ -129,14 +155,17 @@ func (t *Table) LookupRange(col string, lo, hi *Value) ([]int64, error) {
 	if ci < 0 {
 		return nil, fmt.Errorf("store: table %s has no column %q", t.Name, col)
 	}
+	t.mu.RLock()
 	if idx, ok := t.indexes[strings.ToLower(col)]; ok {
 		var out []int64
 		idx.Ascend(lo, hi, func(_ Value, rids []int64) bool {
 			out = append(out, rids...)
 			return true
 		})
+		t.mu.RUnlock()
 		return out, nil
 	}
+	t.mu.RUnlock()
 	var out []int64
 	var scanErr error
 	t.Scan(func(rid int64, row Row) bool {
@@ -202,6 +231,8 @@ func (t *Table) indexDelete(rid int64, row Row) {
 
 // insertRaw appends a validated row (txn internal).
 func (t *Table) insertRaw(row Row) (int64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	rid := int64(len(t.rows))
 	if err := t.indexInsert(rid, row); err != nil {
 		return 0, err
@@ -213,7 +244,9 @@ func (t *Table) insertRaw(row Row) (int64, error) {
 
 // deleteRaw tombstones a row (txn internal).
 func (t *Table) deleteRaw(rid int64) (Row, error) {
-	row, ok := t.Get(rid)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	row, ok := t.getLocked(rid)
 	if !ok {
 		return nil, fmt.Errorf("store: table %s has no row %d", t.Name, rid)
 	}
@@ -225,6 +258,8 @@ func (t *Table) deleteRaw(rid int64) (Row, error) {
 
 // restoreRaw resurrects a row at its old id (rollback internal).
 func (t *Table) restoreRaw(rid int64, row Row) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for int64(len(t.rows)) <= rid {
 		t.rows = append(t.rows, nil)
 	}
@@ -237,7 +272,9 @@ func (t *Table) restoreRaw(rid int64, row Row) {
 
 // updateRaw replaces a row in place (txn internal).
 func (t *Table) updateRaw(rid int64, row Row) (Row, error) {
-	old, ok := t.Get(rid)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old, ok := t.getLocked(rid)
 	if !ok {
 		return nil, fmt.Errorf("store: table %s has no row %d", t.Name, rid)
 	}
@@ -248,4 +285,39 @@ func (t *Table) updateRaw(rid int64, row Row) (Row, error) {
 	}
 	t.rows[rid] = row
 	return old, nil
+}
+
+// indexColumns lists the indexed columns (for snapshots).
+func (t *Table) indexColumns() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.indexes))
+	for col := range t.indexes {
+		out = append(out, col)
+	}
+	return out
+}
+
+// addIndex installs a built index under col, populating it from the current
+// rows (DDL internal; the transaction lock serializes it against writers,
+// mu against concurrent readers).
+func (t *Table) addIndex(col string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := strings.ToLower(col)
+	if _, ok := t.indexes[key]; ok {
+		return fmt.Errorf("store: index on %s.%s already exists", t.Name, col)
+	}
+	ci := t.Schema.ColIndex(col)
+	idx := NewBTree()
+	for rid, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		if err := idx.Insert(row[ci], int64(rid)); err != nil {
+			return err
+		}
+	}
+	t.indexes[key] = idx
+	return nil
 }

@@ -1,0 +1,50 @@
+package timeseries
+
+import (
+	"testing"
+
+	"calsys/internal/caldb"
+	"calsys/internal/chronology"
+	"calsys/internal/core/calendar"
+)
+
+// A series whose valid time comes from a stored calendar must see catalog
+// updates: replacing the calendar's values mid-life shifts the observation
+// spans on the next request instead of serving a stale span cache.
+func TestSeriesSeesReplacedCalendar(t *testing.T) {
+	m := mgr(t)
+	ls := caldb.Lifespan{Lo: 1, Hi: caldb.MaxDayTick}
+	// Settlement dates, initially the 5th of Jan/Feb/Mar 1987 (day ticks
+	// relative to the 1987 epoch: Jan 1 1987 is tick 1).
+	orig, _ := calendar.FromPoints(chronology.Day, []chronology.Tick{5, 36, 64})
+	if err := m.DefineStored("SETTLE", orig, ls); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewRegular(m, "fees", "SETTLE", d(1987, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Append(10, 20, 30)
+	obs, err := s.Observations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs[0].Span.Lo != 5 || obs[1].Span.Lo != 36 {
+		t.Fatalf("initial spans = %v, %v", obs[0].Span, obs[1].Span)
+	}
+	// The settlement schedule moves to the 10th of each month.
+	moved, _ := calendar.FromPoints(chronology.Day, []chronology.Tick{10, 41, 69})
+	if err := m.ReplaceStored("SETTLE", moved); err != nil {
+		t.Fatal(err)
+	}
+	obs, err = s.Observations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []chronology.Tick{10, 41, 69}
+	for i, o := range obs {
+		if o.Span.Lo != want[i] {
+			t.Errorf("post-replace span %d = %v, want Lo=%d (stale span cache?)", i, o.Span, want[i])
+		}
+	}
+}

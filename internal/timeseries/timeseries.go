@@ -36,10 +36,12 @@ type Regular struct {
 	from   chronology.Civil
 	values []float64
 
-	// cached generated spans (extended as values grow)
-	spans []interval.Interval
-	gran  chronology.Granularity
-	// horizonDays is how far the calendar has been evaluated so far.
+	gran chronology.Granularity
+	// horizonDays is how far ahead the calendar has had to be evaluated so
+	// far. The spans themselves are not kept here: every request re-evaluates
+	// the expression through the catalog's shared materialization cache, so
+	// repeated requests are cheap while calendar redefinitions (a holiday
+	// list replaced mid-year) are picked up instead of served stale.
 	horizonDays int64
 }
 
@@ -52,7 +54,7 @@ func NewRegular(mgr *caldb.Manager, name, calExpr string, from chronology.Civil)
 	}
 	r := &Regular{name: name, calSrc: calExpr, mgr: mgr, from: from, horizonDays: 366}
 	// Validate the expression eagerly.
-	if err := r.extendSpans(1); err != nil {
+	if _, err := r.spansFor(1); err != nil {
 		return nil, err
 	}
 	return r, nil
@@ -78,49 +80,53 @@ func (r *Regular) Append(vs ...float64) {
 // Values returns the raw values (shared slice; do not modify).
 func (r *Regular) Values() []float64 { return r.values }
 
-// extendSpans evaluates the calendar far enough ahead to cover at least n
-// observations, doubling the horizon as needed.
-func (r *Regular) extendSpans(n int) error {
+// spansFor evaluates the calendar far enough ahead to yield at least n
+// observation spans, doubling the horizon as needed. The evaluation runs
+// through the catalog's shared materialization cache, so only the first
+// request (and requests after a catalog change, whose results must differ)
+// pays for generation.
+func (r *Regular) spansFor(n int) ([]interval.Interval, error) {
 	// maxHorizonDays bounds the search to ~80 years; a calendar yielding
 	// fewer points than observations within that span is an error.
 	const maxHorizonDays = 30000
-	for len(r.spans) < n {
+	var spans []interval.Interval
+	for {
 		if r.horizonDays > maxHorizonDays {
-			return fmt.Errorf("timeseries: calendar %q yields too few points (%d of %d) within %d days",
-				r.calSrc, len(r.spans), n, r.horizonDays)
+			return nil, fmt.Errorf("timeseries: calendar %q yields too few points (%d of %d) within %d days",
+				r.calSrc, len(spans), n, r.horizonDays)
 		}
 		to := r.from.AddDays(r.horizonDays)
 		cal, err := r.mgr.EvalExpr(r.calSrc, r.from, to)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		flat := cal.Flatten()
 		r.gran = flat.Granularity()
 		// Keep only spans at or after the series start.
 		startTick := r.mgr.Chron().TickAt(r.gran, r.mgr.Chron().EpochSecondsOf(r.from))
-		spans := make([]interval.Interval, 0, flat.Len())
+		spans = spans[:0]
 		for _, iv := range flat.Intervals() {
 			if iv.Hi >= startTick {
 				spans = append(spans, iv)
 			}
 		}
-		r.spans = spans
-		if len(r.spans) < n {
-			r.horizonDays *= 2
+		if len(spans) >= n {
+			return spans, nil
 		}
+		r.horizonDays *= 2
 	}
-	return nil
 }
 
 // Observations materializes the series: spans generated from the calendar,
 // paired with stored values.
 func (r *Regular) Observations() ([]Obs, error) {
-	if err := r.extendSpans(len(r.values)); err != nil {
+	spans, err := r.spansFor(len(r.values))
+	if err != nil {
 		return nil, err
 	}
 	out := make([]Obs, len(r.values))
 	for i, v := range r.values {
-		out[i] = Obs{Span: r.spans[i], Value: v}
+		out[i] = Obs{Span: spans[i], Value: v}
 	}
 	return out, nil
 }
@@ -130,21 +136,23 @@ func (r *Regular) SpanOf(i int) (interval.Interval, error) {
 	if i < 0 || i >= len(r.values) {
 		return interval.Interval{}, fmt.Errorf("timeseries: observation %d out of range", i)
 	}
-	if err := r.extendSpans(i + 1); err != nil {
+	spans, err := r.spansFor(i + 1)
+	if err != nil {
 		return interval.Interval{}, err
 	}
-	return r.spans[i], nil
+	return spans[i], nil
 }
 
 // At returns the value valid at the given civil date, resolved through the
 // generated calendar.
 func (r *Regular) At(d chronology.Civil) (float64, bool, error) {
-	if err := r.extendSpans(len(r.values)); err != nil {
+	spans, err := r.spansFor(len(r.values))
+	if err != nil {
 		return 0, false, err
 	}
 	tick := r.mgr.Chron().TickAt(r.gran, r.mgr.Chron().EpochSecondsOf(d))
 	for i := range r.values {
-		if r.spans[i].Contains(tick) {
+		if spans[i].Contains(tick) {
 			return r.values[i], true, nil
 		}
 	}
