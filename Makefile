@@ -1,16 +1,24 @@
 # Mirrors .github/workflows/ci.yml: `make check` runs exactly what CI runs.
+# staticcheck and govulncheck are skipped with a notice when the binaries
+# are not installed (offline build environments); CI installs them.
 
 GO ?= go
 
-.PHONY: check build vet fmt-check test race bench-smoke bench
+.PHONY: check build vet vet-calsys fmt-check test race bench-smoke bench \
+	fuzz-smoke staticcheck govulncheck
 
-check: build vet fmt-check test race bench-smoke
+check: build vet vet-calsys fmt-check test race bench-smoke fuzz-smoke \
+	staticcheck govulncheck
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific vet passes (tickzero: the no-zero tick convention).
+vet-calsys:
+	$(GO) run ./cmd/vet-calsys ./...
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -28,6 +36,24 @@ race:
 
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x ./... | tee bench-smoke.txt
+
+# Short fuzz run over the calendar-language front end (parser + calvet).
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParseAndVet -fuzztime=15s -run '^$$' ./internal/core/callang/
+
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (CI runs it)"; \
+	fi
 
 # Full benchmark run (not part of check; takes a while).
 bench:

@@ -4,6 +4,7 @@ import (
 	"calsys/internal/caldb"
 	"calsys/internal/chronology"
 	"calsys/internal/core/calendar"
+	calvet "calsys/internal/core/callang/vet"
 	"calsys/internal/core/interval"
 	"calsys/internal/core/matcache"
 	"calsys/internal/core/plan"
@@ -50,6 +51,12 @@ type (
 	CalendarEntry = caldb.Entry
 	// Lifespan is a calendar's validity range in day ticks.
 	Lifespan = caldb.Lifespan
+	// VetDiag is one positioned diagnostic from the calvet static analyzer.
+	VetDiag = calvet.Diag
+	// VetDiags is a position-sorted diagnostic list.
+	VetDiags = calvet.Diags
+	// VetSeverity grades a vet diagnostic (warning or error).
+	VetSeverity = calvet.Severity
 	// MatCacheStats snapshots the shared materialization cache's counters.
 	MatCacheStats = matcache.Stats
 
@@ -160,6 +167,12 @@ const (
 
 // GranAuto asks DefineCalendar to infer granularity from the derivation.
 const GranAuto = caldb.GranAuto
+
+// Vet diagnostic severities.
+const (
+	VetWarning = calvet.Warning
+	VetError   = calvet.Error
+)
 
 // MaxDayTick stands in for an unbounded lifespan upper bound.
 const MaxDayTick = caldb.MaxDayTick

@@ -172,6 +172,15 @@ func (s *System) CalendarEntryOf(name string) (*CalendarEntry, bool) { return s.
 // Figure 1.
 func (s *System) CalendarFigureRow(name string) (string, error) { return s.cal.FigureRow(name) }
 
+// VetCalendar statically analyzes a derivation source as if it were being
+// defined under name (empty for anonymous expressions) without touching the
+// catalog, returning calvet's positioned CV001-CV009 diagnostics.
+func (s *System) VetCalendar(name, derivation string) VetDiags { return s.cal.Vet(name, derivation) }
+
+// VetDefinedCalendar re-runs the static analyzer over an already-defined
+// calendar's derivation script.
+func (s *System) VetDefinedCalendar(name string) (VetDiags, error) { return s.cal.VetDefined(name) }
+
 // EvalCalendar parses and evaluates a calendar expression over a civil
 // window.
 func (s *System) EvalCalendar(src string, from, to Civil) (*Calendar, error) {

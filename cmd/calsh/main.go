@@ -30,6 +30,7 @@ run directly. Dot-commands:
   .tree <expr>                parse tree, initial and factorized
   .plan <expr> [<from> <to>]  compiled evaluation plan
   .fig1 <name>                CALENDARS catalog row (Figure 1)
+  .vet <name|expr|script>     static analysis (CV001-CV009 diagnostics)
   .now                        current virtual date
   .advance <days>             advance the virtual clock, driving DBCRON
   .cron <seconds>             start DBCRON with probe period T
@@ -93,7 +94,9 @@ func isTerminal() bool {
 }
 
 func (sh *shell) dispatch(line string) error {
-	if !strings.HasPrefix(line, ".") {
+	// `:vet` is accepted as an alias of `.vet` (diagnostics codes read
+	// naturally after a colon).
+	if !strings.HasPrefix(line, ".") && !strings.HasPrefix(line, ":vet") {
 		results, err := sh.sys.Exec(line)
 		for _, r := range results {
 			fmt.Fprintln(sh.out, r.String())
@@ -159,6 +162,11 @@ func (sh *shell) dispatch(line string) error {
 		}
 		fmt.Fprint(sh.out, row)
 		return nil
+	case ".vet", ":vet":
+		if rest == "" {
+			return fmt.Errorf("usage: .vet <calendar-name | expression | script>")
+		}
+		return sh.vet(rest)
 	case ".now":
 		fmt.Fprintln(sh.out, sh.sys.Today())
 		return nil
@@ -234,6 +242,29 @@ func (sh *shell) dispatch(line string) error {
 
 // exprWindow splits ".cal expr [from to]" arguments; trailing ISO dates set
 // the window.
+// vet runs the calvet static analyzer: over the stored derivation when the
+// argument names a defined calendar, over the source itself otherwise.
+func (sh *shell) vet(rest string) error {
+	var ds calsys.VetDiags
+	if _, ok := sh.sys.CalendarEntryOf(rest); ok {
+		var err error
+		ds, err = sh.sys.VetDefinedCalendar(rest)
+		if err != nil {
+			return err
+		}
+	} else {
+		ds = sh.sys.VetCalendar("", rest)
+	}
+	if len(ds) == 0 {
+		fmt.Fprintln(sh.out, "ok: no diagnostics")
+		return nil
+	}
+	for _, d := range ds {
+		fmt.Fprintln(sh.out, d.String())
+	}
+	return nil
+}
+
 func (sh *shell) exprWindow(rest string) (string, calsys.Civil, calsys.Civil, error) {
 	if rest == "" {
 		return "", calsys.Civil{}, calsys.Civil{}, fmt.Errorf("missing expression")

@@ -118,6 +118,38 @@ func TestShellErrors(t *testing.T) {
 			t.Errorf("dispatch(%q) should fail", line)
 		}
 	}
+	if err := sh.dispatch(".vet"); err == nil {
+		t.Error("bare .vet should fail with usage")
+	}
+}
+
+func TestShellVetCommand(t *testing.T) {
+	sh, out := newTestShell(t)
+	lines := []string{
+		`define calendar Tuesdays as "[2]/DAYS:during:WEEKS"`,
+		`.vet Tuesdays`,
+		`.vet NOPE:during:MONTHS`,
+		`.vet [8]/DAYS:during:WEEKS`,
+		`:vet {x = DAYS:during:WEEKS; return (WEEKS);}`,
+	}
+	for _, line := range lines {
+		if err := sh.dispatch(line); err != nil {
+			t.Fatalf("dispatch(%q): %v", line, err)
+		}
+	}
+	sh.out.Flush()
+	text := out.String()
+	for _, want := range []string{
+		"ok: no diagnostics", // Tuesdays vets clean
+		`error CV001: undefined calendar reference "NOPE"`,
+		"warning CV005", // [8] out of range for days-per-week
+		"warning CV006", // x assigned but never used
+		"1:1:",          // positions are rendered
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("vet output missing %q:\n%s", want, text)
+		}
+	}
 }
 
 func TestShellExprWindowParsing(t *testing.T) {

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestInlineClean(t *testing.T) {
+	code, out, _ := runCapture(t, "-e", "[2]/DAYS:during:WEEKS")
+	if code != 0 || out != "" {
+		t.Errorf("clean source: code=%d out=%q", code, out)
+	}
+}
+
+func TestInlineUndefinedReference(t *testing.T) {
+	code, out, _ := runCapture(t, "-e", "NOPE:during:MONTHS")
+	if code != 1 {
+		t.Errorf("code = %d, want 1", code)
+	}
+	for _, want := range []string{"<arg>:1:1:", "error CV001", `"NOPE"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKnownKindsFlag(t *testing.T) {
+	code, out, _ := runCapture(t, "-k", "Mondays=DAYS", "-e", "Mondays:during:MONTHS")
+	if code != 0 {
+		t.Errorf("declared calendar should vet clean, got code %d:\n%s", code, out)
+	}
+	code, _, errb := runCapture(t, "-k", "bogus", "-e", "DAYS")
+	if code != 2 || !strings.Contains(errb, "NAME=GRANULARITY") {
+		t.Errorf("malformed -k: code=%d err=%q", code, errb)
+	}
+}
+
+func TestStrictTreatsWarningsAsErrors(t *testing.T) {
+	code, out, _ := runCapture(t, "-e", "[8]/DAYS:during:WEEKS")
+	if code != 0 || !strings.Contains(out, "warning CV005") {
+		t.Errorf("warnings alone should exit 0: code=%d\n%s", code, out)
+	}
+	code, _, _ = runCapture(t, "-strict", "-e", "[8]/DAYS:during:WEEKS")
+	if code != 1 {
+		t.Errorf("-strict should fail on warnings, got %d", code)
+	}
+}
+
+func TestFileVetting(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "Tuesdays.cal")
+	if err := os.WriteFile(good, []byte("[2]/DAYS:during:WEEKS\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The file's base name is the calendar being defined: a self-reference
+	// is a cycle, not an undefined name.
+	loopy := filepath.Join(dir, "LOOPY.cal")
+	if err := os.WriteFile(loopy, []byte("LOOPY:during:MONTHS\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runCapture(t, good, loopy)
+	if code != 1 {
+		t.Errorf("code = %d, want 1", code)
+	}
+	if strings.Contains(out, "Tuesdays.cal") {
+		t.Errorf("clean file should print nothing:\n%s", out)
+	}
+	for _, want := range []string{loopy + ":1:1:", "error CV002", "LOOPY → LOOPY"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	code, _, errb := runCapture(t, filepath.Join(dir, "missing.cal"))
+	if code != 2 || errb == "" {
+		t.Errorf("missing file: code=%d err=%q", code, errb)
+	}
+}
+
+func TestParseFailureIsDiagnostic(t *testing.T) {
+	code, out, _ := runCapture(t, "-e", "DAYS:during:")
+	if code != 1 || !strings.Contains(out, "error PARSE") {
+		t.Errorf("parse failure: code=%d\n%s", code, out)
+	}
+}
+
+func TestUsage(t *testing.T) {
+	code, _, errb := runCapture(t)
+	if code != 2 || !strings.Contains(errb, "usage") {
+		t.Errorf("no-args: code=%d err=%q", code, errb)
+	}
+}

@@ -1,0 +1,188 @@
+// Package analysis is a minimal, dependency-free analogue of the
+// golang.org/x/tools/go/analysis framework: just enough driver to run
+// AST-level vet passes over this repository from `make check` and CI
+// without fetching external modules (the build environment is offline).
+//
+// Analyzers receive parsed files for one package directory at a time and
+// report positioned diagnostics; the driver handles `./...` pattern
+// expansion, test-file filtering, and aggregation. Passes needing full type
+// information belong in the real framework; the checks hosted here are
+// deliberately syntactic.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding of an analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders "path:line:col: [analyzer] message".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named vet pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Run inspects one package directory and reports findings via
+	// pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzer's view of one package directory.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Dir      string
+	Files    []*ast.File
+
+	report func(Diagnostic)
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Package is one parsed package directory.
+type Package struct {
+	Dir   string
+	Files []*ast.File
+}
+
+// Options tune a driver run.
+type Options struct {
+	// IncludeTests parses _test.go files too. Off by default: tests
+	// legitimately construct invalid values to assert rejection.
+	IncludeTests bool
+}
+
+// Load parses the package directories matched by patterns. A pattern is a
+// directory path, or a path ending in "/..." which matches the directory
+// and everything below it (vendor, testdata and dot-directories are
+// skipped, mirroring go tooling).
+func Load(patterns []string, opts Options) ([]*Package, *token.FileSet, error) {
+	dirSet := map[string]bool{}
+	for _, pat := range patterns {
+		recursive := false
+		dir := pat
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			dir = strings.TrimSuffix(pat, "/...")
+		} else if pat == "..." {
+			recursive = true
+			dir = "."
+		}
+		if dir == "" {
+			dir = "."
+		}
+		if !recursive {
+			dirSet[filepath.Clean(dir)] = true
+			continue
+		}
+		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != dir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "vendor" || name == "testdata" || name == "node_modules") {
+				return filepath.SkipDir
+			}
+			dirSet[filepath.Clean(path)] = true
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	dirs := make([]string, 0, len(dirSet))
+	for d := range dirSet {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		var files []*ast.File
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") {
+				continue
+			}
+			if !opts.IncludeTests && strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, nil, fmt.Errorf("analysis: %w", err)
+			}
+			files = append(files, f)
+		}
+		if len(files) > 0 {
+			pkgs = append(pkgs, &Package{Dir: dir, Files: files})
+		}
+	}
+	return pkgs, fset, nil
+}
+
+// Run loads the packages matched by patterns and applies every analyzer,
+// returning all diagnostics sorted by position.
+func Run(patterns []string, analyzers []*Analyzer, opts Options) ([]Diagnostic, error) {
+	pkgs, fset, err := Load(patterns, opts)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Dir:      pkg.Dir,
+				Files:    pkg.Files,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s: %w", a.Name, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pos.Column < b.Pos.Column
+	})
+	return diags, nil
+}

@@ -1,0 +1,189 @@
+// Package tickzero is a vet pass enforcing the paper's no-zero tick
+// convention in Go code: tick 0 never exists (the tick before 1 is -1), so
+// an interval endpoint or tick-list element written as literal 0 is a bug
+// that the runtime will reject — better caught at vet time. It also flags
+// comparisons between ticks obtained at different granularities, which are
+// meaningless without an explicit conversion.
+package tickzero
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+
+	"calsys/internal/analysis"
+)
+
+// Analyzer is the tickzero pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "tickzero",
+	Doc: "flag interval/tick constructions containing literal tick 0, and " +
+		"tick comparisons across granularities without conversion",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CompositeLit:
+				checkComposite(pass, node)
+			case *ast.CallExpr:
+				checkCall(pass, node)
+			case *ast.BinaryExpr:
+				checkComparison(pass, node)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkComposite flags interval.Interval{...} literals with an explicit 0
+// endpoint and []chronology.Tick{...} literals containing 0. The empty
+// Interval{} zero value is a legitimate sentinel and is not flagged.
+func checkComposite(pass *analysis.Pass, lit *ast.CompositeLit) {
+	switch typeName(lit.Type) {
+	case "Interval":
+		for i, el := range lit.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if key, ok := kv.Key.(*ast.Ident); ok && (key.Name == "Lo" || key.Name == "Hi") && isZero(kv.Value) {
+					pass.Report(kv.Value.Pos(),
+						"interval endpoint %s is literal tick 0, which the no-zero convention excludes (the tick before 1 is -1)", key.Name)
+				}
+				continue
+			}
+			if i < 2 && isZero(el) {
+				pass.Report(el.Pos(),
+					"interval endpoint is literal tick 0, which the no-zero convention excludes (the tick before 1 is -1)")
+			}
+		}
+	case "Tick":
+		// []chronology.Tick{...} (or []Tick{...} inside the package).
+		if _, isSlice := lit.Type.(*ast.ArrayType); !isSlice {
+			return
+		}
+		for _, el := range lit.Elts {
+			if isZero(el) {
+				pass.Report(el.Pos(), "tick list contains literal tick 0, which the no-zero convention excludes")
+			}
+		}
+	}
+}
+
+// checkCall flags interval.New / interval.Must calls whose endpoint
+// arguments are literal 0.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	name := calleeName(call.Fun)
+	if name != "interval.New" && name != "interval.Must" && name != "New" && name != "Must" {
+		return
+	}
+	// Only the two-endpoint constructors of the interval package: guard
+	// against unrelated New/Must by requiring ≥2 args when unqualified.
+	if (name == "New" || name == "Must") && !strings.HasSuffix(pass.Dir, "interval") {
+		return
+	}
+	for i, arg := range call.Args {
+		if i >= 2 {
+			break
+		}
+		if isZero(arg) {
+			pass.Report(arg.Pos(),
+				"%s called with literal tick 0, which the no-zero convention excludes (the tick before 1 is -1)", name)
+		}
+	}
+}
+
+// checkComparison flags ==, !=, <, <=, >, >= between two TickAt(...) calls
+// whose granularity arguments name different granularities: ticks count
+// different units and comparing them needs an explicit conversion.
+func checkComparison(pass *analysis.Pass, bin *ast.BinaryExpr) {
+	switch bin.Op {
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+	default:
+		return
+	}
+	gx, okx := tickAtGran(bin.X)
+	gy, oky := tickAtGran(bin.Y)
+	if okx && oky && gx != gy {
+		pass.Report(bin.OpPos,
+			"comparing ticks of different granularities (%s vs %s) without conversion", gx, gy)
+	}
+}
+
+// tickAtGran matches a call to a function or method named TickAt and
+// returns the rendered granularity argument when it is a plain selector or
+// identifier (chronology.Day, Day, ...).
+func tickAtGran(e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) < 1 {
+		return "", false
+	}
+	name := calleeName(call.Fun)
+	if name != "TickAt" && !strings.HasSuffix(name, ".TickAt") {
+		return "", false
+	}
+	switch arg := ast.Unparen(call.Args[0]).(type) {
+	case *ast.SelectorExpr:
+		if x, ok := arg.X.(*ast.Ident); ok {
+			return x.Name + "." + arg.Sel.Name, true
+		}
+	case *ast.Ident:
+		return arg.Name, true
+	}
+	return "", false
+}
+
+// typeName returns the bare name of a (possibly qualified, possibly
+// slice/array) type expression: interval.Interval → "Interval",
+// []chronology.Tick → "Tick".
+func typeName(t ast.Expr) string {
+	switch tt := t.(type) {
+	case *ast.Ident:
+		return tt.Name
+	case *ast.SelectorExpr:
+		return tt.Sel.Name
+	case *ast.ArrayType:
+		return typeName(tt.Elt)
+	case *ast.StarExpr:
+		return typeName(tt.X)
+	}
+	return ""
+}
+
+// calleeName renders the called function as "name" or "pkg.name".
+func calleeName(fun ast.Expr) string {
+	switch f := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if x, ok := f.X.(*ast.Ident); ok {
+			return x.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return ""
+}
+
+// isZero reports whether e is the integer literal 0 (in any base), possibly
+// parenthesized, negated, or wrapped in a Tick conversion.
+func isZero(e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		if v.Kind != token.INT {
+			return false
+		}
+		n, err := strconv.ParseInt(v.Value, 0, 64)
+		return err == nil && n == 0
+	case *ast.UnaryExpr:
+		return v.Op == token.SUB && isZero(v.X)
+	case *ast.CallExpr:
+		// chronology.Tick(0) and Tick(0) conversions.
+		name := calleeName(v.Fun)
+		if (name == "Tick" || strings.HasSuffix(name, ".Tick")) && len(v.Args) == 1 {
+			return isZero(v.Args[0])
+		}
+	}
+	return false
+}

@@ -1,0 +1,160 @@
+package tickzero_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"calsys/internal/analysis"
+	"calsys/internal/analysis/tickzero"
+)
+
+const badSrc = `package bad
+
+import (
+	"calsys/internal/chronology"
+	"calsys/internal/core/interval"
+)
+
+func f(ch *chronology.Chronology, c chronology.Civil) {
+	_ = interval.Interval{Lo: 0, Hi: 5}           // want Lo flagged
+	_ = interval.Interval{0, 5}                   // want positional flagged
+	_, _ = interval.New(0, 10)                    // want arg flagged
+	_ = []chronology.Tick{0, 3}                   // want element flagged
+	_ = []chronology.Tick{chronology.Tick(0)}     // want conversion flagged
+	if ch.TickAt(chronology.Day, c) == ch.TickAt(chronology.Week, c) { // want comparison flagged
+		return
+	}
+}
+`
+
+const goodSrc = `package good
+
+import (
+	"calsys/internal/chronology"
+	"calsys/internal/core/interval"
+)
+
+func g(ch *chronology.Chronology, c chronology.Civil, lo chronology.Tick) {
+	_ = interval.Interval{}                    // zero-value sentinel: fine
+	_ = interval.Interval{Lo: lo, Hi: 5}       // variables: fine
+	_, _ = interval.New(-1, 1)                 // -1 precedes 1: fine
+	_ = []chronology.Tick{1, -1}               // fine
+	if ch.TickAt(chronology.Day, c) == ch.TickAt(chronology.Day, c) { // same gran: fine
+		return
+	}
+}
+`
+
+const testOnlySrc = `package bad
+
+import "calsys/internal/core/interval"
+
+func h() {
+	// Deliberate invalid input in a test: skipped unless IncludeTests.
+	_, _ = interval.New(0, 5)
+}
+`
+
+func writeFile(t *testing.T, dir, name, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTickZeroFindings(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "bad.go", badSrc)
+	diags, err := analysis.Run([]string{dir}, []*analysis.Analyzer{tickzero.Analyzer}, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 6 {
+		t.Fatalf("want 6 findings, got %d:\n%v", len(diags), diags)
+	}
+	wants := []string{
+		"endpoint Lo is literal tick 0",
+		"endpoint is literal tick 0",
+		"interval.New called with literal tick 0",
+		"tick list contains literal tick 0",
+		"tick list contains literal tick 0",
+		"different granularities (chronology.Day vs chronology.Week)",
+	}
+	for i, want := range wants {
+		if !strings.Contains(diags[i].Message, want) {
+			t.Errorf("diag[%d] = %s, want %q", i, diags[i], want)
+		}
+	}
+	for _, d := range diags {
+		if d.Pos.Line == 0 || d.Analyzer != "tickzero" {
+			t.Errorf("diagnostic missing position or analyzer: %+v", d)
+		}
+	}
+}
+
+func TestTickZeroCleanCode(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "good.go", goodSrc)
+	diags, err := analysis.Run([]string{dir}, []*analysis.Analyzer{tickzero.Analyzer}, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("clean code flagged:\n%v", diags)
+	}
+}
+
+func TestTestFilesSkippedByDefault(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "good.go", goodSrc)
+	writeFile(t, dir, "bad_test.go", testOnlySrc)
+	diags, err := analysis.Run([]string{dir}, []*analysis.Analyzer{tickzero.Analyzer}, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("test files should be skipped by default:\n%v", diags)
+	}
+	diags, err = analysis.Run([]string{dir}, []*analysis.Analyzer{tickzero.Analyzer},
+		analysis.Options{IncludeTests: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Errorf("IncludeTests should surface the finding, got:\n%v", diags)
+	}
+}
+
+func TestRecursivePatterns(t *testing.T) {
+	root := t.TempDir()
+	sub := filepath.Join(root, "inner")
+	skipped := filepath.Join(root, "testdata")
+	for _, d := range []string{sub, skipped} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile(t, sub, "bad.go", badSrc)
+	writeFile(t, skipped, "bad.go", badSrc)
+	diags, err := analysis.Run([]string{root + "/..."}, []*analysis.Analyzer{tickzero.Analyzer}, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 6 {
+		t.Errorf("recursive pattern should reach inner but skip testdata, got %d:\n%v", len(diags), diags)
+	}
+}
+
+// The repository itself must vet clean — this is what CI enforces via
+// cmd/vet-calsys.
+func TestRepositoryIsClean(t *testing.T) {
+	diags, err := analysis.Run([]string{"../../../..."}, []*analysis.Analyzer{tickzero.Analyzer}, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("repository has tickzero findings:\n%v", diags)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"calsys/internal/chronology"
 	"calsys/internal/core/calendar"
 	"calsys/internal/core/callang"
+	calvet "calsys/internal/core/callang/vet"
 	"calsys/internal/core/interval"
 	"calsys/internal/core/matcache"
 	"calsys/internal/core/plan"
@@ -59,6 +60,9 @@ type Entry struct {
 	Lifespan   Lifespan
 	Gran       chronology.Granularity
 	Values     *calendar.Calendar // nil for derived calendars
+	// Warnings are the calvet warnings recorded when the calendar was
+	// defined (or last re-vetted); rendered by FigureRow/Describe.
+	Warnings []string
 	// Version is the catalog generation this entry was last written at;
 	// materializations computed against an older generation are stale.
 	Version uint64
@@ -100,6 +104,7 @@ func New(db *store.DB, chron *chronology.Chronology) (*Manager, error) {
 			store.Column{Name: "lifespan", Type: store.TInterval},
 			store.Column{Name: "granularity", Type: store.TText},
 			store.Column{Name: "calvalues", Type: store.TCalendar},
+			store.Column{Name: "vet_warnings", Type: store.TText},
 		)
 		if err != nil {
 			return nil, err
@@ -198,6 +203,11 @@ func decodeEntry(row store.Row) (*Entry, error) {
 		}
 		e.script = s
 	}
+	// Rows written before the vet_warnings column existed are one value
+	// short; treat them as warning-free.
+	if len(row) > 6 && row[6].S != "" {
+		e.Warnings = strings.Split(row[6].S, "\n")
+	}
 	return e, nil
 }
 
@@ -239,6 +249,15 @@ func (m *Manager) DefineDerived(name, derivation string, lifespan Lifespan, gran
 		return fmt.Errorf("caldb: invalid lifespan %v", lifespan)
 	}
 
+	// Static analysis before any plan work: undefined references, cycles and
+	// no-zero violations reject the definition with positioned diagnostics;
+	// warnings are recorded in the catalog row.
+	diags := calvet.AnalyzeScript(script, m, calvet.Options{SelfName: name})
+	if diags.HasErrors() {
+		return fmt.Errorf("caldb: %q does not vet:\n%s", name, diags.Errors())
+	}
+	warnings := diagLines(diags.Warnings())
+
 	// Compile the eval-plan column for the catalog. Single-expression
 	// derivations compile to a plan; multi-statement scripts store a
 	// per-statement rendering.
@@ -249,9 +268,41 @@ func (m *Manager) DefineDerived(name, derivation string, lifespan Lifespan, gran
 
 	entry := &Entry{
 		Name: name, Derivation: script.String(), EvalPlan: planText,
-		Lifespan: lifespan, Gran: gran, script: script,
+		Lifespan: lifespan, Gran: gran, script: script, Warnings: warnings,
 	}
 	return m.insert(entry)
+}
+
+// diagLines renders diagnostics one per line for catalog storage.
+func diagLines(ds calvet.Diags) []string {
+	if len(ds) == 0 {
+		return nil
+	}
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.String()
+	}
+	return out
+}
+
+// Vet statically analyzes a derivation source as if it were being defined
+// under name (which may be empty for anonymous expressions), without
+// touching the catalog. Parse failures surface as diagnostics.
+func (m *Manager) Vet(name, derivation string) calvet.Diags {
+	return calvet.ParseAndAnalyze(derivation, m, calvet.Options{SelfName: name})
+}
+
+// VetDefined re-runs the static analyzer over an already-defined calendar's
+// derivation script.
+func (m *Manager) VetDefined(name string) (calvet.Diags, error) {
+	e, ok := m.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("caldb: no calendar %q", name)
+	}
+	if e.script == nil {
+		return nil, nil // stored-values calendars have nothing to vet
+	}
+	return calvet.AnalyzeScript(e.script, m, calvet.Options{SelfName: e.Name}), nil
 }
 
 // DefineStored records a calendar with explicit values (e.g. HOLIDAYS).
@@ -284,6 +335,13 @@ func (m *Manager) ReplaceStored(name string, values *calendar.Calendar) error {
 	if !ok || e.Values == nil {
 		return fmt.Errorf("caldb: no stored calendar %q", name)
 	}
+	// Re-vet every derived calendar that references the replaced one against
+	// its post-replacement granularity: new errors reject the replacement
+	// before it lands, new warnings refresh the dependents' catalog rows.
+	revetted, err := m.revetDependents(e.Name, values.Granularity())
+	if err != nil {
+		return err
+	}
 	tab, _ := m.db.Table(TableName)
 	rids, err := tab.LookupEq("name", store.NewText(e.Name))
 	if err != nil || len(rids) == 0 {
@@ -306,7 +364,90 @@ func (m *Manager) ReplaceStored(name string, values *calendar.Calendar) error {
 	upd.Version = gen
 	m.cache[strings.ToLower(name)] = &upd
 	m.mu.Unlock()
+	for dep, warnings := range revetted {
+		m.refreshWarnings(dep, warnings, gen)
+	}
 	return nil
+}
+
+// granOverride resolves one calendar name to a hypothetical granularity,
+// deferring everything else to the Manager; ReplaceStored uses it to vet
+// dependents against the replacement before committing it.
+type granOverride struct {
+	*Manager
+	name string
+	g    chronology.Granularity
+}
+
+func (o granOverride) ElemKindOf(name string) (chronology.Granularity, bool) {
+	if strings.EqualFold(name, o.name) {
+		return o.g, true
+	}
+	return o.Manager.ElemKindOf(name)
+}
+
+// revetDependents vets every derived calendar referencing name as if name
+// had granularity g, returning each dependent's fresh warning set, or an
+// error if any dependent stops vetting clean.
+func (m *Manager) revetDependents(name string, g chronology.Granularity) (map[string][]string, error) {
+	m.mu.RLock()
+	var deps []*Entry
+	for _, e := range m.cache {
+		if e.script == nil {
+			continue
+		}
+		for ref := range callang.AnalyzeScript(e.script, m).Refs {
+			if strings.EqualFold(ref, name) {
+				deps = append(deps, e)
+				break
+			}
+		}
+	}
+	m.mu.RUnlock()
+	if len(deps) == 0 {
+		return nil, nil
+	}
+	cat := granOverride{Manager: m, name: name, g: g}
+	out := map[string][]string{}
+	for _, dep := range deps {
+		diags := calvet.AnalyzeScript(dep.script, cat, calvet.Options{SelfName: dep.Name})
+		if diags.HasErrors() {
+			return nil, fmt.Errorf("caldb: replacing %q breaks %q:\n%s", name, dep.Name, diags.Errors())
+		}
+		out[dep.Name] = diagLines(diags.Warnings())
+	}
+	return out, nil
+}
+
+// refreshWarnings rewrites a calendar's stored warning list in cache and
+// catalog row.
+func (m *Manager) refreshWarnings(name string, warnings []string, gen uint64) {
+	m.mu.Lock()
+	e, ok := m.cache[strings.ToLower(name)]
+	if ok {
+		upd := *e
+		upd.Warnings = warnings
+		upd.Version = gen
+		m.cache[strings.ToLower(name)] = &upd
+	}
+	m.mu.Unlock()
+	if !ok {
+		return
+	}
+	tab, _ := m.db.Table(TableName)
+	rids, err := tab.LookupEq("name", store.NewText(e.Name))
+	if err != nil || len(rids) == 0 {
+		return
+	}
+	row, ok := tab.Get(rids[0])
+	if !ok || len(row) <= 6 {
+		return
+	}
+	newRow := row.Clone()
+	newRow[6] = store.NewText(strings.Join(warnings, "\n"))
+	_ = m.db.RunTxn(func(tx *store.Txn) error {
+		return tx.Replace(TableName, rids[0], newRow)
+	})
 }
 
 // Drop removes a calendar definition.
@@ -376,6 +517,7 @@ func (m *Manager) insert(e *Entry) error {
 		store.NewInterval(interval.Interval{Lo: e.Lifespan.Lo, Hi: e.Lifespan.Hi}),
 		store.NewText(e.Gran.String()),
 		values,
+		store.NewText(strings.Join(e.Warnings, "\n")),
 	}
 	if err := m.db.RunTxn(func(tx *store.Txn) error {
 		_, err := tx.Append(TableName, row)
@@ -657,6 +799,9 @@ func (m *Manager) FigureRow(name string) (string, error) {
 		fmt.Fprintf(&b, "Values            | %s\n", e.Values)
 	} else {
 		fmt.Fprintf(&b, "Values            |\n")
+	}
+	for _, w := range e.Warnings {
+		fmt.Fprintf(&b, "Vet-Warnings      | %s\n", w)
 	}
 	return b.String(), nil
 }

@@ -1,0 +1,160 @@
+package caldb
+
+import (
+	"strings"
+	"testing"
+
+	"calsys/internal/chronology"
+	"calsys/internal/core/calendar"
+	calvet "calsys/internal/core/callang/vet"
+)
+
+func TestDefineRejectsUndefinedReference(t *testing.T) {
+	m := newManager(t)
+	err := m.DefineDerived("BAD", "NOPE:during:MONTHS", lifespanFrom1985(), GranAuto)
+	if err == nil {
+		t.Fatal("undefined reference should reject the definition")
+	}
+	for _, want := range []string{"does not vet", "CV001", `"NOPE"`, "1:1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error missing %q: %v", want, err)
+		}
+	}
+	if _, ok := m.Lookup("BAD"); ok {
+		t.Error("rejected calendar landed in the catalog")
+	}
+}
+
+func TestDefineRejectsZeroSelection(t *testing.T) {
+	m := newManager(t)
+	err := m.DefineDerived("ZERO", "0/DAYS:during:MONTHS", lifespanFrom1985(), GranAuto)
+	if err == nil {
+		t.Fatal("zero label selection should reject the definition")
+	}
+	for _, want := range []string{"CV004", "no-zero"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error missing %q: %v", want, err)
+		}
+	}
+}
+
+func TestDefineRejectsSelfCycle(t *testing.T) {
+	m := newManager(t)
+	err := m.DefineDerived("LOOPY", "LOOPY:during:MONTHS", lifespanFrom1985(), chronology.Day)
+	if err == nil {
+		t.Fatal("self-referential derivation should reject the definition")
+	}
+	for _, want := range []string{"CV002", "LOOPY → LOOPY"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error missing %q: %v", want, err)
+		}
+	}
+}
+
+func TestDefineRecordsWarnings(t *testing.T) {
+	m := newManager(t)
+	if err := m.DefineDerived("TODAYS_MONTH", "{return (today:during:MONTHS);}",
+		lifespanFrom1985(), chronology.Day); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := m.Lookup("TODAYS_MONTH")
+	if !ok {
+		t.Fatal("calendar missing")
+	}
+	found := false
+	for _, w := range e.Warnings {
+		if strings.Contains(w, "CV008") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("volatile derivation should record a CV008 warning, got %q", e.Warnings)
+	}
+	row, err := m.FigureRow("TODAYS_MONTH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(row, "Vet-Warnings") || !strings.Contains(row, "CV008") {
+		t.Errorf("figure row should render vet warnings:\n%s", row)
+	}
+
+	// Warnings survive a catalog reload (they live in the vet_warnings
+	// column, not just the cache).
+	if err := m.reload(); err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := m.Lookup("todays_month")
+	if len(e2.Warnings) == 0 || !strings.Contains(e2.Warnings[0], "CV008") {
+		t.Errorf("warnings lost on reload: %q", e2.Warnings)
+	}
+}
+
+func TestCleanDefinitionHasNoWarnings(t *testing.T) {
+	m := newManager(t)
+	if err := m.DefineDerived("Tuesdays", "[2]/DAYS:during:WEEKS", lifespanFrom1985(), GranAuto); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := m.Lookup("Tuesdays")
+	if len(e.Warnings) != 0 {
+		t.Errorf("clean definition recorded warnings: %q", e.Warnings)
+	}
+	row, _ := m.FigureRow("Tuesdays")
+	if strings.Contains(row, "Vet-Warnings") {
+		t.Errorf("figure row should omit the Vet-Warnings line when clean:\n%s", row)
+	}
+}
+
+func TestVetAndVetDefined(t *testing.T) {
+	m := newManager(t)
+	ds := m.Vet("X", "NOPE:during:MONTHS")
+	if !ds.HasErrors() {
+		t.Error("Vet should report the undefined reference")
+	}
+	ds = m.Vet("", "[2]/DAYS:during:WEEKS")
+	if len(ds) != 0 {
+		t.Errorf("clean source should vet clean, got:\n%s", ds)
+	}
+	// Parse failures surface as diagnostics, not panics.
+	ds = m.Vet("", "DAYS:during:")
+	if !ds.HasErrors() {
+		t.Error("parse failure should surface as an error diagnostic")
+	}
+
+	if err := m.DefineDerived("Tuesdays", "[2]/DAYS:during:WEEKS", lifespanFrom1985(), GranAuto); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.VetDefined("Tuesdays")
+	if err != nil || len(got) != 0 {
+		t.Errorf("VetDefined(Tuesdays) = %v, %v", got, err)
+	}
+	if _, err := m.VetDefined("missing"); err == nil {
+		t.Error("VetDefined on an unknown name should error")
+	}
+}
+
+func TestReplaceStoredRevetsDependents(t *testing.T) {
+	m := newManager(t)
+	hol, _ := calendar.FromPoints(chronology.Day, []chronology.Tick{31, 90})
+	if err := m.DefineStored("HOL", hol, Lifespan{Lo: 1, Hi: MaxDayTick}); err != nil {
+		t.Fatal(err)
+	}
+	// WEEKS + HOL mixes Week and Day elements: CV003 warning at define time.
+	if err := m.DefineDerived("UNION", "WEEKS + HOL", lifespanFrom1985(), chronology.Day); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := m.Lookup("UNION")
+	if len(e.Warnings) == 0 || !strings.Contains(e.Warnings[0], calvet.CodeGranMismatch) {
+		t.Fatalf("expected a CV003 warning at define time, got %q", e.Warnings)
+	}
+
+	// Replacing HOL with week-granularity values clears the mismatch; the
+	// dependent's stored warnings refresh.
+	wk, _ := calendar.FromPoints(chronology.Week, []chronology.Tick{5})
+	if err := m.ReplaceStored("HOL", wk); err != nil {
+		t.Fatal(err)
+	}
+	e, _ = m.Lookup("UNION")
+	if len(e.Warnings) != 0 {
+		t.Errorf("warnings should refresh after replacement, got %q", e.Warnings)
+	}
+}

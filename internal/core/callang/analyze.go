@@ -130,12 +130,23 @@ func AnalyzeScript(s *Script, kinds KindResolver) Analysis {
 	}
 	visitStmts(s.Stmts)
 	merged.TickGran = GranFor(merged.Kinds)
-	// Temporaries assigned within the script are not external references.
-	for _, st := range s.Stmts {
-		if as, ok := st.(*AssignStmt); ok {
-			delete(merged.Refs, as.Name)
+	// Temporaries assigned anywhere in the script (including if/while
+	// branches) are not external references.
+	var stripAssigned func(ss []Stmt)
+	stripAssigned = func(ss []Stmt) {
+		for _, st := range ss {
+			switch n := st.(type) {
+			case *AssignStmt:
+				delete(merged.Refs, n.Name)
+			case *IfStmt:
+				stripAssigned(n.Then)
+				stripAssigned(n.Else)
+			case *WhileStmt:
+				stripAssigned(n.Body)
+			}
 		}
 	}
+	stripAssigned(s.Stmts)
 	for name, n := range merged.Refs {
 		if n > 1 {
 			merged.Shared = append(merged.Shared, name)

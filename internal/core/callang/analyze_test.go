@@ -1,0 +1,92 @@
+package callang
+
+import (
+	"reflect"
+	"testing"
+
+	"calsys/internal/chronology"
+)
+
+func mustParseScript(t *testing.T, src string) *Script {
+	t.Helper()
+	s, err := ParseDerivation(src)
+	if err != nil {
+		t.Fatalf("ParseDerivation(%q): %v", src, err)
+	}
+	return s
+}
+
+// Negative selection indices select from the end of each group; they must
+// not perturb the analysis (kinds, tick granularity, reference counts).
+func TestAnalyzeScriptNegativeSelectionIndices(t *testing.T) {
+	a := AnalyzeScript(mustParseScript(t, "{x = [-1]/DAYS:during:WEEKS; return (x);}"), KindMap{})
+	if a.TickGran != chronology.Day {
+		t.Errorf("TickGran = %v, want DAYS", a.TickGran)
+	}
+	if !a.Kinds[chronology.Day] || !a.Kinds[chronology.Week] {
+		t.Errorf("Kinds = %v, want day+week", a.Kinds)
+	}
+	if len(a.Unknown) != 0 {
+		t.Errorf("temporaries should not be unknown refs: %v", a.Unknown)
+	}
+	if a.Refs["DAYS"] != 1 || a.Refs["WEEKS"] != 1 {
+		t.Errorf("Refs = %v", a.Refs)
+	}
+}
+
+// The paper's [n] (last) index: analysis of the EMP-DAYS-style script with
+// temporaries referenced across statements.
+func TestAnalyzeScriptLastIndexAndShared(t *testing.T) {
+	src := `{LDOM = [n]/DAYS:during:MONTHS;
+	return (LDOM:intersects:LDOM);}`
+	a := AnalyzeScript(mustParseScript(t, src), KindMap{})
+	if a.TickGran != chronology.Day {
+		t.Errorf("TickGran = %v, want DAYS", a.TickGran)
+	}
+	// LDOM is a temporary: deleted from Refs, never shared or unknown.
+	if _, ok := a.Refs["LDOM"]; ok {
+		t.Errorf("temporary LDOM should be removed from Refs: %v", a.Refs)
+	}
+	if len(a.Shared) != 0 || len(a.Unknown) != 0 {
+		t.Errorf("Shared = %v, Unknown = %v; want none", a.Shared, a.Unknown)
+	}
+}
+
+// Mixed week/month foreach operands: weeks do not nest in months, so the
+// common tick granularity falls back to days.
+func TestAnalyzeScriptMixedGranularityForeach(t *testing.T) {
+	a := AnalyzeScript(mustParseScript(t, "{return (WEEKS.overlaps.MONTHS);}"), KindMap{})
+	if a.TickGran != chronology.Day {
+		t.Errorf("weeks×months TickGran = %v, want DAYS fallback", a.TickGran)
+	}
+	if !reflect.DeepEqual(a.Kinds, map[chronology.Granularity]bool{
+		chronology.Week: true, chronology.Month: true,
+	}) {
+		t.Errorf("Kinds = %v", a.Kinds)
+	}
+
+	// Month-family units nest: months during years stays in months.
+	a = AnalyzeScript(mustParseScript(t, "{return (MONTHS:during:YEARS);}"), KindMap{})
+	if a.TickGran != chronology.Month {
+		t.Errorf("months×years TickGran = %v, want MONTHS", a.TickGran)
+	}
+}
+
+// Shared references across if/while branches are counted once per
+// occurrence and reported in sorted order; unresolvable names land in
+// Unknown.
+func TestAnalyzeScriptBranchesAndUnknowns(t *testing.T) {
+	src := `{if (HOL:during:MONTHS) { x = HOL; } else { x = MYSTERY; }
+	while (x:<:HOL) ;
+	return (x);}`
+	a := AnalyzeScript(mustParseScript(t, src), KindMap{"HOL": chronology.Day})
+	if a.Refs["HOL"] != 3 {
+		t.Errorf("HOL counted %d times, want 3", a.Refs["HOL"])
+	}
+	if !reflect.DeepEqual(a.Shared, []string{"HOL"}) {
+		t.Errorf("Shared = %v", a.Shared)
+	}
+	if !reflect.DeepEqual(a.Unknown, []string{"MYSTERY"}) {
+		t.Errorf("Unknown = %v", a.Unknown)
+	}
+}

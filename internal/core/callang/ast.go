@@ -30,32 +30,38 @@ type Ident struct {
 // Number is an integer literal (selection labels, call arguments).
 type Number struct {
 	Val int64
+	Pos Pos
 }
 
 // StringLit is a string literal (dates in calls, alert messages).
 type StringLit struct {
 	Val string
+	Pos Pos
 }
 
 // ForeachExpr is the foreach operator {X : Op : Y} (strict) or {X . Op . Y}
-// (relaxed).
+// (relaxed). Pos is the position of the operator token.
 type ForeachExpr struct {
 	X      Expr
 	Op     interval.ListOp
 	Strict bool
 	Y      Expr
+	Pos    Pos
 }
 
 // IntersectExpr is {X : intersects : Y}: point-set intersection of two
 // order-1 calendars (see the EMP-DAYS script of §3.3).
 type IntersectExpr struct {
 	X, Y Expr
+	Pos  Pos
 }
 
-// SelectExpr is the selection operator [pred]/X.
+// SelectExpr is the selection operator [pred]/X. Pos is the position of the
+// opening bracket.
 type SelectExpr struct {
 	Pred calendar.Selection
 	X    Expr
+	Pos  Pos
 }
 
 // LabelSelExpr is label-based selection such as 1993/YEARS, which selects
@@ -63,12 +69,15 @@ type SelectExpr struct {
 type LabelSelExpr struct {
 	Num int64
 	X   Expr
+	Pos Pos
 }
 
-// BinExpr is calendar union (+) or difference (-).
+// BinExpr is calendar union (+) or difference (-). Pos is the position of
+// the operator token.
 type BinExpr struct {
 	Op   byte // '+' or '-'
 	X, Y Expr
+	Pos  Pos
 }
 
 // CallExpr invokes a built-in function: generate, caloperate, interval,
@@ -76,6 +85,7 @@ type BinExpr struct {
 type CallExpr struct {
 	Name string
 	Args []Expr
+	Pos  Pos
 }
 
 func (*Ident) exprNode()         {}
@@ -133,6 +143,44 @@ func paren(e Expr) string {
 	default:
 		return "(" + e.String() + ")"
 	}
+}
+
+// ExprPos returns the best-known source position of an expression: the
+// node's own position when the parser recorded one, else the first recorded
+// position among its descendants. Synthetic nodes (built by the inliner or
+// the factorizer) may have no position at all, in which case the zero Pos is
+// returned.
+func ExprPos(e Expr) Pos {
+	var p Pos
+	switch n := e.(type) {
+	case *Ident:
+		p = n.Pos
+	case *Number:
+		p = n.Pos
+	case *StringLit:
+		p = n.Pos
+	case *ForeachExpr:
+		p = n.Pos
+	case *IntersectExpr:
+		p = n.Pos
+	case *SelectExpr:
+		p = n.Pos
+	case *LabelSelExpr:
+		p = n.Pos
+	case *BinExpr:
+		p = n.Pos
+	case *CallExpr:
+		p = n.Pos
+	}
+	if p != (Pos{}) {
+		return p
+	}
+	for _, c := range e.Children() {
+		if cp := ExprPos(c); cp != (Pos{}) {
+			return cp
+		}
+	}
+	return Pos{}
 }
 
 func (e *Ident) Children() []Expr         { return nil }
@@ -216,6 +264,7 @@ type Stmt interface {
 type AssignStmt struct {
 	Name string
 	X    Expr
+	Pos  Pos
 }
 
 // IfStmt is if (cond) action [else action]; a null (empty) calendar
@@ -224,6 +273,7 @@ type IfStmt struct {
 	Cond Expr
 	Then []Stmt
 	Else []Stmt
+	Pos  Pos
 }
 
 // WhileStmt is while (cond) action; the body may be empty (the paper's
@@ -231,16 +281,42 @@ type IfStmt struct {
 type WhileStmt struct {
 	Cond Expr
 	Body []Stmt
+	Pos  Pos
 }
 
 // ReturnStmt yields the script's result: a calendar or an alert string.
 type ReturnStmt struct {
-	X Expr
+	X   Expr
+	Pos Pos
 }
 
 // ExprStmt evaluates an expression for effect (rare; kept for completeness).
 type ExprStmt struct {
-	X Expr
+	X   Expr
+	Pos Pos
+}
+
+// StmtPos returns the best-known source position of a statement, falling
+// back to its expressions when the statement itself carries none.
+func StmtPos(s Stmt) Pos {
+	var p Pos
+	var x Expr
+	switch n := s.(type) {
+	case *AssignStmt:
+		p, x = n.Pos, n.X
+	case *IfStmt:
+		p, x = n.Pos, n.Cond
+	case *WhileStmt:
+		p, x = n.Pos, n.Cond
+	case *ReturnStmt:
+		p, x = n.Pos, n.X
+	case *ExprStmt:
+		p, x = n.Pos, n.X
+	}
+	if p != (Pos{}) || x == nil {
+		return p
+	}
+	return ExprPos(x)
 }
 
 func (*AssignStmt) stmtNode() {}

@@ -55,27 +55,27 @@ func ElemKind(e Expr, kinds KindResolver) (chronology.Granularity, bool) {
 // equalExpr compares expressions structurally via their canonical rendering.
 func equalExpr(a, b Expr) bool { return a.String() == b.String() }
 
-// subsetOf conservatively decides the rule's "Z ∈ Y" condition: every
+// SubsetOf conservatively decides the rule's "Z ∈ Y" condition: every
 // element of Z is an element of Y. It holds when Z is Y itself, a selection
 // over something subset of Y, a during-foreach over something subset of Y
 // (during keeps elements whole), any relaxed foreach over a subset of Y, or
 // an intersection with one side subset of Y.
-func subsetOf(z, y Expr) bool {
+func SubsetOf(z, y Expr) bool {
 	if equalExpr(z, y) {
 		return true
 	}
 	switch n := z.(type) {
 	case *SelectExpr:
-		return subsetOf(n.X, y)
+		return SubsetOf(n.X, y)
 	case *LabelSelExpr:
-		return subsetOf(n.X, y)
+		return SubsetOf(n.X, y)
 	case *ForeachExpr:
 		if n.Op == interval.During || !n.Strict {
-			return subsetOf(n.X, y)
+			return SubsetOf(n.X, y)
 		}
 		return false
 	case *IntersectExpr:
-		return subsetOf(n.X, y) || subsetOf(n.Y, y)
+		return SubsetOf(n.X, y) || SubsetOf(n.Y, y)
 	}
 	return false
 }
@@ -106,27 +106,27 @@ func factorizeOnce(e Expr, kinds KindResolver) (Expr, bool) {
 	case *SelectExpr:
 		x, ch := factorizeOnce(n.X, kinds)
 		if ch {
-			return &SelectExpr{Pred: n.Pred, X: x}, true
+			return &SelectExpr{Pred: n.Pred, X: x, Pos: n.Pos}, true
 		}
 		return n, false
 	case *LabelSelExpr:
 		x, ch := factorizeOnce(n.X, kinds)
 		if ch {
-			return &LabelSelExpr{Num: n.Num, X: x}, true
+			return &LabelSelExpr{Num: n.Num, X: x, Pos: n.Pos}, true
 		}
 		return n, false
 	case *IntersectExpr:
 		x, chx := factorizeOnce(n.X, kinds)
 		y, chy := factorizeOnce(n.Y, kinds)
 		if chx || chy {
-			return &IntersectExpr{X: x, Y: y}, true
+			return &IntersectExpr{X: x, Y: y, Pos: n.Pos}, true
 		}
 		return n, false
 	case *BinExpr:
 		x, chx := factorizeOnce(n.X, kinds)
 		y, chy := factorizeOnce(n.Y, kinds)
 		if chx || chy {
-			return &BinExpr{Op: n.Op, X: x, Y: y}, true
+			return &BinExpr{Op: n.Op, X: x, Y: y, Pos: n.Pos}, true
 		}
 		return n, false
 	case *CallExpr:
@@ -138,7 +138,7 @@ func factorizeOnce(e Expr, kinds KindResolver) (Expr, bool) {
 			changed = changed || ch
 		}
 		if changed {
-			return &CallExpr{Name: n.Name, Args: args}, true
+			return &CallExpr{Name: n.Name, Args: args, Pos: n.Pos}, true
 		}
 		return n, false
 	case *ForeachExpr:
@@ -148,20 +148,18 @@ func factorizeOnce(e Expr, kinds KindResolver) (Expr, bool) {
 		x, chx := factorizeOnce(n.X, kinds)
 		y, chy := factorizeOnce(n.Y, kinds)
 		if chx || chy {
-			return &ForeachExpr{X: x, Op: n.Op, Strict: n.Strict, Y: y}, true
+			return &ForeachExpr{X: x, Op: n.Op, Strict: n.Strict, Y: y, Pos: n.Pos}, true
 		}
 		return n, false
 	}
 	return e, false
 }
 
-// applyRule attempts the factorization rewrite at the root of outer, peeling
-// selection wrappers off the left operand to expose the inner foreach.
-func applyRule(outer *ForeachExpr, kinds KindResolver) (Expr, bool) {
-	// Peel selection wrappers: outer.X = Sel1(Sel2(...(inner Foreach)...)).
+// peelWrappers strips selection wrappers off an expression, returning the
+// wrapped core and the wrappers outermost-first.
+func peelWrappers(e Expr) (Expr, []Expr) {
 	var wrappers []Expr
-	cur := outer.X
-peel:
+	cur := e
 	for {
 		switch w := cur.(type) {
 		case *SelectExpr:
@@ -171,9 +169,23 @@ peel:
 			wrappers = append(wrappers, w)
 			cur = w.X
 		default:
-			break peel
+			return cur, wrappers
 		}
 	}
+}
+
+// isBeforeOp reports whether op is one of the paper's ordering operators <
+// and <=, the ops named by the §3.4 exception.
+func isBeforeOp(op interval.ListOp) bool {
+	return op == interval.Before || op == interval.BeforeEquals
+}
+
+// RuleMatch reports whether the §3.4 factorization preconditions hold at the
+// root of outer: outer.X is (possibly selection-wrapped) an inner foreach
+// {X : Op1 : Y}, gran(Y) = gran(Z), and Z ∈ Y. It returns the inner foreach
+// when they do.
+func RuleMatch(outer *ForeachExpr, kinds KindResolver) (*ForeachExpr, bool) {
+	cur, _ := peelWrappers(outer.X)
 	inner, ok := cur.(*ForeachExpr)
 	if !ok {
 		return nil, false
@@ -184,22 +196,54 @@ peel:
 	if !oky || !okz || gy != gz {
 		return nil, false
 	}
-	if !subsetOf(z, y) {
+	if !SubsetOf(z, y) {
 		return nil, false
 	}
+	return inner, true
+}
+
+// BlockedByBeforeException reports whether the §3.4 rewrite at the root of
+// outer matches the rule's preconditions but is withheld because of the
+// paper's `<`/`<=` exception: when both operators order elements (`<` or
+// `<=`) the only combination the paper sanctions is ≤/≤ (reduced to
+// {X : Op2 : Z}); any other mix of ordering operators is left untouched, as
+// the rewrite would change which elements precede which.
+func BlockedByBeforeException(outer *ForeachExpr, kinds KindResolver) bool {
+	inner, ok := RuleMatch(outer, kinds)
+	if !ok {
+		return false
+	}
+	if !isBeforeOp(inner.Op) || !isBeforeOp(outer.Op) {
+		return false
+	}
+	return !(inner.Op == interval.BeforeEquals && outer.Op == interval.BeforeEquals)
+}
+
+// applyRule attempts the factorization rewrite at the root of outer, peeling
+// selection wrappers off the left operand to expose the inner foreach.
+func applyRule(outer *ForeachExpr, kinds KindResolver) (Expr, bool) {
+	inner, ok := RuleMatch(outer, kinds)
+	if !ok {
+		return nil, false
+	}
+	if BlockedByBeforeException(outer, kinds) {
+		return nil, false
+	}
+	_, wrappers := peelWrappers(outer.X)
+	z := outer.Y
 	op := inner.Op
 	if inner.Op == interval.BeforeEquals && outer.Op == interval.BeforeEquals {
 		// The paper's stated exception: reduce to {X : Op2 : Z}.
 		op = outer.Op
 	}
-	rewritten := Expr(&ForeachExpr{X: inner.X, Op: op, Strict: inner.Strict, Y: z})
+	rewritten := Expr(&ForeachExpr{X: inner.X, Op: op, Strict: inner.Strict, Y: z, Pos: inner.Pos})
 	// Re-apply the peeled selection wrappers innermost-first.
 	for i := len(wrappers) - 1; i >= 0; i-- {
 		switch w := wrappers[i].(type) {
 		case *SelectExpr:
-			rewritten = &SelectExpr{Pred: w.Pred, X: rewritten}
+			rewritten = &SelectExpr{Pred: w.Pred, X: rewritten, Pos: w.Pos}
 		case *LabelSelExpr:
-			rewritten = &LabelSelExpr{Num: w.Num, X: rewritten}
+			rewritten = &LabelSelExpr{Num: w.Num, X: rewritten, Pos: w.Pos}
 		}
 	}
 	return rewritten, true

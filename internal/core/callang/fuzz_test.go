@@ -1,0 +1,50 @@
+package callang_test
+
+import (
+	"testing"
+
+	"calsys/internal/chronology"
+	"calsys/internal/core/callang"
+	calvet "calsys/internal/core/callang/vet"
+)
+
+// FuzzParseAndVet asserts the whole front end is panic-free: arbitrary
+// input either fails to parse with an error or parses into a script the
+// static analyzer handles without crashing. CI runs a short fuzz smoke
+// (`make fuzz-smoke`) on every push; `go test -fuzz=FuzzParseAndVet` digs
+// deeper locally.
+func FuzzParseAndVet(f *testing.F) {
+	for _, seed := range []string{
+		"[2]/DAYS:during:WEEKS",
+		"{LDOM = [n]/DAYS:during:MONTHS; return (LDOM);}",
+		"{while (today:<:temp2) ; return (temp2);}",
+		"(DAYS:<:WEEKS):<=:[1]/WEEKS",
+		"WEEKS.overlaps.Jan-1993",
+		"generate(DAYS, WEEKS, \"1993-01-04\", \"1993-01-04\")",
+		"1993/YEARS",
+		"0/DAYS:during:MONTHS",
+		"[5-2,-3,n]/DAYS:during:MONTHS",
+		"A + B - C:intersects:D",
+		"{if (A) { x = B; } else { x = C; } return (x);}",
+		"caloperate(interval(1, 30, DAYS))",
+		"((((((((((DAYS))))))))))",
+		"{return (X); Y = Z;}",
+		"-- comment\nDAYS",
+	} {
+		f.Add(seed)
+	}
+	cat := &calvet.MapCatalog{
+		Scripts: map[string]*callang.Script{},
+		Kinds:   map[string]chronology.Granularity{"HOL": chronology.Day},
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		script, err := callang.ParseDerivation(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		diags := calvet.AnalyzeScript(script, cat, calvet.Options{SelfName: "FUZZ"})
+		// Rendering must also be total.
+		_ = diags.String()
+		_ = script.String()
+	})
+}

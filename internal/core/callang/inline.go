@@ -1,6 +1,9 @@
 package callang
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // ScriptLookup resolves a derived calendar's derivation script. The database
 // catalog (table CALENDARS) implements this; tests use maps.
@@ -30,12 +33,29 @@ const maxInlineDepth = 32
 // derived by multi-statement scripts (with if/while) stay opaque references
 // evaluated through their own plans.
 func Inline(e Expr, lookup ScriptLookup) (Expr, error) {
-	return inlineRec(e, lookup, make(map[string]bool), 0)
+	return inlineRec(e, lookup, nil, 0)
 }
 
-func inlineRec(e Expr, lookup ScriptLookup, inProgress map[string]bool, depth int) (Expr, error) {
+// CyclePath renders a derivation cycle like "A → B → A" for error messages
+// and diagnostics: the chain of calendar names, closed with the repeated
+// name.
+func CyclePath(path []string) string { return strings.Join(path, " → ") }
+
+// onPath reports whether name is already on the in-progress derivation
+// chain.
+func onPath(path []string, name string) bool {
+	for _, p := range path {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+func inlineRec(e Expr, lookup ScriptLookup, path []string, depth int) (Expr, error) {
 	if depth > maxInlineDepth {
-		return nil, fmt.Errorf("callang: derivation chain deeper than %d (recursive calendar definition?)", maxInlineDepth)
+		return nil, fmt.Errorf("callang: derivation chain deeper than %d (recursive calendar definition?): %s",
+			maxInlineDepth, CyclePath(path))
 	}
 	switch n := e.(type) {
 	case *Ident:
@@ -47,67 +67,65 @@ func inlineRec(e Expr, lookup ScriptLookup, inProgress map[string]bool, depth in
 		if !single {
 			return n, nil
 		}
-		if inProgress[n.Name] {
-			return nil, fmt.Errorf("callang: calendar %q is defined in terms of itself", n.Name)
+		if onPath(path, n.Name) {
+			return nil, fmt.Errorf("callang: calendar %q is defined in terms of itself: %s",
+				n.Name, CyclePath(append(path, n.Name)))
 		}
-		inProgress[n.Name] = true
-		out, err := inlineRec(body, lookup, inProgress, depth+1)
-		delete(inProgress, n.Name)
-		return out, err
+		return inlineRec(body, lookup, append(path, n.Name), depth+1)
 	case *Number, *StringLit:
 		return e, nil
 	case *ForeachExpr:
-		x, err := inlineRec(n.X, lookup, inProgress, depth+1)
+		x, err := inlineRec(n.X, lookup, path, depth+1)
 		if err != nil {
 			return nil, err
 		}
-		y, err := inlineRec(n.Y, lookup, inProgress, depth+1)
+		y, err := inlineRec(n.Y, lookup, path, depth+1)
 		if err != nil {
 			return nil, err
 		}
-		return &ForeachExpr{X: x, Op: n.Op, Strict: n.Strict, Y: y}, nil
+		return &ForeachExpr{X: x, Op: n.Op, Strict: n.Strict, Y: y, Pos: n.Pos}, nil
 	case *IntersectExpr:
-		x, err := inlineRec(n.X, lookup, inProgress, depth+1)
+		x, err := inlineRec(n.X, lookup, path, depth+1)
 		if err != nil {
 			return nil, err
 		}
-		y, err := inlineRec(n.Y, lookup, inProgress, depth+1)
+		y, err := inlineRec(n.Y, lookup, path, depth+1)
 		if err != nil {
 			return nil, err
 		}
-		return &IntersectExpr{X: x, Y: y}, nil
+		return &IntersectExpr{X: x, Y: y, Pos: n.Pos}, nil
 	case *SelectExpr:
-		x, err := inlineRec(n.X, lookup, inProgress, depth+1)
+		x, err := inlineRec(n.X, lookup, path, depth+1)
 		if err != nil {
 			return nil, err
 		}
-		return &SelectExpr{Pred: n.Pred, X: x}, nil
+		return &SelectExpr{Pred: n.Pred, X: x, Pos: n.Pos}, nil
 	case *LabelSelExpr:
-		x, err := inlineRec(n.X, lookup, inProgress, depth+1)
+		x, err := inlineRec(n.X, lookup, path, depth+1)
 		if err != nil {
 			return nil, err
 		}
-		return &LabelSelExpr{Num: n.Num, X: x}, nil
+		return &LabelSelExpr{Num: n.Num, X: x, Pos: n.Pos}, nil
 	case *BinExpr:
-		x, err := inlineRec(n.X, lookup, inProgress, depth+1)
+		x, err := inlineRec(n.X, lookup, path, depth+1)
 		if err != nil {
 			return nil, err
 		}
-		y, err := inlineRec(n.Y, lookup, inProgress, depth+1)
+		y, err := inlineRec(n.Y, lookup, path, depth+1)
 		if err != nil {
 			return nil, err
 		}
-		return &BinExpr{Op: n.Op, X: x, Y: y}, nil
+		return &BinExpr{Op: n.Op, X: x, Y: y, Pos: n.Pos}, nil
 	case *CallExpr:
 		args := make([]Expr, len(n.Args))
 		for i, a := range n.Args {
-			ia, err := inlineRec(a, lookup, inProgress, depth+1)
+			ia, err := inlineRec(a, lookup, path, depth+1)
 			if err != nil {
 				return nil, err
 			}
 			args[i] = ia
 		}
-		return &CallExpr{Name: n.Name, Args: args}, nil
+		return &CallExpr{Name: n.Name, Args: args, Pos: n.Pos}, nil
 	}
 	return nil, fmt.Errorf("callang: inline: unknown expression node %T", e)
 }

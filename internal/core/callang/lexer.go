@@ -77,7 +77,7 @@ func (lx *Lexer) skipTrivia() error {
 			lx.advance()
 			for {
 				if lx.off >= len(lx.src) {
-					return fmt.Errorf("%v: unterminated comment", start)
+					return fmt.Errorf("callang: %v: unterminated comment", start)
 				}
 				if lx.peekByte() == '*' && lx.peekByteAt(1) == '/' {
 					lx.advance()
@@ -127,7 +127,7 @@ func (lx *Lexer) Next() (Token, error) {
 	if k, ok := single[b]; ok {
 		return Token{Kind: k, Text: string(b), Pos: p}, nil
 	}
-	return Token{}, fmt.Errorf("%v: unexpected character %q", p, string(b))
+	return Token{}, fmt.Errorf("callang: %v: unexpected character %q", p, string(b))
 }
 
 func (lx *Lexer) lexIdent(p Pos) Token {
@@ -162,11 +162,11 @@ func (lx *Lexer) lexInt(p Pos) (Token, error) {
 	// "1993-01-02" style date fragments are not integers; the parser never
 	// needs them, so a digit run followed by an identifier char is an error.
 	if lx.off < len(lx.src) && isIdentStart(lx.peekByte()) {
-		return Token{}, fmt.Errorf("%v: malformed number %q", p, sb.String()+string(lx.peekByte()))
+		return Token{}, fmt.Errorf("callang: %v: malformed number %q", p, sb.String()+string(lx.peekByte()))
 	}
 	n, err := strconv.ParseInt(sb.String(), 10, 64)
 	if err != nil {
-		return Token{}, fmt.Errorf("%v: integer %q out of range", p, sb.String())
+		return Token{}, fmt.Errorf("callang: %v: integer %q out of range", p, sb.String())
 	}
 	return Token{Kind: INT, Text: sb.String(), Num: n, Pos: p}, nil
 }
@@ -176,7 +176,7 @@ func (lx *Lexer) lexString(p Pos) (Token, error) {
 	var sb strings.Builder
 	for {
 		if lx.off >= len(lx.src) {
-			return Token{}, fmt.Errorf("%v: unterminated string", p)
+			return Token{}, fmt.Errorf("callang: %v: unterminated string", p)
 		}
 		b := lx.advance()
 		if b == '"' {

@@ -104,7 +104,7 @@ func ParseScript(src string) (*Script, error) {
 		return nil, p.errf("unexpected %s after script", p.cur())
 	}
 	if len(stmts) == 0 {
-		return nil, fmt.Errorf("callang: empty script")
+		return nil, p.errf("empty script")
 	}
 	return &Script{Stmts: stmts}, nil
 }
@@ -145,7 +145,7 @@ func (p *Parser) parseStmt() (Stmt, error) {
 		p.next()
 		return nil, nil
 	case KWRETURN:
-		p.next()
+		pos := p.next().Pos
 		if _, err := p.expect(LPAREN); err != nil {
 			return nil, err
 		}
@@ -159,14 +159,14 @@ func (p *Parser) parseStmt() (Stmt, error) {
 		if _, err := p.expect(SEMI); err != nil {
 			return nil, err
 		}
-		return &ReturnStmt{X: x}, nil
+		return &ReturnStmt{X: x, Pos: pos}, nil
 	case KWIF:
 		return p.parseIf()
 	case KWWHILE:
 		return p.parseWhile()
 	case IDENT:
 		if p.peek().Kind == ASSIGN {
-			name := p.next().Text
+			tok := p.next()
 			p.next() // '='
 			x, err := p.parseExpr()
 			if err != nil {
@@ -175,9 +175,10 @@ func (p *Parser) parseStmt() (Stmt, error) {
 			if _, err := p.expect(SEMI); err != nil {
 				return nil, err
 			}
-			return &AssignStmt{Name: name, X: x}, nil
+			return &AssignStmt{Name: tok.Text, X: x, Pos: tok.Pos}, nil
 		}
 	}
+	pos := p.cur().Pos
 	x, err := p.parseExpr()
 	if err != nil {
 		return nil, err
@@ -185,7 +186,7 @@ func (p *Parser) parseStmt() (Stmt, error) {
 	if _, err := p.expect(SEMI); err != nil {
 		return nil, err
 	}
-	return &ExprStmt{X: x}, nil
+	return &ExprStmt{X: x, Pos: pos}, nil
 }
 
 // parseAction parses the action of an if/while: one statement or a braced
@@ -224,7 +225,7 @@ func (p *Parser) parseAction() ([]Stmt, error) {
 }
 
 func (p *Parser) parseIf() (Stmt, error) {
-	p.next() // if
+	pos := p.next().Pos // if
 	if _, err := p.expect(LPAREN); err != nil {
 		return nil, err
 	}
@@ -247,11 +248,11 @@ func (p *Parser) parseIf() (Stmt, error) {
 			return nil, err
 		}
 	}
-	return &IfStmt{Cond: cond, Then: then, Else: els}, nil
+	return &IfStmt{Cond: cond, Then: then, Else: els, Pos: pos}, nil
 }
 
 func (p *Parser) parseWhile() (Stmt, error) {
-	p.next() // while
+	pos := p.next().Pos // while
 	if _, err := p.expect(LPAREN); err != nil {
 		return nil, err
 	}
@@ -266,7 +267,7 @@ func (p *Parser) parseWhile() (Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &WhileStmt{Cond: cond, Body: body}, nil
+	return &WhileStmt{Cond: cond, Body: body, Pos: pos}, nil
 }
 
 // --- expressions ------------------------------------------------------
@@ -281,12 +282,12 @@ func (p *Parser) parseExpr() (Expr, error) {
 		if p.cur().Kind == MINUS {
 			op = '-'
 		}
-		p.next()
+		opPos := p.next().Pos
 		y, err := p.parseChain()
 		if err != nil {
 			return nil, err
 		}
-		x = &BinExpr{Op: op, X: x, Y: y}
+		x = &BinExpr{Op: op, X: x, Y: y, Pos: opPos}
 	}
 	return x, nil
 }
@@ -294,6 +295,7 @@ func (p *Parser) parseExpr() (Expr, error) {
 func (p *Parser) parseChain() (Expr, error) {
 	switch {
 	case p.cur().Kind == LBRACKET:
+		predPos := p.cur().Pos
 		pred, err := p.parseSelPred()
 		if err != nil {
 			return nil, err
@@ -305,15 +307,15 @@ func (p *Parser) parseChain() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &SelectExpr{Pred: pred, X: x}, nil
+		return &SelectExpr{Pred: pred, X: x, Pos: predPos}, nil
 	case p.cur().Kind == INT && p.peek().Kind == SLASH:
-		label := p.next().Num
+		tok := p.next()
 		p.next() // '/'
 		x, err := p.parseChain()
 		if err != nil {
 			return nil, err
 		}
-		return &LabelSelExpr{Num: label, X: x}, nil
+		return &LabelSelExpr{Num: tok.Num, X: x, Pos: tok.Pos}, nil
 	}
 	x, err := p.parsePrimary()
 	if err != nil {
@@ -348,19 +350,19 @@ func (p *Parser) parseChain() (Expr, error) {
 		if sep == DOT {
 			return nil, fmt.Errorf("callang: %v: intersects takes ':' separators", opTok.Pos)
 		}
-		return &IntersectExpr{X: x, Y: y}, nil
+		return &IntersectExpr{X: x, Y: y, Pos: opTok.Pos}, nil
 	}
 	op, err := interval.ParseListOp(opName)
 	if err != nil {
 		return nil, fmt.Errorf("callang: %v: %w", opTok.Pos, err)
 	}
-	return &ForeachExpr{X: x, Op: op, Strict: sep == COLON, Y: y}, nil
+	return &ForeachExpr{X: x, Op: op, Strict: sep == COLON, Y: y, Pos: opTok.Pos}, nil
 }
 
 func (p *Parser) parsePrimary() (Expr, error) {
 	switch p.cur().Kind {
 	case IDENT:
-		name := p.next().Text
+		tok := p.next()
 		if p.cur().Kind == LPAREN {
 			p.next()
 			var args []Expr
@@ -380,9 +382,9 @@ func (p *Parser) parsePrimary() (Expr, error) {
 			if _, err := p.expect(RPAREN); err != nil {
 				return nil, err
 			}
-			return &CallExpr{Name: name, Args: args}, nil
+			return &CallExpr{Name: tok.Text, Args: args, Pos: tok.Pos}, nil
 		}
-		return &Ident{Name: name}, nil
+		return &Ident{Name: tok.Text, Pos: tok.Pos}, nil
 	case LPAREN:
 		p.next()
 		x, err := p.parseExpr()
@@ -394,21 +396,24 @@ func (p *Parser) parsePrimary() (Expr, error) {
 		}
 		return x, nil
 	case INT:
-		return &Number{Val: p.next().Num}, nil
+		tok := p.next()
+		return &Number{Val: tok.Num, Pos: tok.Pos}, nil
 	case MINUS:
 		if p.peek().Kind == INT {
-			p.next()
-			return &Number{Val: -p.next().Num}, nil
+			pos := p.next().Pos
+			return &Number{Val: -p.next().Num, Pos: pos}, nil
 		}
 		return nil, p.errf("unexpected '-'")
 	case STRING:
-		return &StringLit{Val: p.next().Text}, nil
+		tok := p.next()
+		return &StringLit{Val: tok.Text, Pos: tok.Pos}, nil
 	}
 	return nil, p.errf("unexpected %s in expression", p.cur())
 }
 
 func (p *Parser) parseSelPred() (calendar.Selection, error) {
-	if _, err := p.expect(LBRACKET); err != nil {
+	open, err := p.expect(LBRACKET)
+	if err != nil {
 		return calendar.Selection{}, err
 	}
 	var sel calendar.Selection
@@ -427,7 +432,7 @@ func (p *Parser) parseSelPred() (calendar.Selection, error) {
 		return calendar.Selection{}, err
 	}
 	if err := sel.Check(); err != nil {
-		return calendar.Selection{}, fmt.Errorf("callang: %w", err)
+		return calendar.Selection{}, fmt.Errorf("callang: %v: %w", open.Pos, err)
 	}
 	return sel, nil
 }

@@ -18,6 +18,9 @@ import (
 type execState struct {
 	genCache map[string]*calendar.Calendar
 	depth    int
+	// deriving is the stack of opaque derivations currently being evaluated,
+	// used to report the full path of a reference cycle (A → B → A).
+	deriving []string
 }
 
 // maxDerivedDepth bounds nested opaque-derivation evaluation.
@@ -89,8 +92,15 @@ func (p *Plan) execOp(env *Env, vars map[string]*calendar.Calendar, st *execStat
 		}
 		return conv, nil
 	case OpDerived:
+		for _, active := range st.deriving {
+			if strings.EqualFold(active, op.Name) {
+				return nil, fmt.Errorf("derivation cycle: %s",
+					callang.CyclePath(append(append([]string{}, st.deriving...), op.Name)))
+			}
+		}
 		if st.depth >= maxDerivedDepth {
-			return nil, fmt.Errorf("derivation of %q nested deeper than %d", op.Name, maxDerivedDepth)
+			return nil, fmt.Errorf("derivation of %q nested deeper than %d: %s",
+				op.Name, maxDerivedDepth, callang.CyclePath(append(append([]string{}, st.deriving...), op.Name)))
 		}
 		script, ok := env.Cat.DerivationOf(op.Name)
 		if !ok {
@@ -113,7 +123,9 @@ func (p *Plan) execOp(env *Env, vars map[string]*calendar.Calendar, st *execStat
 			}
 		}
 		st.depth++
+		st.deriving = append(st.deriving, op.Name)
 		v, err := runScript(env, script, p.Gran, win, st)
+		st.deriving = st.deriving[:len(st.deriving)-1]
 		st.depth--
 		if err != nil {
 			return nil, fmt.Errorf("evaluating %q: %w", op.Name, err)
