@@ -5,7 +5,7 @@
 GO ?= go
 
 .PHONY: check build vet vet-calsys fmt-check test race bench-smoke bench \
-	fuzz-smoke staticcheck govulncheck
+	bench-json bench-compare fuzz-smoke staticcheck govulncheck
 
 check: build vet vet-calsys fmt-check test race bench-smoke fuzz-smoke \
 	staticcheck govulncheck
@@ -35,7 +35,7 @@ race:
 	$(GO) test -race ./internal/store/... ./internal/rules/... ./internal/core/plan/...
 
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x ./... | tee bench-smoke.txt
+	$(GO) test -bench=. -benchtime=1x -benchmem ./... | tee bench-smoke.txt
 
 # Short fuzz run over the calendar-language front end (parser + calvet).
 fuzz-smoke:
@@ -58,3 +58,14 @@ govulncheck:
 # Full benchmark run (not part of check; takes a while).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Full benchmark sweep rendered as JSON (ns/op, B/op, allocs/op plus custom
+# metrics) — the committed BENCH_core.json is produced by this target.
+bench-json:
+	$(GO) test -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -o BENCH_core.json
+
+# Warn-only drift check of a fresh smoke run against the committed baseline
+# (what the CI bench-smoke job runs).
+bench-compare:
+	$(GO) test -bench=. -benchtime=1x -benchmem ./... | \
+		$(GO) run ./cmd/benchjson -compare BENCH_baseline.json -threshold 3 -

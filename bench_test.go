@@ -9,6 +9,7 @@ package calsys
 //	go test -bench=. -benchmem
 import (
 	"fmt"
+	"math"
 	"strings"
 	"testing"
 
@@ -18,6 +19,7 @@ import (
 	"calsys/internal/core/callang"
 	"calsys/internal/core/interval"
 	"calsys/internal/core/matcache"
+	"calsys/internal/core/periodic"
 	"calsys/internal/core/plan"
 	"calsys/internal/multical"
 	"calsys/internal/rules"
@@ -561,4 +563,111 @@ func BenchmarkMultiCalBaselineThirdFridays(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- periodic compression (pattern-backed generation) -----------------------
+
+// Cold generation walks the chronology for every element of the window; warm
+// windowed expansion from a cached periodic pattern is two O(1) index
+// computations plus O(output) arithmetic. The gap is what the compressed
+// representation saves on every repeated generation of a basic calendar.
+func BenchmarkPeriodicGenerateColdVsWarm(b *testing.B) {
+	ch := chronology.MustNew(DefaultEpoch)
+	win := interval.Interval{Lo: 1, Hi: 3650} // ten years of day ticks
+	for _, g := range []Granularity{Day, Week, Month} {
+		b.Run(fmt.Sprintf("cold/%v", g), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := calendar.GenerateFull(ch, g, Day, win.Lo, win.Hi); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("warm/%v", g), func(b *testing.B) {
+			cache := matcache.New(0)
+			k := matcache.Key{Scope: "bench", ID: "G|" + g.String(), Gran: Day}
+			pat, err := periodic.ForBasicPair(ch, g, Day)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cache.PutPattern(k, matcache.AllTime, pat, math.MinInt64, math.MaxInt64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := cache.Get(k, win); !ok {
+					b.Fatal("pattern entry missed")
+				}
+			}
+		})
+	}
+}
+
+// Resident cache bytes per basic calendar over a forty-year day-tick window
+// (long enough that every granularity clears the compression threshold): the
+// materializedB/cal metric is what each calendar costs as an interval list,
+// cachedB/cal what it costs as the pattern entry Put now stores.
+func BenchmarkMatcacheFootprint(b *testing.B) {
+	ch := chronology.MustNew(DefaultEpoch)
+	grans := []Granularity{Day, Week, Month, Year}
+	win := interval.Interval{Lo: 1, Hi: 14600}
+	var cachedBytes, matBytes int64
+	for i := 0; i < b.N; i++ {
+		cache := matcache.New(0)
+		matBytes = 0
+		for _, g := range grans {
+			cal, err := calendar.GenerateFull(ch, g, Day, win.Lo, win.Hi)
+			if err != nil {
+				b.Fatal(err)
+			}
+			matBytes += matcache.SizeOf(cal)
+			cache.Put(matcache.Key{Scope: "bench", ID: "G|" + g.String(), Gran: Day}, win, cal, true)
+		}
+		st := cache.Stats()
+		if st.Patterns != len(grans) {
+			b.Fatalf("only %d of %d basic calendars compressed: %v", st.Patterns, len(grans), st)
+		}
+		cachedBytes = st.Bytes
+	}
+	b.ReportMetric(float64(cachedBytes)/float64(len(grans)), "cachedB/cal")
+	b.ReportMetric(float64(matBytes)/float64(len(grans)), "materializedB/cal")
+}
+
+// Every foreach listop over disjoint sorted operands takes the linear sweep;
+// the same op over an argument with overlapping elements falls back to the
+// generic per-element path. allocs/op is the tell: the sweep allocates
+// O(result), the generic path scans candidates per argument element.
+func BenchmarkForeachSweepVsGeneric(b *testing.B) {
+	ch := chronology.MustNew(DefaultEpoch)
+	weeks, err := calendar.GenerateFull(ch, Week, Day, 1, 36500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	months, err := calendar.GenerateFull(ch, Month, Day, 1, 36500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Widening every month by a week makes neighbors overlap, defeating the
+	// sweep's precondition while keeping comparable cardinalities.
+	wide := append([]interval.Interval(nil), months.Intervals()...)
+	for i := range wide {
+		wide[i].Hi += 7
+	}
+	overlapping, err := calendar.FromIntervals(Day, wide)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, op := range []ListOp{Overlaps, During, Meets, Before, BeforeEquals} {
+		b.Run(fmt.Sprintf("sweep/%v", op), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := calendar.Foreach(weeks, op, true, months); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("generic/%v", op), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := calendar.Foreach(weeks, op, true, overlapping); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

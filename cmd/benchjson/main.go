@@ -1,0 +1,218 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document (BENCH_core.json), and compares two such documents for the
+// CI regression smoke.
+//
+//	go test -bench=. -benchmem ./... | go run ./cmd/benchjson -o BENCH_core.json
+//	go run ./cmd/benchjson -compare BENCH_baseline.json BENCH_core.json
+//
+// Compare mode prints a warning line per metric that regressed beyond the
+// threshold and always exits 0: bench-smoke timings (one iteration, shared
+// CI hardware) are too noisy to gate a build on, but the warnings make
+// drift visible in the job log.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark result: the trailing -N GOMAXPROCS suffix is
+// stripped from the name so runs from differently shaped machines compare.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the BENCH_core.json document.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON to this file instead of stdout")
+	baseline := flag.String("compare", "", "baseline JSON file: compare instead of convert")
+	threshold := flag.Float64("threshold", 2.0, "warn when a metric grows beyond this factor of the baseline")
+	flag.Parse()
+
+	if *baseline != "" {
+		if err := compare(*baseline, flag.Arg(0), *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	rep, err := parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads `go test -bench` output. Non-benchmark lines (test results,
+// package headers, PASS/ok) are skipped; goos/goarch/cpu headers are kept.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseLine(line)
+			if !ok {
+				continue
+			}
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(rep.Benchmarks, func(i, j int) bool {
+		return rep.Benchmarks[i].Name < rep.Benchmarks[j].Name
+	})
+	return rep, nil
+}
+
+// parseLine decodes one result line:
+//
+//	BenchmarkName/sub-8   1234   5678 ns/op   91 B/op   2 allocs/op
+//
+// Metrics are (value, unit) pairs after the iteration count; custom
+// b.ReportMetric units come through unchanged.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	if len(b.Metrics) == 0 {
+		return Benchmark{}, false
+	}
+	return b, true
+}
+
+func load(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compare prints warn-only drift between a baseline JSON and a current run
+// (a JSON file when the argument ends in .json, otherwise bench text — "-"
+// or empty reads text from stdin).
+func compare(basePath, curPath string, threshold float64) error {
+	base, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	var cur *Report
+	if strings.HasSuffix(curPath, ".json") {
+		if cur, err = load(curPath); err != nil {
+			return err
+		}
+	} else {
+		in := io.Reader(os.Stdin)
+		if curPath != "" && curPath != "-" {
+			f, err := os.Open(curPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			in = f
+		}
+		if cur, err = parse(in); err != nil {
+			return err
+		}
+	}
+	baseBy := map[string]Benchmark{}
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	warned := 0
+	for _, b := range cur.Benchmarks {
+		prev, ok := baseBy[b.Name]
+		if !ok {
+			continue
+		}
+		for unit, v := range b.Metrics {
+			pv, ok := prev.Metrics[unit]
+			if !ok || pv <= 0 {
+				continue
+			}
+			if v > pv*threshold {
+				fmt.Printf("WARN %s: %s %.6g -> %.6g (%.2fx over baseline, threshold %.2fx)\n",
+					b.Name, unit, pv, v, v/pv, threshold)
+				warned++
+			}
+		}
+	}
+	fmt.Printf("benchjson: compared %d benchmarks against %s: %d warning(s)\n",
+		len(cur.Benchmarks), basePath, warned)
+	return nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: calsys
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkE2Generate/WEEKS/years=10-8         	   15900	     14843 ns/op	    9536 B/op	       2 allocs/op
+BenchmarkPeriodicGenerateColdVsWarm/warm/MONTHS 	 1664301	       724.0 ns/op	    2112 B/op	       2 allocs/op
+BenchmarkMatcacheFootprint                   	    1755	    727927 ns/op	       264.0 cachedB/cal	     68892 materializedB/cal
+--- FAIL: BenchmarkBroken
+    bench_test.go:1: boom
+PASS
+ok  	calsys	1.234s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("headers = %q %q %q", rep.Goos, rep.Goarch, rep.CPU)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	by := map[string]Benchmark{}
+	for _, b := range rep.Benchmarks {
+		by[b.Name] = b
+	}
+	// The -8 GOMAXPROCS suffix is stripped.
+	gen, ok := by["BenchmarkE2Generate/WEEKS/years=10"]
+	if !ok {
+		t.Fatalf("suffix not stripped: %+v", rep.Benchmarks)
+	}
+	if gen.Iterations != 15900 || gen.Metrics["ns/op"] != 14843 ||
+		gen.Metrics["B/op"] != 9536 || gen.Metrics["allocs/op"] != 2 {
+		t.Errorf("generate metrics = %+v", gen)
+	}
+	if m := by["BenchmarkPeriodicGenerateColdVsWarm/warm/MONTHS"].Metrics; m["ns/op"] != 724.0 {
+		t.Errorf("fractional ns/op = %v", m)
+	}
+	// Custom ReportMetric units come through unchanged.
+	if m := by["BenchmarkMatcacheFootprint"].Metrics; m["cachedB/cal"] != 264.0 || m["materializedB/cal"] != 68892 {
+		t.Errorf("custom metrics = %v", m)
+	}
+	// Sorted by name.
+	for i := 1; i < len(rep.Benchmarks); i++ {
+		if rep.Benchmarks[i-1].Name > rep.Benchmarks[i].Name {
+			t.Errorf("benchmarks not sorted: %q after %q", rep.Benchmarks[i].Name, rep.Benchmarks[i-1].Name)
+		}
+	}
+}
+
+func TestParseLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",
+		"BenchmarkX abc 1 ns/op",
+		"BenchmarkX 100",
+		"BenchmarkX 100 fast very",
+	} {
+		if b, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) accepted: %+v", line, b)
+		}
+	}
+}

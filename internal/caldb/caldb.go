@@ -723,7 +723,7 @@ func (m *Manager) exprVolatile(e callang.Expr) bool {
 // ablated bypass the cache so results and benchmarks stay honest.
 func (m *Manager) evalCached(env *plan.Env, e callang.Expr, from, to chronology.Civil) (*calendar.Calendar, error) {
 	if env.Mat == nil || env.DisableSharing || env.DisableFactorization ||
-		env.DisableWindowInference || m.exprVolatile(e) {
+		env.DisableWindowInference || env.DisablePeriodic || m.exprVolatile(e) {
 		return plan.Evaluate(env, e, from, to)
 	}
 	prepped, gran, err := plan.Prepare(env, e, nil)

@@ -303,3 +303,51 @@ func TestBoundedLifespanBlocksInlining(t *testing.T) {
 		t.Errorf("within lifespan = %v", in87.Flatten())
 	}
 }
+
+// Periodic compression reaches catalog evaluation end to end: the generates
+// behind a derived calendar are answered by patterns in the process-wide
+// shared cache, re-evaluation over a distant window reuses them, and the
+// results match the fully materialized (DisablePeriodic) path.
+func TestPeriodicCompressionThroughCatalog(t *testing.T) {
+	m := newManager(t)
+	if err := m.DefineDerived("Paydays", "{[n]/DAYS:during:MONTHS;}", lifespanFrom1985(), GranAuto); err != nil {
+		t.Fatal(err)
+	}
+	before := m.MatStats()
+	got, err := m.EvalExpr("Paydays", d(1990, 1, 1), d(1999, 12, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := m.MatStats()
+	if after.Patterns <= before.Patterns {
+		t.Fatalf("catalog evaluation stored no patterns: before %+v, after %+v", before, after)
+	}
+	envOff := m.Env()
+	envOff.DisablePeriodic = true
+	want, err := m.EvalExprEnv(envOff, "Paydays", d(1990, 1, 1), d(1999, 12, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Flatten().ToSet().Equal(want.Flatten().ToSet()) {
+		t.Fatalf("periodic catalog evaluation diverges:\n periodic     %v\n materialized %v",
+			got.Flatten(), want.Flatten())
+	}
+	// A distant window is served from the same all-time pattern entries —
+	// no new patterns, no growth in resident generate bytes.
+	mid := m.MatStats()
+	later, err := m.EvalExpr("Paydays", d(2005, 1, 1), d(2005, 12, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if later.Flatten().Len() != 12 {
+		t.Fatalf("2005 Paydays = %v, want 12 month-ends", later.Flatten())
+	}
+	end := m.MatStats()
+	if end.Patterns != mid.Patterns {
+		t.Errorf("re-evaluation over a distant window grew pattern entries: %d -> %d",
+			mid.Patterns, end.Patterns)
+	}
+	if end.Hits <= mid.Hits {
+		t.Errorf("re-evaluation did not hit the shared cache: %+v -> %+v", mid, end)
+	}
+}

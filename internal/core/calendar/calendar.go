@@ -23,6 +23,26 @@ type Calendar struct {
 	gran chronology.Granularity
 	ivs  []interval.Interval // populated iff order == 1
 	subs []*Calendar         // populated iff order > 1
+
+	// sortedDisjoint caches whether ivs is sorted by lower bound and
+	// pairwise disjoint — the shape of every generated calendar, and the
+	// precondition for the foreach merge-sweep kernels. Computed once at
+	// construction so per-call operators never re-scan; conservative (true
+	// implies the property, false only means it was not established).
+	sortedDisjoint bool
+}
+
+// newLeaf builds an order-1 calendar around ivs (not copied), classifying its
+// shape once at construction.
+func newLeaf(gran chronology.Granularity, ivs []interval.Interval) *Calendar {
+	return &Calendar{gran: gran, ivs: ivs, sortedDisjoint: disjointSorted(ivs)}
+}
+
+// leafDisjoint builds an order-1 calendar around ivs (not copied) that the
+// caller knows to be sorted disjoint — e.g. a prefix of a sorted disjoint
+// list — skipping the classification scan.
+func leafDisjoint(gran chronology.Granularity, ivs []interval.Interval) *Calendar {
+	return &Calendar{gran: gran, ivs: ivs, sortedDisjoint: true}
 }
 
 // FromIntervals builds an order-1 calendar. Intervals must individually be
@@ -32,6 +52,7 @@ func FromIntervals(gran chronology.Granularity, ivs []interval.Interval) (*Calen
 	if !gran.Valid() {
 		return nil, fmt.Errorf("calendar: invalid granularity %v", gran)
 	}
+	sd := true
 	for i, iv := range ivs {
 		if err := iv.Check(); err != nil {
 			return nil, fmt.Errorf("calendar: element %d: %w", i, err)
@@ -39,10 +60,13 @@ func FromIntervals(gran chronology.Granularity, ivs []interval.Interval) (*Calen
 		if i > 0 && ivs[i-1].Lo > iv.Lo {
 			return nil, fmt.Errorf("calendar: elements out of order at %d: %v after %v", i, iv, ivs[i-1])
 		}
+		if i > 0 && ivs[i-1].Hi >= iv.Lo {
+			sd = false
+		}
 	}
 	cp := make([]interval.Interval, len(ivs))
 	copy(cp, ivs)
-	return &Calendar{gran: gran, ivs: cp}, nil
+	return &Calendar{gran: gran, ivs: cp, sortedDisjoint: sd}, nil
 }
 
 // MustFromIntervals is FromIntervals for inputs known valid; it panics on
@@ -107,7 +131,7 @@ func FromSubs(subs []*Calendar) (*Calendar, error) {
 
 // Empty returns an empty order-1 calendar of the given granularity.
 func Empty(gran chronology.Granularity) *Calendar {
-	return &Calendar{gran: gran}
+	return &Calendar{gran: gran, sortedDisjoint: true}
 }
 
 // Granularity returns the tick unit of the calendar's intervals.
@@ -158,7 +182,7 @@ func (c *Calendar) Flatten() *Calendar {
 	}
 	var ivs []interval.Interval
 	c.appendLeaves(&ivs)
-	return &Calendar{gran: c.gran, ivs: ivs}
+	return newLeaf(c.gran, ivs)
 }
 
 func (c *Calendar) appendLeaves(out *[]interval.Interval) {

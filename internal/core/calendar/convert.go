@@ -40,7 +40,7 @@ func GenerateFull(ch *chronology.Chronology, of, in chronology.Granularity, ts, 
 			break
 		}
 	}
-	return &Calendar{gran: in, ivs: ivs}, nil
+	return newLeaf(in, ivs), nil
 }
 
 // Unit returns the order-1 calendar holding the single unit t of granularity
@@ -86,5 +86,5 @@ func convertRec(ch *chronology.Chronology, c *Calendar, to chronology.Granularit
 		_, hi := ch.UnitSpanIn(c.gran, iv.Hi, to)
 		ivs = append(ivs, interval.Interval{Lo: lo, Hi: hi})
 	}
-	return &Calendar{gran: to, ivs: ivs}
+	return newLeaf(to, ivs)
 }

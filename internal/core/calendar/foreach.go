@@ -52,7 +52,9 @@ func foreachIntervalRec(c *Calendar, op interval.ListOp, strict bool, ival inter
 			out = append(out, iv)
 		}
 	}
-	return &Calendar{gran: c.gran, ivs: out}
+	// Selecting (and trimming, each cut staying inside its element) preserves
+	// the sorted disjoint shape.
+	return &Calendar{gran: c.gran, ivs: out, sortedDisjoint: c.sortedDisjoint}
 }
 
 // Foreach applies the foreach operator with a calendar third argument. Per
@@ -79,11 +81,11 @@ func Foreach(c *Calendar, op interval.ListOp, strict bool, arg *Calendar) (*Cale
 		return nil, fmt.Errorf("calendar: invalid listop in foreach")
 	}
 	// Fast path: when both calendars are disjoint and sorted (the shape
-	// every generated calendar has), the containment listops admit a merge
-	// sweep — O(n+m+output) instead of O(n·m).
-	if c.Order() == 1 && (op == interval.During || op == interval.Overlaps) &&
-		disjointSorted(c.ivs) && disjointSorted(arg.ivs) {
-		return foreachSweep(c, op, strict, arg)
+	// every generated calendar has, cached at construction), every listop
+	// admits a merge sweep in the style of Piatov et al.'s sweeping-based
+	// interval joins — O(n+m+output) instead of O(n·m).
+	if c.Order() == 1 && c.sortedDisjoint && arg.sortedDisjoint {
+		return foreachSweep(c, op, strict, arg), nil
 	}
 	subs := make([]*Calendar, 0, len(arg.ivs))
 	for _, iv := range arg.ivs {
@@ -107,34 +109,109 @@ func disjointSorted(ivs []interval.Interval) bool {
 	return true
 }
 
-// foreachSweep merges two disjoint sorted interval lists: for each arg
-// element y, the matching c elements are a contiguous run, and the run
-// start only moves forward.
-func foreachSweep(c *Calendar, op interval.ListOp, strict bool, arg *Calendar) (*Calendar, error) {
+// foreachSweep evaluates foreach over two disjoint sorted interval lists with
+// one merge-sweep kernel per listop. In a disjoint sorted list both bounds
+// strictly increase, so for each arg element y the matching c elements are a
+// contiguous run whose boundaries only move forward as y advances; every
+// kernel is O(n + m + output) with no per-element rescans:
+//
+//   - overlaps/during: the run [first Hi ≥ y.Lo, last Lo ≤ y.Hi], filtered for
+//     containment when during;
+//   - meets: at most one candidate (upper bounds are strictly increasing, so
+//     only one element can end exactly at y.Lo);
+//   - < and <=: the matching elements are a prefix of c, which is shared with
+//     the result (capacity-clamped) instead of copied — strict trimming
+//     affects at most the final prefix element, the only one that can reach
+//     into y.
+func foreachSweep(c *Calendar, op interval.ListOp, strict bool, arg *Calendar) *Calendar {
 	subs := make([]*Calendar, 0, len(arg.ivs))
-	start := 0
-	for _, y := range arg.ivs {
-		// Skip c elements entirely before y.
-		for start < len(c.ivs) && c.ivs[start].Hi < y.Lo {
-			start++
-		}
-		var out []interval.Interval
-		for i := start; i < len(c.ivs) && c.ivs[i].Lo <= y.Hi; i++ {
-			iv := c.ivs[i]
-			if !op.Eval(iv, y) {
-				continue // overlaps always holds here; during may not
+	switch op {
+	case interval.Overlaps, interval.During:
+		start := 0
+		for _, y := range arg.ivs {
+			for start < len(c.ivs) && c.ivs[start].Hi < y.Lo {
+				start++
 			}
-			if strict {
-				if cut, ok := iv.Intersect(y); ok {
-					out = append(out, cut)
-				} else {
-					out = append(out, iv)
+			var out []interval.Interval
+			for i := start; i < len(c.ivs) && c.ivs[i].Lo <= y.Hi; i++ {
+				iv := c.ivs[i]
+				if op == interval.During && (iv.Lo < y.Lo || iv.Hi > y.Hi) {
+					continue
 				}
-			} else {
+				if strict {
+					if cut, ok := iv.Intersect(y); ok {
+						iv = cut
+					}
+				}
 				out = append(out, iv)
 			}
+			subs = append(subs, leafDisjoint(c.gran, out))
 		}
-		subs = append(subs, &Calendar{gran: c.gran, ivs: out})
+
+	case interval.Meets:
+		m := 0
+		for _, y := range arg.ivs {
+			for m < len(c.ivs) && c.ivs[m].Hi < y.Lo {
+				m++
+			}
+			var out []interval.Interval
+			if m < len(c.ivs) && c.ivs[m].Hi == y.Lo {
+				iv := c.ivs[m]
+				if strict {
+					if cut, ok := iv.Intersect(y); ok {
+						iv = cut
+					}
+				}
+				out = []interval.Interval{iv}
+			}
+			subs = append(subs, leafDisjoint(c.gran, out))
+		}
+
+	case interval.Before:
+		j := 0
+		for _, y := range arg.ivs {
+			for j < len(c.ivs) && c.ivs[j].Hi <= y.Lo {
+				j++
+			}
+			// Every element of the prefix c.ivs[:j] satisfies Hi ≤ y.Lo. Only
+			// its final element can touch y (at exactly one tick, Hi == y.Lo),
+			// so strict trimming rewrites at most one interval.
+			if strict && j > 0 && c.ivs[j-1].Hi == y.Lo {
+				out := make([]interval.Interval, j)
+				copy(out, c.ivs[:j-1])
+				out[j-1] = interval.Interval{Lo: y.Lo, Hi: y.Lo}
+				subs = append(subs, leafDisjoint(c.gran, out))
+				continue
+			}
+			subs = append(subs, leafDisjoint(c.gran, c.ivs[:j:j]))
+		}
+
+	case interval.BeforeEquals:
+		jlo, jhi := 0, 0
+		for _, y := range arg.ivs {
+			for jlo < len(c.ivs) && c.ivs[jlo].Lo <= y.Lo {
+				jlo++
+			}
+			for jhi < len(c.ivs) && c.ivs[jhi].Hi <= y.Hi {
+				jhi++
+			}
+			// Matching elements need Lo ≤ y.Lo and Hi ≤ y.Hi; with both
+			// bounds monotone that is the prefix up to the lower boundary.
+			j := jlo
+			if jhi < j {
+				j = jhi
+			}
+			// Only the final prefix element can overlap y (any earlier one
+			// reaching y.Lo would overlap its successor).
+			if strict && j > 0 && c.ivs[j-1].Hi >= y.Lo {
+				out := make([]interval.Interval, j)
+				copy(out, c.ivs[:j-1])
+				out[j-1] = interval.Interval{Lo: y.Lo, Hi: c.ivs[j-1].Hi}
+				subs = append(subs, leafDisjoint(c.gran, out))
+				continue
+			}
+			subs = append(subs, leafDisjoint(c.gran, c.ivs[:j:j]))
+		}
 	}
-	return FromSubs(subs)
+	return &Calendar{gran: c.gran, subs: subs}
 }

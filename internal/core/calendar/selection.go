@@ -3,6 +3,8 @@ package calendar
 import (
 	"fmt"
 	"strings"
+
+	"calsys/internal/core/interval"
 )
 
 // A SelItem is one term of a selection predicate: a single position, or an
@@ -142,6 +144,12 @@ func (s Selection) indices(ln int) []int {
 	return out
 }
 
+// Indices expands the predicate against a list of length ln, returning the
+// selected 0-based indices in predicate order. Plan execution uses this to
+// answer selections over pattern-backed values by index arithmetic, without
+// materializing the list being selected from.
+func (s Selection) Indices(ln int) []int { return s.indices(ln) }
+
 // Single reports whether the predicate selects at most one element (a single
 // index or [n]); in that case selection on an order-n calendar reduces the
 // order by one, per the paper's [3]/WEEKS:overlaps:Year-1993 example.
@@ -166,22 +174,22 @@ func Select(s Selection, c *Calendar) (*Calendar, error) {
 func selectRec(s Selection, c *Calendar) *Calendar {
 	if c.Order() == 1 {
 		idx := s.indices(len(c.ivs))
-		out := &Calendar{gran: c.gran}
+		out := make([]interval.Interval, 0, len(idx))
 		for _, i := range idx {
-			out.ivs = append(out.ivs, c.ivs[i])
+			out = append(out, c.ivs[i])
 		}
-		return out
+		return newLeaf(c.gran, out)
 	}
 	if c.Order() == 2 && s.Single() {
 		// Collapse: pick one interval from each sub-calendar.
-		out := &Calendar{gran: c.gran}
+		var out []interval.Interval
 		for _, sub := range c.subs {
 			idx := s.indices(len(sub.ivs))
 			for _, i := range idx {
-				out.ivs = append(out.ivs, sub.ivs[i])
+				out = append(out, sub.ivs[i])
 			}
 		}
-		return out
+		return newLeaf(c.gran, out)
 	}
 	subs := make([]*Calendar, 0, len(c.subs))
 	for _, sub := range c.subs {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"calsys/internal/chronology"
 	"calsys/internal/core/interval"
 )
 
@@ -56,7 +57,7 @@ func Union(a, b *Calendar) (*Calendar, error) {
 			j++
 		}
 	}
-	return &Calendar{gran: a.gran, ivs: out}, nil
+	return newLeaf(a.gran, out), nil
 }
 
 func less(x, y interval.Interval) bool {
@@ -73,35 +74,82 @@ func appendUnlessDup(out []interval.Interval, iv interval.Interval) []interval.I
 	return append(out, iv)
 }
 
+// coverage returns b's covered ticks as a sorted disjoint interval list.
+// When b already has that shape its element list serves directly (adjacent
+// elements stay unmerged — callers that need point-set normalization merge
+// adjacency on the fly); otherwise the normalized point set is built once.
+func coverage(b *Calendar) []interval.Interval {
+	if b.sortedDisjoint {
+		return b.ivs
+	}
+	return b.ToSet().Intervals()
+}
+
 // Diff implements the calendar "-" operator: each element of a has b's
 // covered ticks removed, splitting where necessary; surviving pieces stay
-// separate elements.
+// separate elements. One linear merge over b's coverage: a's elements have
+// non-decreasing lower bounds, so the first coverage interval that can cut an
+// element only moves forward.
 func Diff(a, b *Calendar) (*Calendar, error) {
 	if err := checkSetOperands("-", a, b); err != nil {
 		return nil, err
 	}
-	bset := b.ToSet()
-	var out []interval.Interval
+	cov := coverage(b)
+	out := make([]interval.Interval, 0, len(a.ivs))
+	j := 0
 	for _, iv := range a.ivs {
-		out = append(out, interval.NewSet(iv).Diff(bset).Intervals()...)
+		for j < len(cov) && cov[j].Hi < iv.Lo {
+			j++
+		}
+		lo, dead := iv.Lo, false
+		for k := j; k < len(cov) && cov[k].Lo <= iv.Hi; k++ {
+			if cov[k].Lo > lo {
+				out = append(out, interval.Interval{Lo: lo, Hi: chronology.PrevTick(cov[k].Lo)})
+			}
+			if cov[k].Hi >= iv.Hi {
+				dead = true
+				break
+			}
+			lo = chronology.NextTick(cov[k].Hi)
+		}
+		if !dead && lo <= iv.Hi {
+			out = append(out, interval.Interval{Lo: lo, Hi: iv.Hi})
+		}
 	}
-	return &Calendar{gran: a.gran, ivs: out}, nil
+	return newLeaf(a.gran, out), nil
 }
 
 // Intersect implements the "intersects" operator of the calendar scripts:
-// the pieces of each element of a covered by b. Note this is distinct from
-// the overlaps listop — {LDOM:intersects:HOLIDAYS} in §3.3 yields the
-// order-1 calendar of days that are both.
+// the pieces of each element of a covered by b, via the same linear merge as
+// Diff. Note this is distinct from the overlaps listop —
+// {LDOM:intersects:HOLIDAYS} in §3.3 yields the order-1 calendar of days
+// that are both. Coverage pieces adjacent in tick space fuse (the operator
+// has point-set semantics), so cuts of one element merge when they touch.
 func Intersect(a, b *Calendar) (*Calendar, error) {
 	if err := checkSetOperands("intersects", a, b); err != nil {
 		return nil, err
 	}
-	bset := b.ToSet()
+	cov := coverage(b)
 	var out []interval.Interval
+	j := 0
 	for _, iv := range a.ivs {
-		out = append(out, interval.NewSet(iv).Intersect(bset).Intervals()...)
+		for j < len(cov) && cov[j].Hi < iv.Lo {
+			j++
+		}
+		mark := len(out)
+		for k := j; k < len(cov) && cov[k].Lo <= iv.Hi; k++ {
+			cut, ok := iv.Intersect(cov[k])
+			if !ok {
+				continue
+			}
+			if n := len(out); n > mark && chronology.NextTick(out[n-1].Hi) == cut.Lo {
+				out[n-1].Hi = cut.Hi
+				continue
+			}
+			out = append(out, cut)
+		}
 	}
-	return &Calendar{gran: a.gran, ivs: out}, nil
+	return newLeaf(a.gran, out), nil
 }
 
 // ClipToInterval restricts an order-1 calendar to the parts of its elements
@@ -128,5 +176,5 @@ func SliceOverlapping(c *Calendar, win interval.Interval) *Calendar {
 	if hi < lo {
 		hi = lo
 	}
-	return &Calendar{gran: c.gran, ivs: ivs[lo:hi]}
+	return &Calendar{gran: c.gran, ivs: ivs[lo:hi], sortedDisjoint: c.sortedDisjoint}
 }

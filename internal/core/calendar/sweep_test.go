@@ -1,0 +1,195 @@
+package calendar
+
+import (
+	"math/rand"
+	"testing"
+
+	"calsys/internal/chronology"
+	"calsys/internal/core/interval"
+)
+
+var allListOps = []interval.ListOp{
+	interval.Overlaps, interval.During, interval.Meets, interval.Before, interval.BeforeEquals,
+}
+
+// randDisjointSorted builds a random sorted disjoint interval list with small
+// gaps and widths, so boundary coincidences (meets, shared endpoints) occur
+// often.
+func randDisjointSorted(rng *rand.Rand, n int) []interval.Interval {
+	out := make([]interval.Interval, 0, n)
+	off := int64(rng.Intn(40)) - 20
+	for i := 0; i < n; i++ {
+		off += int64(rng.Intn(4)) + 1 // gap ≥ 1: disjoint
+		lo := off
+		off += int64(rng.Intn(5))
+		out = append(out, interval.Interval{
+			Lo: chronology.TickFromOffset(lo),
+			Hi: chronology.TickFromOffset(off),
+		})
+	}
+	return out
+}
+
+// naiveForeach is the O(n·m) reference evaluator: the generic per-element
+// path applied literally, with no sweep shortcuts.
+func naiveForeach(c *Calendar, op interval.ListOp, strict bool, arg *Calendar) *Calendar {
+	subs := make([]*Calendar, 0, len(arg.ivs))
+	for _, y := range arg.ivs {
+		var out []interval.Interval
+		for _, iv := range c.ivs {
+			if !op.Eval(iv, y) {
+				continue
+			}
+			if strict {
+				if cut, ok := iv.Intersect(y); ok {
+					out = append(out, cut)
+					continue
+				}
+			}
+			out = append(out, iv)
+		}
+		subs = append(subs, &Calendar{gran: c.gran, ivs: out})
+	}
+	return &Calendar{gran: c.gran, subs: subs}
+}
+
+// TestForeachSweepMatchesNaive checks every sweep kernel, strict and relaxed,
+// against the naive reference over randomized disjoint sorted operands, and
+// that Foreach actually routes such operands through the sweep.
+func TestForeachSweepMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		c, err := FromIntervals(chronology.Day, randDisjointSorted(rng, rng.Intn(12)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		arg, err := FromIntervals(chronology.Day, randDisjointSorted(rng, rng.Intn(10)+2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.sortedDisjoint || !arg.sortedDisjoint {
+			t.Fatal("random operands not classified sorted disjoint")
+		}
+		for _, op := range allListOps {
+			for _, strict := range []bool{false, true} {
+				got := foreachSweep(c, op, strict, arg)
+				want := naiveForeach(c, op, strict, arg)
+				if !got.Equal(want) {
+					t.Fatalf("trial %d op %v strict %v:\nc   = %v\narg = %v\ngot  %v\nwant %v",
+						trial, op, strict, c, arg, got, want)
+				}
+				// The public entry point must agree too (and routes through
+				// the sweep, since both flags are set).
+				pub, err := Foreach(c, op, strict, arg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !pub.Equal(want) {
+					t.Fatalf("trial %d op %v strict %v: Foreach diverges from reference", trial, op, strict)
+				}
+			}
+		}
+	}
+}
+
+// TestForeachSweepSharedPrefixIsolated checks that the prefix-sharing <, <=
+// kernels never alias their output against later appends to the result
+// calendars.
+func TestForeachSweepSharedPrefixIsolated(t *testing.T) {
+	c := MustFromIntervals(chronology.Day,
+		interval.Interval{Lo: 1, Hi: 2},
+		interval.Interval{Lo: 4, Hi: 5},
+		interval.Interval{Lo: 7, Hi: 8},
+	)
+	arg := MustFromIntervals(chronology.Day,
+		interval.Interval{Lo: 3, Hi: 3},
+		interval.Interval{Lo: 6, Hi: 6},
+		interval.Interval{Lo: 9, Hi: 10},
+	)
+	got := foreachSweep(c, interval.Before, false, arg)
+	// Appending to a sub-calendar's intervals slice must not clobber c.
+	for _, sub := range got.Subs() {
+		_ = append(sub.Intervals(), interval.Interval{Lo: 99, Hi: 99}) //nolint:staticcheck
+	}
+	want := MustFromIntervals(chronology.Day,
+		interval.Interval{Lo: 1, Hi: 2},
+		interval.Interval{Lo: 4, Hi: 5},
+		interval.Interval{Lo: 7, Hi: 8},
+	)
+	if !c.Equal(want) {
+		t.Fatalf("prefix sharing corrupted the source calendar: %v", c)
+	}
+}
+
+// naiveSetOp is the reference for Diff/Intersect: per-element point-set
+// arithmetic, exactly the pre-sweep implementation.
+func naiveSetOp(a, b *Calendar, diff bool) *Calendar {
+	bset := b.ToSet()
+	var out []interval.Interval
+	for _, iv := range a.ivs {
+		if diff {
+			out = append(out, interval.NewSet(iv).Diff(bset).Intervals()...)
+		} else {
+			out = append(out, interval.NewSet(iv).Intersect(bset).Intervals()...)
+		}
+	}
+	return &Calendar{gran: a.gran, ivs: out}
+}
+
+// randSortedByLo builds a random list sorted by lower bound only — elements
+// may overlap, the general order-1 calendar shape.
+func randSortedByLo(rng *rand.Rand, n int) []interval.Interval {
+	out := make([]interval.Interval, 0, n)
+	lo := int64(rng.Intn(40)) - 20
+	for i := 0; i < n; i++ {
+		lo += int64(rng.Intn(4))
+		width := int64(rng.Intn(8))
+		out = append(out, interval.Interval{
+			Lo: chronology.TickFromOffset(lo),
+			Hi: chronology.TickFromOffset(lo + width),
+		})
+	}
+	return out
+}
+
+// TestLinearSetOpsMatchNaive checks the linear-merge Diff and Intersect
+// against per-element point-set arithmetic for overlapping, adjacent and
+// disjoint operand shapes.
+func TestLinearSetOpsMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 400; trial++ {
+		var aIvs, bIvs []interval.Interval
+		if rng.Intn(2) == 0 {
+			aIvs = randDisjointSorted(rng, rng.Intn(12))
+		} else {
+			aIvs = randSortedByLo(rng, rng.Intn(12))
+		}
+		if rng.Intn(2) == 0 {
+			bIvs = randDisjointSorted(rng, rng.Intn(12))
+		} else {
+			bIvs = randSortedByLo(rng, rng.Intn(12))
+		}
+		a, err := FromIntervals(chronology.Day, aIvs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := FromIntervals(chronology.Day, bIvs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotDiff, err := Diff(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := naiveSetOp(a, b, true); !gotDiff.Equal(want) {
+			t.Fatalf("trial %d: Diff(%v, %v) = %v, want %v", trial, a, b, gotDiff, want)
+		}
+		gotInt, err := Intersect(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := naiveSetOp(a, b, false); !gotInt.Equal(want) {
+			t.Fatalf("trial %d: Intersect(%v, %v) = %v, want %v", trial, a, b, gotInt, want)
+		}
+	}
+}

@@ -15,6 +15,15 @@
 // bumps its generation on Define/Replace/Drop, so stale entries stop being
 // addressable and age out of the LRU.
 //
+// Periodic calendars are stored as patterns rather than materialized lists:
+// a pattern entry costs a few dozen bytes regardless of how many centuries of
+// windows it can serve, any covered window is a hit (expanded on demand in
+// O(output)), and under LRU pressure basic calendars effectively never evict.
+// Pattern entries arrive explicitly via PutPattern (the generate fast path
+// knows its calendar is periodic) or implicitly: Put runs periodic.Detect
+// over sliceable materializations and keeps the compressed form when a true
+// cycle is found, clamped to the element range actually observed.
+//
 // The cache is bounded by a byte budget with LRU eviction and exposes
 // expvar-style counters via Stats.
 package matcache
@@ -22,11 +31,13 @@ package matcache
 import (
 	"container/list"
 	"fmt"
+	"math"
 	"sync"
 
 	"calsys/internal/chronology"
 	"calsys/internal/core/calendar"
 	"calsys/internal/core/interval"
+	"calsys/internal/core/periodic"
 )
 
 // Key identifies one cached calendar materialization line (all windows of
@@ -52,31 +63,50 @@ func (k Key) String() string {
 
 // Stats is a snapshot of the cache counters.
 type Stats struct {
-	Hits      int64 // requests served from a cached window
-	Misses    int64 // requests that found no covering window
-	Puts      int64 // materializations inserted
-	Rejected  int64 // materializations too large for the budget
-	Evictions int64 // entries evicted by LRU pressure
-	Coalesced int64 // entries dropped because a superset window subsumed them
-	Entries   int   // resident (key, window) entries
-	Bytes     int64 // resident bytes (estimated)
-	Budget    int64 // configured byte budget
+	Hits       int64 // requests served from a cached window
+	Misses     int64 // requests that found no covering window
+	Puts       int64 // materializations inserted
+	Rejected   int64 // materializations too large for the budget
+	Evictions  int64 // entries evicted by LRU pressure
+	Coalesced  int64 // entries dropped because a superset window subsumed them
+	Compressed int64 // materializations stored as detected patterns instead
+	Patterns   int   // resident pattern entries
+	Entries    int   // resident (key, window) entries
+	Bytes      int64 // resident bytes (estimated)
+	Budget     int64 // configured byte budget
 }
 
 // String renders the counters in expvar style.
 func (s Stats) String() string {
-	return fmt.Sprintf(`{"hits": %d, "misses": %d, "puts": %d, "rejected": %d, "evictions": %d, "coalesced": %d, "entries": %d, "bytes": %d, "budget": %d}`,
-		s.Hits, s.Misses, s.Puts, s.Rejected, s.Evictions, s.Coalesced, s.Entries, s.Bytes, s.Budget)
+	return fmt.Sprintf(`{"hits": %d, "misses": %d, "puts": %d, "rejected": %d, "evictions": %d, "coalesced": %d, "compressed": %d, "patterns": %d, "entries": %d, "bytes": %d, "budget": %d}`,
+		s.Hits, s.Misses, s.Puts, s.Rejected, s.Evictions, s.Coalesced, s.Compressed, s.Patterns, s.Entries, s.Bytes, s.Budget)
 }
 
-// entry is one materialized window of one key.
+// AllTime is the validity window of pattern entries that hold for every
+// window — the truly periodic basic calendars, whose pattern serves any
+// request.
+var AllTime = interval.Interval{Lo: math.MinInt64, Hi: math.MaxInt64}
+
+// entry is one materialized window of one key: either a materialized
+// calendar (cal) or a periodic pattern (pat) with the element-index range it
+// is valid over. Pattern entries serve any sub-window of win by expansion.
 type entry struct {
-	key       Key
-	win       interval.Interval
-	cal       *calendar.Calendar
-	sliceable bool
-	bytes     int64
-	elem      *list.Element
+	key        Key
+	win        interval.Interval
+	cal        *calendar.Calendar
+	pat        *periodic.Pattern
+	qmin, qmax int64
+	sliceable  bool
+	bytes      int64
+	elem       *list.Element
+}
+
+// covers reports whether the entry can serve the requested window.
+func (e *entry) covers(win interval.Interval) bool {
+	if e.win == win {
+		return true
+	}
+	return (e.sliceable || e.pat != nil) && e.win.Lo <= win.Lo && win.Hi <= e.win.Hi
 }
 
 // Cache is a byte-bounded LRU of materialized calendars. It is safe for
@@ -88,7 +118,8 @@ type Cache struct {
 	buckets map[Key][]*entry
 	lru     *list.List // front = most recently used; values are *entry
 
-	hits, misses, puts, rejected, evictions, coalesced int64
+	hits, misses, puts, rejected, evictions, coalesced, compressed int64
+	patterns                                                       int
 }
 
 // DefaultBudget is the byte budget of the shared process-wide cache.
@@ -122,9 +153,12 @@ func (c *Cache) Get(k Key, win interval.Interval) (*calendar.Calendar, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, e := range c.buckets[k] {
-		if e.win == win || (e.sliceable && e.win.Lo <= win.Lo && win.Hi <= e.win.Hi) {
+		if e.covers(win) {
 			c.lru.MoveToFront(e.elem)
 			c.hits++
+			if e.pat != nil {
+				return calendar.ExpandPatternBetween(k.Gran, e.pat, win, e.qmin, e.qmax), true
+			}
 			if e.win == win {
 				return e.cal, true
 			}
@@ -133,6 +167,24 @@ func (c *Cache) Get(k Key, win interval.Interval) (*calendar.Calendar, bool) {
 	}
 	c.misses++
 	return nil, false
+}
+
+// GetPattern returns a cached pattern valid over win, with the element-index
+// range to clamp expansions to. The plan executor uses this to answer
+// cardinality and selection over periodic values in O(log spans) arithmetic,
+// never materializing at all. Unlike Get, a miss here is not counted — the
+// caller falls through to Get, which settles the hit/miss accounting.
+func (c *Cache) GetPattern(k Key, win interval.Interval) (*periodic.Pattern, int64, int64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.buckets[k] {
+		if e.pat != nil && e.covers(win) {
+			c.lru.MoveToFront(e.elem)
+			c.hits++
+			return e.pat, e.qmin, e.qmax, true
+		}
+	}
+	return nil, 0, 0, false
 }
 
 // Put records a materialization of key over win. sliceable promises that cal
@@ -149,6 +201,18 @@ func (c *Cache) Put(k Key, win interval.Interval, cal *calendar.Calendar, slicea
 		sliceable = false
 	}
 	size := SizeOf(cal)
+	// Detection runs outside the lock (it is pure): a sliceable
+	// materialization with a true cycle is stored as its pattern — a fraction
+	// of the bytes, and any covered window stays servable via ExpandBetween
+	// clamped to the observed element range.
+	if sliceable {
+		if ivs := cal.Intervals(); len(ivs) >= compressMinLen {
+			if pat, qmin, qmax, ok := periodic.Detect(ivs); ok && pat.SizeBytes()*2 <= size {
+				c.putPattern(k, win, pat, qmin, qmax, true)
+				return
+			}
+		}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if size > c.budget {
@@ -157,15 +221,17 @@ func (c *Cache) Put(k Key, win interval.Interval, cal *calendar.Calendar, slicea
 	}
 	bucket := c.buckets[k]
 	for _, e := range bucket {
-		if e.win == win || (e.sliceable && e.win.Lo <= win.Lo && win.Hi <= e.win.Hi) {
+		if e.covers(win) {
 			// Already covered by an equal or wider materialization.
 			return
 		}
 	}
 	kept := bucket[:0]
 	for _, e := range bucket {
-		if sliceable && e.win.Lo >= win.Lo && e.win.Hi <= win.Hi {
-			// The new window subsumes this one: coalesce.
+		if sliceable && e.pat == nil && e.win.Lo >= win.Lo && e.win.Hi <= win.Hi {
+			// The new window subsumes this one: coalesce. Pattern entries are
+			// kept — they are smaller than any materialization that covers
+			// them.
 			c.removeLocked(e)
 			c.coalesced++
 			continue
@@ -173,10 +239,65 @@ func (c *Cache) Put(k Key, win interval.Interval, cal *calendar.Calendar, slicea
 		kept = append(kept, e)
 	}
 	e := &entry{key: k, win: win, cal: cal, sliceable: sliceable, bytes: size}
+	c.insertLocked(kept, e)
+}
+
+// compressMinLen is the smallest materialization Put tries to compress:
+// below it the detection scan outweighs the byte savings.
+const compressMinLen = 32
+
+// PutPattern records a periodic pattern for key, valid over any sub-window
+// of win (pass AllTime for truly periodic calendars) and clamped to pattern
+// element indices [qmin, qmax] (pass math.MinInt64, math.MaxInt64 when
+// unbounded). Materialized entries whose windows the pattern covers are
+// coalesced away — the pattern serves them in O(output) at a fraction of the
+// bytes.
+func (c *Cache) PutPattern(k Key, win interval.Interval, pat *periodic.Pattern, qmin, qmax int64) {
+	if pat == nil {
+		return
+	}
+	c.putPattern(k, win, pat, qmin, qmax, false)
+}
+
+func (c *Cache) putPattern(k Key, win interval.Interval, pat *periodic.Pattern, qmin, qmax int64, compressed bool) {
+	size := pat.SizeBytes()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if compressed {
+		c.compressed++
+	}
+	if size > c.budget {
+		c.rejected++
+		return
+	}
+	bucket := c.buckets[k]
+	for _, e := range bucket {
+		if e.pat != nil && e.covers(win) {
+			return // an equal-or-wider pattern already serves this
+		}
+	}
+	kept := bucket[:0]
+	for _, e := range bucket {
+		if e.win.Lo >= win.Lo && e.win.Hi <= win.Hi {
+			c.removeLocked(e)
+			c.coalesced++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	e := &entry{key: k, win: win, pat: pat, qmin: qmin, qmax: qmax, sliceable: true, bytes: size}
+	c.insertLocked(kept, e)
+}
+
+// insertLocked adds e to its bucket and the LRU, then enforces the budget.
+func (c *Cache) insertLocked(kept []*entry, e *entry) {
 	e.elem = c.lru.PushFront(e)
-	c.buckets[k] = append(kept, e)
-	c.bytes += size
+	c.buckets[e.key] = append(kept, e)
+	c.bytes += e.bytes
 	c.puts++
+	if e.pat != nil {
+		c.patterns++
+	}
 	for c.bytes > c.budget {
 		back := c.lru.Back()
 		if back == nil {
@@ -193,6 +314,9 @@ func (c *Cache) Put(k Key, win interval.Interval, cal *calendar.Calendar, slicea
 func (c *Cache) removeLocked(e *entry) {
 	c.lru.Remove(e.elem)
 	c.bytes -= e.bytes
+	if e.pat != nil {
+		c.patterns--
+	}
 }
 
 // dropFromBucket removes e from its bucket slice.
@@ -216,6 +340,7 @@ func (c *Cache) Reset() {
 	c.buckets = map[Key][]*entry{}
 	c.lru.Init()
 	c.bytes = 0
+	c.patterns = 0
 }
 
 // Stats snapshots the counters.
@@ -224,8 +349,8 @@ func (c *Cache) Stats() Stats {
 	defer c.mu.Unlock()
 	return Stats{
 		Hits: c.hits, Misses: c.misses, Puts: c.puts, Rejected: c.rejected,
-		Evictions: c.evictions, Coalesced: c.coalesced,
-		Entries: c.lru.Len(), Bytes: c.bytes, Budget: c.budget,
+		Evictions: c.evictions, Coalesced: c.coalesced, Compressed: c.compressed,
+		Patterns: c.patterns, Entries: c.lru.Len(), Bytes: c.bytes, Budget: c.budget,
 	}
 }
 

@@ -1,16 +1,51 @@
 package matcache
 
 import (
+	"math"
+	"math/rand"
 	"testing"
 
 	"calsys/internal/chronology"
 	"calsys/internal/core/calendar"
 	"calsys/internal/core/interval"
+	"calsys/internal/core/periodic"
 )
+
+const (
+	minInt64 = math.MinInt64
+	maxInt64 = math.MaxInt64
+)
+
+// periodicForTest builds the MONTHS-in-DAYS pattern.
+func periodicForTest(ch *chronology.Chronology) (*periodic.Pattern, error) {
+	return periodic.ForBasicPair(ch, chronology.Month, chronology.Day)
+}
 
 func gen(t *testing.T, ch *chronology.Chronology, of, in chronology.Granularity, lo, hi chronology.Tick) *calendar.Calendar {
 	t.Helper()
 	c, err := calendar.GenerateFull(ch, of, in, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// aperiodic builds an n-element sorted disjoint calendar with irregular gaps
+// and widths, so Put cannot compress it to a pattern. Tests of the byte
+// budget machinery use it to stay on the materialized path.
+func aperiodic(t *testing.T, seed int64, n int) *calendar.Calendar {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ivs := make([]interval.Interval, 0, n)
+	off := int64(1)
+	for i := 0; i < n; i++ {
+		lo := off
+		off += int64(rng.Intn(5))
+		ivs = append(ivs, interval.Interval{
+			Lo: chronology.TickFromOffset(lo), Hi: chronology.TickFromOffset(off)})
+		off += int64(rng.Intn(6)) + 1
+	}
+	c, err := calendar.FromIntervals(chronology.Day, ivs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,12 +127,13 @@ func TestCoalescingDropsSubsumedWindows(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	ch := chronology.MustNew(chronology.DefaultEpoch)
-	// Each 100-day materialization is ~64 + 16*100 bytes; budget fits ~3.
+	// Each 100-element aperiodic materialization is ~64 + 16*100 bytes
+	// (uncompressible, so it stays materialized); budget fits ~3.
 	c := New(5000)
 	mk := func(id string) Key { return Key{Scope: "t", ID: id, Gran: chronology.Day} }
-	win := interval.Interval{Lo: 1, Hi: 100}
-	cal := gen(t, ch, chronology.Day, chronology.Day, 1, 100)
+	cal := aperiodic(t, 7, 100)
+	hull, _ := cal.Hull()
+	win := hull
 	for _, id := range []string{"a", "b", "c", "d", "e"} {
 		c.Put(mk(id), win, cal, true)
 	}
@@ -119,14 +155,71 @@ func TestLRUEviction(t *testing.T) {
 }
 
 func TestOversizeRejected(t *testing.T) {
-	ch := chronology.MustNew(chronology.DefaultEpoch)
 	c := New(100)
-	k := Key{Scope: "t", ID: "G|days", Gran: chronology.Day}
-	win := interval.Interval{Lo: 1, Hi: 1000}
-	c.Put(k, win, gen(t, ch, chronology.Day, chronology.Day, 1, 1000), true)
+	k := Key{Scope: "t", ID: "E|expr", Gran: chronology.Day}
+	cal := aperiodic(t, 9, 1000)
+	hull, _ := cal.Hull()
+	c.Put(k, hull, cal, true)
 	st := c.Stats()
 	if st.Rejected != 1 || st.Entries != 0 {
 		t.Fatalf("oversize entry not rejected: %v", st)
+	}
+}
+
+func TestPutCompressesPeriodicMaterializations(t *testing.T) {
+	ch := chronology.MustNew(chronology.DefaultEpoch)
+	c := New(0)
+	k := Key{Scope: "t", ID: "G|weeks", Gran: chronology.Day}
+	win := interval.Interval{Lo: 1, Hi: 3650}
+	cal := gen(t, ch, chronology.Week, chronology.Day, win.Lo, win.Hi)
+	c.Put(k, win, cal, true)
+	st := c.Stats()
+	if st.Compressed != 1 || st.Patterns != 1 {
+		t.Fatalf("periodic materialization not compressed: %v", st)
+	}
+	if st.Bytes >= SizeOf(cal)/10 {
+		t.Fatalf("compressed entry costs %d bytes, materialized was %d — want ≥10× drop", st.Bytes, SizeOf(cal))
+	}
+	// Any sub-window is a hit and re-expansion matches direct generation.
+	for _, sub := range []interval.Interval{{Lo: 100, Hi: 400}, {Lo: 1, Hi: 3650}, {Lo: 2000, Hi: 2001}} {
+		got, ok := c.Get(k, sub)
+		if !ok {
+			t.Fatalf("sub-window %v missed after compression", sub)
+		}
+		if want := gen(t, ch, chronology.Week, chronology.Day, sub.Lo, sub.Hi); !got.Equal(want) {
+			t.Fatalf("window %v: compressed expansion %v != direct %v", sub, got, want)
+		}
+	}
+	// Windows past the observed element range miss (the clamp refuses to
+	// extrapolate a detected cycle).
+	if got, ok := c.Get(k, interval.Interval{Lo: 4000, Hi: 4100}); ok && !got.IsEmpty() {
+		t.Fatalf("detected pattern extrapolated beyond its observed range: %v", got)
+	}
+}
+
+func TestPutPatternServesEveryWindow(t *testing.T) {
+	ch := chronology.MustNew(chronology.DefaultEpoch)
+	c := New(0)
+	k := Key{Scope: "t", ID: "G|months", Gran: chronology.Day}
+	pat, err := periodicForTest(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.PutPattern(k, AllTime, pat, minInt64, maxInt64)
+	for _, win := range []interval.Interval{{Lo: 1, Hi: 365}, {Lo: -40000, Hi: -36000}, {Lo: 100000, Hi: 100400}} {
+		got, ok := c.Get(k, win)
+		if !ok {
+			t.Fatalf("window %v missed on an all-time pattern entry", win)
+		}
+		if want := gen(t, ch, chronology.Month, chronology.Day, win.Lo, win.Hi); !got.Equal(want) {
+			t.Fatalf("window %v: pattern expansion != direct generation", win)
+		}
+	}
+	if p, _, _, ok := c.GetPattern(k, interval.Interval{Lo: 5, Hi: 50}); !ok || p != pat {
+		t.Fatal("GetPattern did not return the stored pattern")
+	}
+	if st := c.Stats(); st.Patterns != 1 || st.Bytes != pat.SizeBytes() {
+		t.Fatalf("pattern entry accounting off: %v", st)
 	}
 }
 

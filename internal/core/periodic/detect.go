@@ -1,0 +1,84 @@
+package periodic
+
+import (
+	"calsys/internal/chronology"
+	"calsys/internal/core/interval"
+)
+
+// Detection thresholds: lists shorter than detectMinLen aren't worth
+// compressing, a detected cycle must repeat at least twice to be trusted,
+// and cycles longer than detectMaxSpans save too little to bother.
+const (
+	detectMinLen   = 16
+	detectMaxSpans = 4096
+)
+
+// Detect recognizes a materialized interval list as the windowed expansion
+// of a pattern. The list must be sorted with non-decreasing bounds (the
+// shape of every generated calendar). On success it returns the pattern and
+// the inclusive element-index range [qmin, qmax] the list occupies, so that
+// ExpandBetween(win, qmin, qmax) over any sub-window reproduces exactly the
+// slice of the original list overlapping that window.
+//
+// Detection runs in O(n) via the KMP failure function over the sequence of
+// (gap, width) pairs: a list is a truncated periodic expansion with cycle
+// length c exactly when that sequence equals itself shifted by c. Lists that
+// are too short, aperiodic, observed for less than two full cycles, or whose
+// cycle exceeds detectMaxSpans fall back to staying materialized (ok =
+// false).
+func Detect(ivs []interval.Interval) (p *Pattern, qmin, qmax int64, ok bool) {
+	n := len(ivs)
+	if n < detectMinLen {
+		return nil, 0, 0, false
+	}
+	// Offsets once, up front; also verify sortedness (Lo and Hi).
+	lo := make([]int64, n)
+	hi := make([]int64, n)
+	for i, iv := range ivs {
+		lo[i] = chronology.OffsetFromTick(iv.Lo)
+		hi[i] = chronology.OffsetFromTick(iv.Hi)
+		if i > 0 && (lo[i] < lo[i-1] || hi[i] < hi[i-1]) {
+			return nil, 0, 0, false
+		}
+	}
+	// The structural sequence: s[i] = (lo[i+1]-lo[i], hi[i]-lo[i]) for
+	// i < n-1. Its smallest period c = (n-1) - fail(n-1).
+	type pair struct{ gap, width int64 }
+	seq := make([]pair, n-1)
+	for i := 0; i < n-1; i++ {
+		seq[i] = pair{gap: lo[i+1] - lo[i], width: hi[i] - lo[i]}
+	}
+	fail := make([]int, len(seq))
+	for i := 1; i < len(seq); i++ {
+		j := fail[i-1]
+		for j > 0 && seq[i] != seq[j] {
+			j = fail[j-1]
+		}
+		if seq[i] == seq[j] {
+			j++
+		}
+		fail[i] = j
+	}
+	c := len(seq) - fail[len(seq)-1]
+	if c > detectMaxSpans || n < 2*c {
+		return nil, 0, 0, false
+	}
+	// The final element's width is not covered by seq; it must match its
+	// cycle position.
+	if hi[n-1]-lo[n-1] != hi[(n-1)%c]-lo[(n-1)%c] {
+		return nil, 0, 0, false
+	}
+	period := lo[c] - lo[0]
+	if period < 1 {
+		return nil, 0, 0, false
+	}
+	spans := make([]Span, c)
+	for i := 0; i < c; i++ {
+		spans[i] = Span{Lo: lo[i] - lo[0], Hi: hi[i] - lo[0]}
+	}
+	pat, err := New(period, lo[0], spans)
+	if err != nil {
+		return nil, 0, 0, false
+	}
+	return pat, 0, int64(n - 1), true
+}

@@ -1,0 +1,123 @@
+package periodic
+
+import (
+	"fmt"
+
+	"calsys/internal/chronology"
+)
+
+// Every basic calendar of the paper is (eventually) periodic when expressed
+// in a finer basic granularity, in one of three ways:
+//
+//   - Fixed-ratio pairs. SECONDS…WEEKS all have a constant length in
+//     seconds, and MONTHS…CENTURY all have a constant length in months, so
+//     any pair inside one group repeats a single span with the length ratio
+//     as its period (a week is always 7 days; a century always 10 decades).
+//
+//   - Gregorian-cycle pairs. A coarse Gregorian unit (MONTHS…CENTURY)
+//     expressed in a fine one (SECONDS…WEEKS) is not fixed-length, but the
+//     proleptic Gregorian calendar repeats exactly every 400 years — 146097
+//     days from any starting year, which is also a whole number of weeks —
+//     so one 400-year cycle of unit spans (4800 months, 400 years, 40
+//     decades or 4 centuries) is the pattern.
+//
+//   - The identity pair: any granularity in itself is the unit pattern.
+//
+// secondsPer gives the fine group's unit lengths; monthsPer the coarse
+// group's, in months.
+var secondsPer = map[chronology.Granularity]int64{
+	chronology.Second: 1,
+	chronology.Minute: 60,
+	chronology.Hour:   3600,
+	chronology.Day:    chronology.SecondsPerDay,
+	chronology.Week:   7 * chronology.SecondsPerDay,
+}
+
+var monthsPer = map[chronology.Granularity]int64{
+	chronology.Month:   1,
+	chronology.Year:    12,
+	chronology.Decade:  120,
+	chronology.Century: 1200,
+}
+
+// Gregorian 400-year cycle constants.
+const (
+	cycleYears = 400
+	cycleDays  = 146097 // exactly divisible by 7: 20871 weeks
+)
+
+// unitsPerCycle returns how many units of the coarse granularity one
+// Gregorian cycle holds.
+func unitsPerCycle(g chronology.Granularity) int64 {
+	return cycleYears * 12 / monthsPer[g]
+}
+
+// ForBasicPair builds the pattern whose windowed expansion equals
+// calendar.GenerateFull(ch, of, in, …) for every window: the basic calendar
+// `of` expressed in ticks of granularity `in`. It errors only on invalid
+// pairs (of finer than in); every valid basic pair is periodic.
+func ForBasicPair(ch *chronology.Chronology, of, in chronology.Granularity) (*Pattern, error) {
+	if !of.Valid() || !in.Valid() {
+		return nil, fmt.Errorf("periodic: invalid granularity pair %v/%v", of, in)
+	}
+	if of.Finer(in) {
+		return nil, fmt.Errorf("periodic: cannot express %v in coarser %v units", of, in)
+	}
+	if of == in {
+		// Unit t of a granularity is the single tick t of itself.
+		return New(1, 0, []Span{{Lo: 0, Hi: 0}})
+	}
+	secOf, fineOf := secondsPer[of]
+	secIn, fineIn := secondsPer[in]
+	switch {
+	case fineOf && fineIn:
+		// Fixed ratio in seconds. Unit 0 of `of` starts at a whole number of
+		// `in` units from the epoch (weeks start at midnight; every finer
+		// unit divides the day).
+		r := secOf / secIn
+		start := ch.UnitStart(of, chronology.TickFromOffset(0))
+		return New(r, start/secIn, []Span{{Lo: 0, Hi: r - 1}})
+	case !fineOf && !fineIn:
+		// Fixed ratio in months; the phase is wherever the epoch-containing
+		// coarse unit starts relative to the epoch's `in` unit (a decade
+		// anchored at 1987 starts 7 year units before the epoch year).
+		r := monthsPer[of] / monthsPer[in]
+		start := offsetAt(ch, in, ch.UnitStart(of, chronology.TickFromOffset(0)))
+		return New(r, start, []Span{{Lo: 0, Hi: r - 1}})
+	default:
+		return gregorianCycle(ch, of, in, secIn)
+	}
+}
+
+// gregorianCycle walks one 400-year cycle of coarse units and records their
+// spans in fine units, relative to the start of the epoch-containing unit.
+// The spans tile the cycle for sub-week granularities; expressed in WEEKS
+// they may overlap at shared boundary weeks, exactly as materialized
+// generation does.
+func gregorianCycle(ch *chronology.Chronology, of, in chronology.Granularity, secIn int64) (*Pattern, error) {
+	var period int64
+	if in == chronology.Week {
+		period = cycleDays / 7
+	} else {
+		period = cycleDays * (chronology.SecondsPerDay / secIn)
+	}
+	n := unitsPerCycle(of)
+	phase := offsetAt(ch, in, ch.UnitStart(of, chronology.TickFromOffset(0)))
+	spans := make([]Span, 0, n)
+	u := chronology.TickFromOffset(0)
+	for j := int64(0); j < n; j++ {
+		lo, hi := ch.UnitSpanIn(of, u, in)
+		spans = append(spans, Span{
+			Lo: chronology.OffsetFromTick(lo) - phase,
+			Hi: chronology.OffsetFromTick(hi) - phase,
+		})
+		u = chronology.NextTick(u)
+	}
+	return New(period, phase, spans)
+}
+
+// offsetAt returns the `g`-unit offset of the unit containing the given
+// epoch second.
+func offsetAt(ch *chronology.Chronology, g chronology.Granularity, sec int64) int64 {
+	return chronology.OffsetFromTick(ch.TickAt(g, sec))
+}

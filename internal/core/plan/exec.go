@@ -2,6 +2,7 @@ package plan
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 
@@ -10,13 +11,39 @@ import (
 	"calsys/internal/core/callang"
 	"calsys/internal/core/interval"
 	"calsys/internal/core/matcache"
+	"calsys/internal/core/periodic"
 )
+
+// regVal is one register value: an eagerly materialized calendar, or a
+// periodic pattern standing for the generation it came from. Pattern-backed
+// values stay unexpanded until a consumer needs the interval list; a
+// selection consumer never expands them at all, answering by index
+// arithmetic on the pattern.
+type regVal struct {
+	cal        *calendar.Calendar
+	pat        *periodic.Pattern
+	qmin, qmax int64             // element-index validity range of pat
+	win        interval.Interval // the inferred generation window pat stands over
+	gran       chronology.Granularity
+}
+
+func eager(c *calendar.Calendar) *regVal { return &regVal{cal: c} }
+
+// materialize expands a pattern-backed value over exactly its inferred
+// generation window (no chunk padding: expansion is O(output), so there is
+// nothing to amortize), memoizing the result for later consumers.
+func (v *regVal) materialize() *calendar.Calendar {
+	if v.cal == nil {
+		v.cal = calendar.ExpandPatternBetween(v.gran, v.pat, v.win, v.qmin, v.qmax)
+	}
+	return v.cal
+}
 
 // execState carries per-evaluation caches shared across the plans of one
 // script run, so that a calendar referenced by several statements is
 // generated once (the paper's shared-calendar marking).
 type execState struct {
-	genCache map[string]*calendar.Calendar
+	genCache map[string]*regVal
 	depth    int
 	// deriving is the stack of opaque derivations currently being evaluated,
 	// used to report the full path of a reference cycle (A → B → A).
@@ -27,7 +54,7 @@ type execState struct {
 const maxDerivedDepth = 16
 
 func newExecState() *execState {
-	return &execState{genCache: map[string]*calendar.Calendar{}}
+	return &execState{genCache: map[string]*regVal{}}
 }
 
 // Exec runs the plan and returns the result calendar. vars supplies script
@@ -38,38 +65,145 @@ func (p *Plan) Exec(env *Env, vars map[string]*calendar.Calendar) (*calendar.Cal
 
 func (p *Plan) exec(env *Env, vars map[string]*calendar.Calendar, st *execState) (*calendar.Calendar, error) {
 	p.prefetchGenerates(env, st)
-	regs := make([]*calendar.Calendar, len(p.Ops))
-	get := func(r Reg) (*calendar.Calendar, error) {
+	regs := make([]*regVal, len(p.Ops))
+	getVal := func(r Reg) (*regVal, error) {
 		if r < 0 || int(r) >= len(regs) || regs[r] == nil {
 			return nil, fmt.Errorf("plan: register %%t%d not populated", r)
 		}
 		return regs[r], nil
 	}
+	get := func(r Reg) (*calendar.Calendar, error) {
+		v, err := getVal(r)
+		if err != nil {
+			return nil, err
+		}
+		return v.materialize(), nil
+	}
 	for i, op := range p.Ops {
-		v, err := p.execOp(env, vars, st, op, get)
+		v, err := p.execVal(env, vars, st, op, getVal, get)
 		if err != nil {
 			return nil, fmt.Errorf("plan: %s: %w", op, err)
 		}
 		regs[i] = v
 	}
-	return get(p.Result)
+	v, err := getVal(p.Result)
+	if err != nil {
+		return nil, err
+	}
+	return v.materialize(), nil
 }
 
-func (p *Plan) execOp(env *Env, vars map[string]*calendar.Calendar, st *execState, op Op, get func(Reg) (*calendar.Calendar, error)) (*calendar.Calendar, error) {
+func genKey(op Op, g chronology.Granularity) string {
+	return fmt.Sprintf("G|%v|%v|%v", op.Of, g, op.Win)
+}
+
+// execVal evaluates ops whose results can stay pattern-backed — OpGenerate
+// (produces patterns) and OpSelect (consumes them without materializing) —
+// and defers everything else to the materialized execOp path.
+func (p *Plan) execVal(env *Env, vars map[string]*calendar.Calendar, st *execState, op Op, getVal func(Reg) (*regVal, error), get func(Reg) (*calendar.Calendar, error)) (*regVal, error) {
 	switch op.Kind {
 	case OpGenerate:
-		key := fmt.Sprintf("G|%v|%v|%v", op.Of, p.Gran, op.Win)
+		key := genKey(op, p.Gran)
 		if !env.DisableSharing {
-			if c, ok := st.genCache[key]; ok {
-				return c, nil
+			if v, ok := st.genCache[key]; ok {
+				return v, nil
 			}
+		}
+		if v, ok := p.patternValue(env, op); ok {
+			st.genCache[key] = v
+			return v, nil
 		}
 		c, err := p.generateShared(env, op)
 		if err != nil {
 			return nil, err
 		}
-		st.genCache[key] = c
-		return c, nil
+		v := eager(c)
+		st.genCache[key] = v
+		return v, nil
+	case OpSelect:
+		v, err := getVal(op.A)
+		if err != nil {
+			return nil, err
+		}
+		if v.cal == nil && v.pat != nil {
+			if c, ok := selectPattern(op.Sel, v); ok {
+				return eager(c), nil
+			}
+		}
+		c, err := calendar.Select(op.Sel, v.materialize())
+		if err != nil {
+			return nil, err
+		}
+		return eager(c), nil
+	}
+	c, err := p.execOp(env, vars, st, op, get)
+	if err != nil {
+		return nil, err
+	}
+	return eager(c), nil
+}
+
+// patternValue answers an OpGenerate with a periodic pattern instead of a
+// materialized list, when the environment shares periodic values and the
+// (of, gran) pair is exactly periodic. Patterns are stored in the shared
+// cache under an all-time window, so every later window of the same pair —
+// from any evaluation in the process — is a hit.
+func (p *Plan) patternValue(env *Env, op Op) (*regVal, bool) {
+	if env.Mat == nil || env.DisableSharing || env.DisablePeriodic {
+		return nil, false
+	}
+	key := matcache.Key{Scope: env.MatScope, ID: "G|" + op.Of.String(), Gran: p.Gran}
+	if pat, qmin, qmax, ok := env.Mat.GetPattern(key, op.Win); ok {
+		return &regVal{pat: pat, qmin: qmin, qmax: qmax, win: op.Win, gran: p.Gran}, true
+	}
+	pat, err := periodic.ForBasicPair(env.Chron, op.Of, p.Gran)
+	if err != nil {
+		return nil, false
+	}
+	env.Mat.PutPattern(key, matcache.AllTime, pat, math.MinInt64, math.MaxInt64)
+	return &regVal{pat: pat, qmin: math.MinInt64, qmax: math.MaxInt64, win: op.Win, gran: p.Gran}, true
+}
+
+// selectPattern answers a selection over a pattern-backed generation by
+// index arithmetic: the cardinality of the window and each selected element
+// are O(1) pattern lookups, so [k]-style predicates never materialize the
+// list they select from. Returns ok=false to fall back to the materialized
+// path (bad predicate, or a window too large to index with int).
+func selectPattern(sel calendar.Selection, v *regVal) (*calendar.Calendar, bool) {
+	if err := sel.Check(); err != nil {
+		return nil, false
+	}
+	first, last, ok := v.pat.IndexRange(v.win)
+	if !ok {
+		return calendar.Empty(v.gran), true
+	}
+	if first < v.qmin {
+		first = v.qmin
+	}
+	if last > v.qmax {
+		last = v.qmax
+	}
+	if first > last {
+		return calendar.Empty(v.gran), true
+	}
+	n := last - first + 1
+	if n <= 0 || n > math.MaxInt32 {
+		return nil, false
+	}
+	idx := sel.Indices(int(n))
+	ivs := make([]interval.Interval, 0, len(idx))
+	for _, i := range idx {
+		ivs = append(ivs, v.pat.Interval(first+int64(i)))
+	}
+	c, err := calendar.FromIntervals(v.gran, ivs)
+	if err != nil {
+		return nil, false
+	}
+	return c, true
+}
+
+func (p *Plan) execOp(env *Env, vars map[string]*calendar.Calendar, st *execState, op Op, get func(Reg) (*calendar.Calendar, error)) (*calendar.Calendar, error) {
+	switch op.Kind {
 	case OpGenerateCall:
 		c, err := calendar.Generate(env.Chron, op.Of, op.In, op.Win.Lo, op.Win.Hi)
 		if err != nil {
@@ -168,12 +302,6 @@ func (p *Plan) execOp(env *Env, vars map[string]*calendar.Calendar, st *execStat
 		return binSet(op, get, calendar.Union)
 	case OpDiff:
 		return binSet(op, get, calendar.Diff)
-	case OpSelect:
-		a, err := get(op.A)
-		if err != nil {
-			return nil, err
-		}
-		return calendar.Select(op.Sel, a)
 	case OpCaloperate:
 		a, err := get(op.A)
 		if err != nil {
@@ -254,11 +382,17 @@ func (p *Plan) prefetchGenerates(env *Env, st *execState) {
 		if op.Kind != OpGenerate {
 			continue
 		}
-		key := fmt.Sprintf("G|%v|%v|%v", op.Of, p.Gran, op.Win)
+		key := genKey(op, p.Gran)
 		if seen[key] || st.genCache[key] != nil {
 			continue
 		}
 		seen[key] = true
+		// Periodic pairs need no worker: building the pattern is O(1)-ish
+		// and expansion is deferred to the consumer.
+		if v, ok := p.patternValue(env, op); ok {
+			st.genCache[key] = v
+			continue
+		}
 		jobs = append(jobs, job{key, op})
 	}
 	if len(jobs) < 2 {
@@ -285,7 +419,7 @@ func (p *Plan) prefetchGenerates(env *Env, st *execState) {
 	wg.Wait()
 	for i, j := range jobs {
 		if results[i] != nil {
-			st.genCache[j.key] = results[i]
+			st.genCache[j.key] = eager(results[i])
 		}
 	}
 }

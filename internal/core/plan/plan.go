@@ -135,6 +135,11 @@ type Env struct {
 	// generating values of the calendar unnecessarily") and the per-run
 	// generation cache; used by the ablation benchmarks.
 	DisableSharing bool
+	// DisablePeriodic turns off the compressed periodic representation of
+	// generate ops (pattern lookup in the shared cache, O(1) selection
+	// arithmetic, lazy windowed expansion), forcing full materialization;
+	// used by the ablation benchmarks.
+	DisablePeriodic bool
 }
 
 func (e *Env) maxWhile() int {

@@ -2,12 +2,21 @@ package plan
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 
 	"calsys/internal/chronology"
 	"calsys/internal/core/calendar"
 	"calsys/internal/core/callang"
+	"calsys/internal/core/interval"
+	"calsys/internal/core/matcache"
+	"calsys/internal/core/periodic"
+)
+
+const (
+	minI64 = math.MinInt64
+	maxI64 = math.MaxInt64
 )
 
 // genExpr builds a random calendar expression over the basic calendars and
@@ -182,6 +191,102 @@ func TestSharingEquivalenceProperty(t *testing.T) {
 		}
 		if errA == nil && !a.Flatten().ToSet().Equal(b.Flatten().ToSet()) {
 			t.Fatalf("%q: shared %v != unshared %v", src, a.Flatten(), b.Flatten())
+		}
+	}
+}
+
+// The compressed periodic path (pattern-backed generate ops, selection by
+// index arithmetic, lazy clamped expansion) must preserve evaluation results
+// on arbitrary expressions. Both environments share materializations; only
+// the periodic representation differs.
+func TestPeriodicEquivalenceProperty(t *testing.T) {
+	env := propEnv(t)
+	env.Mat = matcache.New(0)
+	env.MatScope = "prop-periodic"
+	envOff := *env
+	envOff.Mat = matcache.New(0)
+	envOff.DisablePeriodic = true
+	from, to := d(1990, 1, 1), d(1995, 12, 31)
+
+	rng := rand.New(rand.NewSource(2026))
+	checked := 0
+	for i := 0; i < 400; i++ {
+		src := genExpr(rng, 3)
+		e, err := callang.ParseExpr(src)
+		if err != nil {
+			t.Fatalf("generated expression %q does not parse: %v", src, err)
+		}
+		a, errA := Evaluate(env, e, from, to)
+		b, errB := Evaluate(&envOff, e, from, to)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("%q: periodic err=%v, materialized err=%v", src, errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		checked++
+		if !a.Flatten().ToSet().Equal(b.Flatten().ToSet()) {
+			t.Fatalf("%q:\n periodic     %v\n materialized %v", src, a.Flatten(), b.Flatten())
+		}
+	}
+	if checked < 100 {
+		t.Fatalf("only %d of 400 generated expressions evaluated", checked)
+	}
+	if st := env.Mat.Stats(); st.Patterns == 0 {
+		t.Fatalf("periodic run stored no patterns in the shared cache: %v", st)
+	}
+	// Note the DisablePeriodic cache still compresses storage (Put-side
+	// detection is a cache property, not a plan property); only the
+	// executor's pattern-backed evaluation is ablated.
+}
+
+// selectPattern must agree with materialize-then-Select for every predicate
+// shape, including negative and n-last indices, over every periodic pair.
+func TestSelectPatternMatchesMaterializedSelect(t *testing.T) {
+	ch := chronology.MustNew(chronology.DefaultEpoch)
+	sels := []calendar.Selection{
+		calendar.SelectIndex(1), calendar.SelectIndex(3), calendar.SelectIndex(-1),
+		calendar.SelectIndex(-2), calendar.SelectLast(), calendar.SelectList(1, 3, -1),
+		calendar.SelectRange(2, 4), calendar.SelectRange(-3, -1), calendar.SelectIndex(99),
+	}
+	pairs := [][2]chronology.Granularity{
+		{chronology.Day, chronology.Day},
+		{chronology.Week, chronology.Day},
+		{chronology.Month, chronology.Day},
+		{chronology.Month, chronology.Month},
+		{chronology.Year, chronology.Month},
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, pr := range pairs {
+		pat, err := periodic.ForBasicPair(ch, pr[0], pr[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 40; trial++ {
+			lo := int64(rng.Intn(4000)) - 2000
+			win := interval.Interval{
+				Lo: chronology.TickFromOffset(lo),
+				Hi: chronology.TickFromOffset(lo + int64(rng.Intn(900))),
+			}
+			v := &regVal{pat: pat, qmin: minI64, qmax: maxI64, win: win, gran: pr[1]}
+			mat := calendar.ExpandPattern(pr[1], pat, win)
+			for _, sel := range sels {
+				got, ok := selectPattern(sel, v)
+				if !ok {
+					t.Fatalf("%v of %v in %v over %v: selectPattern refused", sel, pr[0], pr[1], win)
+				}
+				want, err := calendar.Select(sel, mat)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("%v of %v in %v over %v:\n pattern      %v\n materialized %v",
+						sel, pr[0], pr[1], win, got, want)
+				}
+			}
+			if v.cal != nil {
+				t.Fatal("selectPattern materialized its operand")
+			}
 		}
 	}
 }
