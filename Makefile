@@ -4,10 +4,10 @@
 
 GO ?= go
 
-.PHONY: check build vet vet-calsys fmt-check test race bench-smoke bench \
+.PHONY: check build vet vet-calsys fmt-check test race chaos bench-smoke bench \
 	bench-json bench-compare fuzz-smoke staticcheck govulncheck
 
-check: build vet vet-calsys fmt-check test race bench-smoke fuzz-smoke \
+check: build vet vet-calsys fmt-check test race chaos bench-smoke fuzz-smoke \
 	staticcheck govulncheck
 
 build:
@@ -33,6 +33,12 @@ test:
 
 race:
 	$(GO) test -race ./internal/store/... ./internal/rules/... ./internal/core/plan/...
+
+# Crash-recovery fault injection: the seeded kill-and-recover suites, run
+# three times under the race detector. Set CHAOS_ARTIFACTS to a directory to
+# keep the journals of failed runs (CI uploads them).
+chaos:
+	$(GO) test -race -count=3 ./internal/rules/... ./internal/faultinject/ ./internal/store/
 
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem ./... | tee bench-smoke.txt

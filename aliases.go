@@ -9,8 +9,10 @@ import (
 	"calsys/internal/core/matcache"
 	"calsys/internal/core/plan"
 	"calsys/internal/datearith"
+	"calsys/internal/faultinject"
 	"calsys/internal/postquel"
 	"calsys/internal/rules"
+	"calsys/internal/rules/journal"
 	"calsys/internal/store"
 	"calsys/internal/timeseries"
 )
@@ -93,6 +95,27 @@ type (
 	Clock = rules.Clock
 	// VirtualClock is a manually advanced clock.
 	VirtualClock = rules.VirtualClock
+	// SystemClock maps wall time onto model seconds from an anchor.
+	SystemClock = rules.SystemClock
+
+	// CronOptions configures a durable DBCRON daemon.
+	CronOptions = rules.CronOptions
+	// CronStats is the daemon's full counter snapshot.
+	CronStats = rules.CronStats
+	// RetryPolicy bounds retry with exponential backoff for failing actions.
+	RetryPolicy = rules.RetryPolicy
+	// CatchUpPolicy selects crash-recovery semantics for missed triggers.
+	CatchUpPolicy = rules.CatchUpPolicy
+	// RecoveryReport summarizes a crash recovery pass.
+	RecoveryReport = rules.RecoveryReport
+	// DeadLetter is one permanently failed firing from RULE-DEADLETTER.
+	DeadLetter = rules.DeadLetter
+	// FiringJournal is the write-ahead firing journal backing crash recovery.
+	FiringJournal = journal.Journal
+	// JournalOption configures OpenFiringJournal.
+	JournalOption = journal.Option
+	// FaultInjector is the deterministic fault-injection harness (tests).
+	FaultInjector = faultinject.Injector
 
 	// QueryEngine executes Postquel statements.
 	QueryEngine = postquel.Engine
@@ -249,4 +272,42 @@ var (
 	AddMonths        = datearith.AddMonths
 	CouponSchedule   = datearith.CouponSchedule
 	NewVirtualClock  = rules.NewVirtualClock
+)
+
+// Catch-up policies for crash recovery.
+const (
+	FireAll    = rules.FireAll
+	FireLast   = rules.FireLast
+	SkipMissed = rules.SkipMissed
+)
+
+// Durability constructors and helpers.
+var (
+	// OpenFiringJournal opens (or creates) a write-ahead firing journal,
+	// replaying any prior records.
+	OpenFiringJournal = journal.Open
+	// JournalSync toggles fsync-on-commit (on by default).
+	JournalSync = journal.WithSync
+	// DefaultRetryPolicy is the retry schedule durable daemons adopt when
+	// none is configured.
+	DefaultRetryPolicy = rules.DefaultRetryPolicy
+	// ParseCatchUpPolicy resolves "fireall" | "firelast" | "skip".
+	ParseCatchUpPolicy = rules.ParseCatchUpPolicy
+	// NewFaultInjector creates a seeded fault-injection harness.
+	NewFaultInjector = faultinject.New
+	// IsInjectedCrash reports whether an error is an injected kill point.
+	IsInjectedCrash = faultinject.IsCrash
+)
+
+// Fault-injection sites: the daemon sites arm through CronOptions.Faults,
+// the engine site through RuleEngine.SetFaults.
+const (
+	// SiteCronProbe kills the daemon at the top of a RULE-TIME probe.
+	SiteCronProbe = rules.SiteProbe
+	// SiteCronAck kills the daemon after a firing commits but before its
+	// journal ack — recovery must deduplicate, not re-execute.
+	SiteCronAck = rules.SiteAck
+	// SiteEngineFire kills the daemon inside the firing transaction, before
+	// the action runs — the firing rolls back and recovery re-drives it.
+	SiteEngineFire = rules.SiteFire
 )

@@ -20,6 +20,7 @@ package calsys
 import (
 	"fmt"
 	"io"
+	"os"
 
 	"calsys/internal/caldb"
 	"calsys/internal/chronology"
@@ -313,6 +314,30 @@ func (s *System) StartDBCron(T int64) (*DBCron, error) {
 	return rules.NewDBCron(s.rules, T, s.clock.Now())
 }
 
+// StartDurableDBCron creates a durable DBCRON daemon: firings are recorded
+// in the configured journal, failing actions retry with backoff until the
+// budget moves them to RULE-DEADLETTER, and Recover replays the journal
+// after a crash.
+func (s *System) StartDurableDBCron(T int64, opts CronOptions) (*DBCron, error) {
+	return rules.NewDBCronWith(s.rules, T, s.clock.Now(), opts)
+}
+
+// ReattachRule re-binds a Go action to a temporal rule restored from a
+// snapshot, preserving its persisted trigger — an overdue trigger stays
+// overdue, so crash recovery can catch it up.
+func (s *System) ReattachRule(name string, action func(tx *Txn, firedAt int64) error) error {
+	return s.rules.ReattachAction(name, FuncAction{
+		Name: name,
+		Fn: func(tx *Txn, _ *Event, at int64) error {
+			return action(tx, at)
+		},
+	})
+}
+
+// DeadLetters lists RULE-DEADLETTER: firings that exhausted their retry
+// budget, with the instant, attempt count and last error.
+func (s *System) DeadLetters() ([]DeadLetter, error) { return s.rules.DeadLetters() }
+
 // --- time series ----------------------------------------------------------
 
 // NewRegularSeries creates a regular time series whose valid time is
@@ -365,6 +390,21 @@ func OpenSnapshot(r io.Reader, opts ...Option) (*System, error) {
 // OrphanedRules lists rules restored from a snapshot that still need their
 // actions reattached.
 func (s *System) OrphanedRules() []string { return s.rules.Orphans() }
+
+// SaveSnapshotFile writes the snapshot to path atomically (temp file, fsync,
+// rename): a crash mid-save leaves the previous snapshot intact.
+func (s *System) SaveSnapshotFile(path string) error { return s.db.SaveFile(path, nil) }
+
+// OpenSnapshotFile assembles a system from a snapshot file written by
+// SaveSnapshotFile.
+func OpenSnapshotFile(path string, opts ...Option) (*System, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return OpenSnapshot(f, opts...)
+}
 
 // --- conveniences ----------------------------------------------------------
 

@@ -34,7 +34,8 @@ run directly. Dot-commands:
   .now                        current virtual date
   .advance <days>             advance the virtual clock, driving DBCRON
   .cron <seconds>             start DBCRON with probe period T
-  .save <file>                write a database snapshot
+  .deadletter                 list RULE-DEADLETTER (firings that exhausted retries)
+  .save <file>                write a database snapshot (atomic: tmp+fsync+rename)
   .load <file>                replace the database from a snapshot
   .help                       this text
   .quit                       exit
@@ -193,12 +194,7 @@ func (sh *shell) dispatch(line string) error {
 		if rest == "" {
 			return fmt.Errorf("usage: .save <file>")
 		}
-		f, err := os.Create(rest)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := sh.sys.SaveSnapshot(f); err != nil {
+		if err := sh.sys.SaveSnapshotFile(rest); err != nil {
 			return err
 		}
 		fmt.Fprintf(sh.out, "saved snapshot to %s\n", rest)
@@ -235,6 +231,21 @@ func (sh *shell) dispatch(line string) error {
 		}
 		sh.cron = cron
 		fmt.Fprintf(sh.out, "dbcron started, probe period %d s\n", T)
+		return nil
+	case ".deadletter":
+		dls, err := sh.sys.DeadLetters()
+		if err != nil {
+			return err
+		}
+		if len(dls) == 0 {
+			fmt.Fprintln(sh.out, "RULE-DEADLETTER is empty")
+			return nil
+		}
+		ch := sh.sys.Chron()
+		for _, dl := range dls {
+			fmt.Fprintf(sh.out, "%-16s fired_at %s  attempts %d  dead_at %s  %s\n",
+				dl.Rule, ch.CivilOf(dl.At), dl.Attempts, ch.CivilOf(dl.DeadAt), dl.LastError)
+		}
 		return nil
 	}
 	return fmt.Errorf("unknown command %s (try .help)", cmd)

@@ -3,83 +3,241 @@
 // daily business days) and simulates their firings over a span of virtual
 // days, printing the trigger log and the daemon's statistics.
 //
+// With -journal and -snapshot the daemon is durable: firings are recorded
+// in a write-ahead journal, the database is checkpointed periodically, and
+// a -crash-after run can be resumed with -recover, which replays the
+// journal, fast-forwards stale RULE-TIME rows, and catches up missed
+// triggers under the selected -policy (fireall | firelast | skip).
+//
 // Usage:
 //
 //	dbcrond [-days N] [-T seconds] [-start YYYY-MM-DD] [-q]
+//	        [-journal FILE] [-snapshot FILE] [-policy fireall]
+//	        [-checkpoint-days N] [-crash-after N] [-recover]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"calsys"
 )
 
+// errCrashed reports a -crash-after kill; main exits nonzero without the
+// clean-shutdown path.
+var errCrashed = fmt.Errorf("simulated crash (restart with -recover)")
+
+type config struct {
+	days, T        int64
+	start          string
+	quiet          bool
+	journalPath    string
+	snapshotPath   string
+	policy         string
+	checkpointDays int64
+	crashAfter     int64
+	doRecover      bool
+}
+
 func main() {
-	days := flag.Int64("days", 120, "virtual days to simulate")
-	T := flag.Int64("T", calsys.SecondsPerDay, "DBCRON probe period in seconds")
-	start := flag.String("start", "1993-01-01", "simulation start date")
-	quiet := flag.Bool("q", false, "suppress the per-firing log")
+	var cfg config
+	flag.Int64Var(&cfg.days, "days", 120, "virtual days to simulate")
+	flag.Int64Var(&cfg.T, "T", calsys.SecondsPerDay, "DBCRON probe period in seconds")
+	flag.StringVar(&cfg.start, "start", "1993-01-01", "simulation start date")
+	flag.BoolVar(&cfg.quiet, "q", false, "suppress the per-firing log")
+	flag.StringVar(&cfg.journalPath, "journal", "", "write-ahead firing journal (enables the durable daemon)")
+	flag.StringVar(&cfg.snapshotPath, "snapshot", "", "database snapshot file (checkpointed periodically)")
+	flag.StringVar(&cfg.policy, "policy", "fireall", "catch-up policy on recovery: fireall | firelast | skip")
+	flag.Int64Var(&cfg.checkpointDays, "checkpoint-days", 7, "virtual days between snapshot checkpoints")
+	flag.Int64Var(&cfg.crashAfter, "crash-after", 0, "simulate a crash after N firings (0 = never)")
+	flag.BoolVar(&cfg.doRecover, "recover", false, "recover from -snapshot and -journal before simulating")
 	flag.Parse()
 
-	if err := run(*days, *T, *start, *quiet); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dbcrond:", err)
 		os.Exit(1)
 	}
 }
 
-func run(days, T int64, start string, quiet bool) error {
-	startDate, err := calsys.ParseDate(start)
+var ruleDefs = []struct{ name, expr string }{
+	{"every_tuesday", "[2]/DAYS:during:WEEKS"},
+	{"month_end", "[n]/DAYS:during:MONTHS"},
+	{"quarter_end", "[n]/DAYS:during:caloperate(MONTHS, 3)"},
+	{"business_day", "Weekdays"},
+}
+
+func run(cfg config) error {
+	startDate, err := calsys.ParseDate(cfg.start)
 	if err != nil {
 		return err
 	}
-	clock := calsys.NewVirtualClock(0)
-	sys, err := calsys.Open(calsys.WithClock(clock))
+	policy, err := calsys.ParseCatchUpPolicy(cfg.policy)
 	if err != nil {
 		return err
+	}
+	durable := cfg.journalPath != ""
+	if cfg.doRecover && (!durable || cfg.snapshotPath == "") {
+		return fmt.Errorf("-recover needs both -journal and -snapshot")
+	}
+	if cfg.crashAfter > 0 && !durable {
+		return fmt.Errorf("-crash-after needs -journal (there is nothing to recover from otherwise)")
+	}
+
+	clock := calsys.NewVirtualClock(0)
+	counts := map[string]int{}
+	var fired int64
+	crashed := false
+
+	var sys *calsys.System
+	if cfg.doRecover {
+		sys, err = calsys.OpenSnapshotFile(cfg.snapshotPath, calsys.WithClock(clock))
+		if err != nil {
+			return fmt.Errorf("loading checkpoint: %w", err)
+		}
+	} else {
+		sys, err = calsys.Open(calsys.WithClock(clock))
+		if err != nil {
+			return err
+		}
 	}
 	clock.Set(sys.SecondsOf(startDate))
 
-	// Weekday business days (no holiday list in the demo).
-	if err := sys.DefineCalendar("Weekdays", "[1,2,3,4,5]/DAYS:during:WEEKS", calsys.Day); err != nil {
-		return err
-	}
-	ruleDefs := []struct{ name, expr string }{
-		{"every_tuesday", "[2]/DAYS:during:WEEKS"},
-		{"month_end", "[n]/DAYS:during:MONTHS"},
-		{"quarter_end", "[n]/DAYS:during:caloperate(MONTHS, 3)"},
-		{"business_day", "Weekdays"},
-	}
-	counts := map[string]int{}
-	for _, rd := range ruleDefs {
-		name := rd.name
-		if err := sys.OnCalendar(name, rd.expr, func(tx *calsys.Txn, at int64) error {
+	action := func(name string) func(tx *calsys.Txn, at int64) error {
+		return func(tx *calsys.Txn, at int64) error {
 			counts[name]++
-			if !quiet {
+			fired++
+			if !cfg.quiet {
 				fmt.Printf("%s  fired %-14s\n", sys.Chron().CivilOf(at), name)
 			}
 			return nil
-		}); err != nil {
+		}
+	}
+
+	if cfg.doRecover {
+		// Actions are code: re-bind them to the restored catalog rows,
+		// keeping overdue triggers overdue so recovery can catch them up.
+		for _, rd := range ruleDefs {
+			if err := sys.ReattachRule(rd.name, action(rd.name)); err != nil {
+				return fmt.Errorf("reattaching %s: %w", rd.name, err)
+			}
+		}
+	} else {
+		if err := sys.DefineCalendar("Weekdays", "[1,2,3,4,5]/DAYS:during:WEEKS", calsys.Day); err != nil {
+			return err
+		}
+		for _, rd := range ruleDefs {
+			if err := sys.OnCalendar(rd.name, rd.expr, action(rd.name)); err != nil {
+				return err
+			}
+		}
+	}
+
+	var cron *calsys.DBCron
+	if durable {
+		jnl, err := calsys.OpenFiringJournal(cfg.journalPath)
+		if err != nil {
+			return err
+		}
+		defer jnl.Close()
+		// -crash-after arms a kill in the ack window of the Nth firing: the
+		// firing's transaction commits, the journal ack is lost, and the
+		// recovery run must deduplicate it instead of firing twice.
+		var inj *calsys.FaultInjector
+		if cfg.crashAfter > 0 {
+			inj = calsys.NewFaultInjector(1)
+			inj.CrashAt(calsys.SiteCronAck, int(cfg.crashAfter))
+		}
+		cron, err = sys.StartDurableDBCron(cfg.T, calsys.CronOptions{
+			Journal: jnl,
+			CatchUp: policy,
+			Faults:  inj,
+		})
+		if err != nil {
+			return err
+		}
+		if cfg.doRecover {
+			rep, err := cron.Recover(clock.Now())
+			if err != nil {
+				return err
+			}
+			fmt.Printf("recovered: %s\n", rep)
+		}
+		defer func() {
+			if crashed {
+				return // a killed process compacts nothing
+			}
+			if err := jnl.Compact(); err != nil {
+				fmt.Fprintln(os.Stderr, "dbcrond: compacting journal:", err)
+			}
+		}()
+	} else {
+		cron, err = sys.StartDBCron(cfg.T)
+		if err != nil {
 			return err
 		}
 	}
 
-	cron, err := sys.StartDBCron(T)
-	if err != nil {
+	checkpoint := func() error {
+		if cfg.snapshotPath == "" {
+			return nil
+		}
+		return sys.SaveSnapshotFile(cfg.snapshotPath)
+	}
+
+	// Graceful shutdown: on SIGINT/SIGTERM drain everything already due,
+	// checkpoint, and exit cleanly.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	for i := int64(0); i < cfg.days; i++ {
+		select {
+		case s := <-sig:
+			fmt.Printf("\n%v: draining and checkpointing\n", s)
+			if _, err := cron.AdvanceTo(clock.Now()); err != nil {
+				return err
+			}
+			return checkpoint()
+		default:
+		}
+		if _, err := cron.AdvanceTo(clock.Advance(calsys.SecondsPerDay)); err != nil {
+			if calsys.IsInjectedCrash(err) {
+				// Die like a killed process: no drain, no checkpoint, no
+				// journal compaction — only the journal and the last
+				// checkpoint survive for the -recover run.
+				fmt.Printf("\ndbcrond: simulated crash after %d firings — journal retained at %s\n",
+					fired, cfg.journalPath)
+				fmt.Println("dbcrond: restart with -recover to resume")
+				crashed = true
+				return errCrashed
+			}
+			return err
+		}
+		if cfg.snapshotPath != "" && cfg.checkpointDays > 0 && (i+1)%cfg.checkpointDays == 0 {
+			if err := checkpoint(); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Clean shutdown: drain, checkpoint, report.
+	if _, err := cron.AdvanceTo(clock.Now()); err != nil {
 		return err
 	}
-	for i := int64(0); i < days; i++ {
-		if _, err := cron.AdvanceTo(clock.Advance(calsys.SecondsPerDay)); err != nil {
-			return err
-		}
+	if err := checkpoint(); err != nil {
+		return err
 	}
-
-	fired, late := cron.Stats()
-	fmt.Printf("\nsimulated %d days from %s with T = %ds\n", days, startDate, T)
+	total, late := cron.Stats()
+	fmt.Printf("\nsimulated %d days from %s with T = %ds\n", cfg.days, startDate, cfg.T)
 	for _, rd := range ruleDefs {
 		fmt.Printf("  %-14s fired %4d times\n", rd.name, counts[rd.name])
 	}
-	fmt.Printf("  total firings %d, cumulative probe lateness %ds\n", fired, late)
+	fmt.Printf("  total firings %d, cumulative probe lateness %ds\n", total, late)
+	if dls, err := sys.DeadLetters(); err == nil && len(dls) > 0 {
+		fmt.Printf("  RULE-DEADLETTER holds %d firings (query with calsh .deadletter)\n", len(dls))
+	}
 	return nil
 }

@@ -1,18 +1,71 @@
 package main
 
-import "testing"
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunSimulation(t *testing.T) {
-	if err := run(35, 86400, "1993-01-01", true); err != nil {
+	if err := run(config{days: 35, T: 86400, start: "1993-01-01", quiet: true, policy: "fireall", checkpointDays: 7}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(5, 86400, "not a date", true); err == nil {
+	base := config{days: 5, T: 86400, start: "1993-01-01", quiet: true, policy: "fireall"}
+	bad := base
+	bad.start = "not a date"
+	if err := run(bad); err == nil {
 		t.Error("bad start date should fail")
 	}
-	if err := run(5, 0, "1993-01-01", true); err == nil {
+	bad = base
+	bad.T = 0
+	if err := run(bad); err == nil {
 		t.Error("zero probe period should fail")
+	}
+	bad = base
+	bad.policy = "yolo"
+	if err := run(bad); err == nil {
+		t.Error("bad policy should fail")
+	}
+	bad = base
+	bad.doRecover = true
+	if err := run(bad); err == nil {
+		t.Error("-recover without -journal/-snapshot should fail")
+	}
+	bad = base
+	bad.crashAfter = 3
+	if err := run(bad); err == nil {
+		t.Error("-crash-after without -journal should fail")
+	}
+}
+
+// The demo's full durability loop: run with a journal and checkpoints,
+// crash mid-simulation, and recover from what survived on disk.
+func TestRunCrashAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	cfg := config{
+		days: 40, T: 86400, start: "1993-01-01", quiet: true,
+		policy:         "fireall",
+		journalPath:    filepath.Join(dir, "firing.journal"),
+		snapshotPath:   filepath.Join(dir, "state.db"),
+		checkpointDays: 7,
+		crashAfter:     12,
+	}
+	if err := run(cfg); !errors.Is(err, errCrashed) {
+		t.Fatalf("err = %v, want simulated crash", err)
+	}
+	for _, f := range []string{cfg.journalPath, cfg.snapshotPath} {
+		if _, err := os.Stat(f); err != nil {
+			t.Fatalf("crash did not leave %s behind: %v", f, err)
+		}
+	}
+	rec := cfg
+	rec.crashAfter = 0
+	rec.doRecover = true
+	if err := run(rec); err != nil {
+		t.Fatalf("recovery run: %v", err)
 	}
 }

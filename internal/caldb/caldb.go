@@ -94,9 +94,36 @@ type Manager struct {
 // scopeCounter distinguishes managers sharing the process-wide cache.
 var scopeCounter atomic.Uint64
 
+// catalogCols are the column types a CALENDARS table must lead with; a
+// restored snapshot whose catalog disagrees is rejected up front instead of
+// decoding garbage (or panicking on short rows) later.
+var catalogCols = []store.Type{
+	store.TText, store.TText, store.TText, store.TInterval, store.TText, store.TCalendar,
+}
+
+// checkCatalogSchema validates an existing CALENDARS table (e.g. one restored
+// from a snapshot) against the layout of Figure 1.
+func checkCatalogSchema(tab *store.Table) error {
+	if len(tab.Schema.Cols) < len(catalogCols) {
+		return fmt.Errorf("caldb: CALENDARS table has %d columns, want at least %d (incompatible snapshot?)",
+			len(tab.Schema.Cols), len(catalogCols))
+	}
+	for i, want := range catalogCols {
+		if got := tab.Schema.Cols[i].Type; got != want {
+			return fmt.Errorf("caldb: CALENDARS column %d (%s) has type %v, want %v (incompatible snapshot?)",
+				i, tab.Schema.Cols[i].Name, got, want)
+		}
+	}
+	return nil
+}
+
 // New creates (if necessary) the CALENDARS table and returns a Manager.
 func New(db *store.DB, chron *chronology.Chronology) (*Manager, error) {
-	if _, ok := db.Table(TableName); !ok {
+	if tab, ok := db.Table(TableName); ok {
+		if err := checkCatalogSchema(tab); err != nil {
+			return nil, err
+		}
+	} else {
 		schema, err := store.NewSchema(
 			store.Column{Name: "name", Type: store.TText},
 			store.Column{Name: "derivation_script", Type: store.TText},
@@ -161,10 +188,10 @@ func (m *Manager) reload() error {
 	}
 	cache := map[string]*Entry{}
 	var decodeErr error
-	tab.Scan(func(_ int64, row store.Row) bool {
+	tab.Scan(func(rid int64, row store.Row) bool {
 		e, err := decodeEntry(row)
 		if err != nil {
-			decodeErr = err
+			decodeErr = fmt.Errorf("caldb: CALENDARS row %d: %w", rid, err)
 			return false
 		}
 		cache[strings.ToLower(e.Name)] = e
@@ -184,6 +211,9 @@ func (m *Manager) reload() error {
 }
 
 func decodeEntry(row store.Row) (*Entry, error) {
+	if len(row) < len(catalogCols) {
+		return nil, fmt.Errorf("row has %d columns, want at least %d", len(row), len(catalogCols))
+	}
 	e := &Entry{
 		Name:       row[0].S,
 		Derivation: row[1].S,
@@ -191,15 +221,18 @@ func decodeEntry(row store.Row) (*Entry, error) {
 		Lifespan:   Lifespan{Lo: row[3].Iv.Lo, Hi: row[3].Iv.Hi},
 		Values:     row[5].Cal,
 	}
+	if strings.TrimSpace(e.Name) == "" {
+		return nil, fmt.Errorf("entry has an empty name")
+	}
 	g, err := chronology.ParseGranularity(row[4].S)
 	if err != nil {
-		return nil, fmt.Errorf("caldb: entry %q: %w", e.Name, err)
+		return nil, fmt.Errorf("entry %q: bad granularity: %w", e.Name, err)
 	}
 	e.Gran = g
 	if e.Derivation != "" {
 		s, err := callang.ParseDerivation(e.Derivation)
 		if err != nil {
-			return nil, fmt.Errorf("caldb: entry %q: %w", e.Name, err)
+			return nil, fmt.Errorf("entry %q: bad derivation script: %w", e.Name, err)
 		}
 		e.script = s
 	}

@@ -351,3 +351,90 @@ func TestPeriodicCompressionThroughCatalog(t *testing.T) {
 		t.Errorf("re-evaluation did not hit the shared cache: %+v -> %+v", mid, end)
 	}
 }
+
+// A snapshot restored with a CALENDARS table of the wrong shape must be
+// rejected when the manager attaches, not panic while decoding rows.
+func TestNewRejectsIncompatibleCatalogTable(t *testing.T) {
+	chron := chronology.MustNew(chronology.DefaultEpoch)
+
+	db := store.NewDB()
+	short, err := store.NewSchema(
+		store.Column{Name: "name", Type: store.TText},
+		store.Column{Name: "granularity", Type: store.TText},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(TableName, short); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(db, chron); err == nil || !strings.Contains(err.Error(), "columns") {
+		t.Fatalf("short CALENDARS schema: err = %v, want column-count rejection", err)
+	}
+
+	db = store.NewDB()
+	wrongType, err := store.NewSchema(
+		store.Column{Name: "name", Type: store.TText},
+		store.Column{Name: "derivation_script", Type: store.TText},
+		store.Column{Name: "eval_plan", Type: store.TText},
+		store.Column{Name: "lifespan", Type: store.TInt}, // should be TInterval
+		store.Column{Name: "granularity", Type: store.TText},
+		store.Column{Name: "calvalues", Type: store.TCalendar},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(TableName, wrongType); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(db, chron); err == nil || !strings.Contains(err.Error(), "lifespan") {
+		t.Fatalf("wrong lifespan type: err = %v, want type rejection naming the column", err)
+	}
+}
+
+// Corrupt catalog rows surface positioned errors (row id + what was wrong)
+// when a fresh manager attaches over the restored database.
+func TestReloadPositionsCorruptRowErrors(t *testing.T) {
+	m := newManager(t)
+	if err := m.DefineDerived("Tuesdays", "{[2]/DAYS:during:WEEKS;}", lifespanFrom1985(), GranAuto); err != nil {
+		t.Fatal(err)
+	}
+	db := m.DB()
+	tab, _ := db.Table(TableName)
+	rids, err := tab.LookupEq("name", store.NewText("Tuesdays"))
+	if err != nil || len(rids) != 1 {
+		t.Fatalf("catalog row lookup: rids=%v err=%v", rids, err)
+	}
+	mangle := func(col int, v store.Value) {
+		t.Helper()
+		row, _ := tab.Get(rids[0])
+		bad := row.Clone()
+		bad[col] = v
+		if err := db.RunTxn(func(tx *store.Txn) error {
+			return tx.Replace(TableName, rids[0], bad)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	mangle(4, store.NewText("martian"))
+	_, err = New(db, m.Chron())
+	if err == nil || !strings.Contains(err.Error(), "CALENDARS row") ||
+		!strings.Contains(err.Error(), "bad granularity") {
+		t.Fatalf("mangled granularity: err = %v, want positioned granularity error", err)
+	}
+
+	mangle(4, store.NewText("DAYS"))
+	mangle(1, store.NewText("{[2]/DAYS:during:"))
+	_, err = New(db, m.Chron())
+	if err == nil || !strings.Contains(err.Error(), "bad derivation script") {
+		t.Fatalf("mangled derivation: err = %v, want derivation error", err)
+	}
+
+	mangle(1, store.NewText(""))
+	mangle(0, store.NewText("  "))
+	_, err = New(db, m.Chron())
+	if err == nil || !strings.Contains(err.Error(), "empty name") {
+		t.Fatalf("blank name: err = %v, want empty-name error", err)
+	}
+}

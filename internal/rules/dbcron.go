@@ -3,9 +3,123 @@ package rules
 import (
 	"container/heap"
 	"fmt"
+	"math/rand"
+	"strings"
 	"sync"
 	"time"
+
+	"calsys/internal/faultinject"
+	"calsys/internal/rules/journal"
 )
+
+// Fault-injection sites in the daemon.
+const (
+	// SiteProbe is hit at the top of each RULE-TIME probe.
+	SiteProbe = "dbcron.probe"
+	// SiteAck is hit after a firing's transaction commits and before its
+	// journal ack is written — the classic at-least-once window. Recovery
+	// closes it by detecting the advanced RULE-TIME and acking without
+	// re-executing.
+	SiteAck = "dbcron.ack"
+)
+
+// CatchUpPolicy selects what recovery does with trigger instants that came
+// due while the daemon was down — the classic cron catch-up semantics.
+type CatchUpPolicy int
+
+const (
+	// FireAll executes every missed instant, in order (anacron-style).
+	FireAll CatchUpPolicy = iota
+	// FireLast executes only the most recent missed instant per rule.
+	FireLast
+	// SkipMissed executes none of them; triggers resume strictly after the
+	// recovery instant.
+	SkipMissed
+)
+
+func (p CatchUpPolicy) String() string {
+	switch p {
+	case FireAll:
+		return "fireall"
+	case FireLast:
+		return "firelast"
+	case SkipMissed:
+		return "skip"
+	}
+	return fmt.Sprintf("CatchUpPolicy(%d)", int(p))
+}
+
+// ParseCatchUpPolicy resolves a policy name (fireall | firelast | skip).
+func ParseCatchUpPolicy(s string) (CatchUpPolicy, error) {
+	switch strings.ToLower(s) {
+	case "fireall", "all":
+		return FireAll, nil
+	case "firelast", "last":
+		return FireLast, nil
+	case "skip", "none":
+		return SkipMissed, nil
+	}
+	return 0, fmt.Errorf("rules: unknown catch-up policy %q", s)
+}
+
+// RetryPolicy bounds how a failing action is retried: exponential backoff
+// from BaseDelay doubling up to MaxDelay, plus a seeded jitter fraction.
+// MaxAttempts counts the first try; when it is exhausted the firing moves to
+// RULE-DEADLETTER. The zero value means "no retries" (legacy fail-fast).
+type RetryPolicy struct {
+	MaxAttempts int
+	BaseDelay   int64 // seconds before the first retry (default 2)
+	MaxDelay    int64 // backoff cap in seconds (default 300)
+	Jitter      float64
+}
+
+// DefaultRetryPolicy is applied by NewDBCronWith when none is given.
+var DefaultRetryPolicy = RetryPolicy{MaxAttempts: 5, BaseDelay: 2, MaxDelay: 300, Jitter: 0.2}
+
+// backoff returns the delay in seconds before the next try, after `attempt`
+// completed attempts (attempt >= 1).
+func (p RetryPolicy) backoff(attempt int, rng *rand.Rand) int64 {
+	d := p.BaseDelay
+	if d <= 0 {
+		d = 2
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 300
+	}
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if p.Jitter > 0 && rng != nil {
+		d += int64(float64(d) * p.Jitter * rng.Float64())
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// CronOptions configures a durable daemon (NewDBCronWith).
+type CronOptions struct {
+	// Journal, when set, records scheduled → fired → acked transitions for
+	// every firing, enabling crash recovery.
+	Journal *journal.Journal
+	// Retry bounds per-firing retries; zero value adopts DefaultRetryPolicy.
+	Retry RetryPolicy
+	// CatchUp selects recovery semantics for triggers missed while down.
+	CatchUp CatchUpPolicy
+	// ActionTimeout bounds one action execution (0 = unbounded).
+	ActionTimeout time.Duration
+	// MaxCatchUp caps recovery firings per rule under FireAll (default 10000).
+	MaxCatchUp int
+	// Seed makes retry jitter deterministic.
+	Seed int64
+	// Faults threads the fault-injection harness through the daemon.
+	Faults *faultinject.Injector
+}
 
 // DBCron is the daemon of Figure 4, modeled on the UNIX cron utility: every
 // T time units it probes RULE-TIME for the temporal rules triggering within
@@ -16,87 +130,235 @@ import (
 // and firing due up to `now`, so tests and benchmarks run years of rule
 // activity deterministically under a virtual clock. Run wraps the same
 // stepping in a goroutine for wall-clock operation (cmd/dbcrond).
+//
+// A daemon built with NewDBCronWith is durable: firings are journaled,
+// failing actions retry with exponential backoff until a budget moves them
+// to RULE-DEADLETTER, and Recover replays the journal and catches up missed
+// triggers after a crash.
 type DBCron struct {
 	eng *Engine
 	// T is the probe period in seconds.
-	T int64
+	T       int64
+	durable bool
+	opts    CronOptions
+	rng     *rand.Rand
 
-	mu        sync.Mutex
-	pending   firingHeap
-	scheduled map[string]bool // rules already in the heap this window
-	nextProbe int64
-	fired     int64 // lifetime firing count
-	lateSum   int64 // total firing lateness (for monitoring)
+	mu         sync.Mutex
+	pending    firingHeap
+	scheduled  map[string]bool // rules (lower-cased) currently in the heap
+	nextProbe  int64
+	recovering bool  // Recover in progress: it chains catch-up itself
+	fired      int64 // lifetime firing count
+	lateSum    int64 // total firing lateness (for monitoring)
+	retries    int64 // failed attempts that were rescheduled
+	dead       int64 // firings moved to RULE-DEADLETTER
 }
 
 // NewDBCron creates a daemon over the engine with probe period T seconds,
-// anchored so the first probe happens at startAt.
+// anchored so the first probe happens at startAt. It fails fast on action
+// errors (no retries, no journal); use NewDBCronWith for the durable daemon.
 func NewDBCron(eng *Engine, T int64, startAt int64) (*DBCron, error) {
 	if T <= 0 {
 		return nil, fmt.Errorf("rules: probe period must be positive")
 	}
-	return &DBCron{eng: eng, T: T, scheduled: map[string]bool{}, nextProbe: startAt}, nil
+	c := &DBCron{eng: eng, T: T, scheduled: map[string]bool{}, nextProbe: startAt}
+	eng.addDropListener(c.ruleDropped)
+	return c, nil
 }
 
-// firingHeap is a min-heap of upcoming firings ordered by time.
-type firingHeap []Firing
+// NewDBCronWith creates a durable daemon: journaled firings, retry with
+// backoff and dead-lettering, and Recover support.
+func NewDBCronWith(eng *Engine, T int64, startAt int64, opts CronOptions) (*DBCron, error) {
+	c, err := NewDBCron(eng, T, startAt)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Retry.MaxAttempts <= 0 {
+		opts.Retry = DefaultRetryPolicy
+	}
+	if opts.MaxCatchUp <= 0 {
+		opts.MaxCatchUp = 10000
+	}
+	c.durable = true
+	c.opts = opts
+	c.rng = rand.New(rand.NewSource(opts.Seed))
+	return c, nil
+}
+
+// pendingFiring is one heap entry: a firing plus its retry state.
+type pendingFiring struct {
+	Firing
+	runAt   int64  // when to (re)attempt; equals At until a retry backs off
+	attempt int    // completed attempts
+	seq     uint64 // journal sequence (0 when no journal)
+}
+
+// firingHeap is a min-heap of upcoming attempts ordered by runAt.
+type firingHeap []pendingFiring
 
 func (h firingHeap) Len() int           { return len(h) }
-func (h firingHeap) Less(i, j int) bool { return h[i].At < h[j].At }
+func (h firingHeap) Less(i, j int) bool { return h[i].runAt < h[j].runAt }
 func (h firingHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *firingHeap) Push(x any)        { *h = append(*h, x.(Firing)) }
-func (h *firingHeap) Pop() any          { old := *h; n := len(old); f := old[n-1]; *h = old[:n-1]; return f }
+func (h *firingHeap) Push(x any)        { *h = append(*h, x.(pendingFiring)) }
+func (h *firingHeap) Pop() any {
+	old := *h
+	n := len(old)
+	f := old[n-1]
+	*h = old[:n-1]
+	return f
+}
+
+// newPending builds a heap entry for a trigger, journaling its acceptance.
+func (c *DBCron) newPending(rule string, at int64) (pendingFiring, error) {
+	pf := pendingFiring{Firing: Firing{Rule: rule, At: at}, runAt: at}
+	if j := c.opts.Journal; j != nil {
+		seq, err := j.Scheduled(rule, at)
+		if err != nil {
+			return pf, err
+		}
+		pf.seq = seq
+	}
+	return pf, nil
+}
 
 // probe loads the rules due within the next T seconds into the heap.
 func (c *DBCron) probe(now int64) error {
+	if err := faultinject.Hit(c.opts.Faults, SiteProbe); err != nil {
+		return err
+	}
 	due, err := c.eng.DueWithin(now, c.T)
 	if err != nil {
 		return err
 	}
+	// Rebuild the scheduled set from the heap on every window rollover:
+	// entries are otherwise only cleared on fire, so a rule deleted or
+	// re-planned mid-window could leave a stale entry that suppresses its
+	// next firing.
+	sched := make(map[string]bool, len(c.pending))
+	for _, pf := range c.pending {
+		sched[strings.ToLower(pf.Rule)] = true
+	}
+	c.scheduled = sched
+	journaled := false
 	for _, f := range due {
-		if c.scheduled[f.Rule] {
+		key := strings.ToLower(f.Rule)
+		if c.scheduled[key] {
 			continue
 		}
-		c.scheduled[f.Rule] = true
-		heap.Push(&c.pending, f)
+		pf, err := c.newPending(f.Rule, f.At)
+		if err != nil {
+			return err
+		}
+		journaled = journaled || pf.seq != 0
+		c.scheduled[key] = true
+		heap.Push(&c.pending, pf)
+	}
+	if journaled {
+		if err := c.opts.Journal.Sync(); err != nil {
+			return err
+		}
 	}
 	c.nextProbe = now + c.T
 	return nil
 }
 
+// execute runs one attempt of a pending firing (c.mu held). It reports
+// whether the firing committed; a non-nil error means processing must stop
+// (legacy-mode action failure, injected crash, or journal I/O error) —
+// durable-mode action failures are absorbed into retries or the dead-letter
+// table instead.
+func (c *DBCron) execute(pf *pendingFiring, now int64) (bool, error) {
+	key := strings.ToLower(pf.Rule)
+	j := c.opts.Journal
+	if j != nil {
+		if err := j.Begin(pf.seq, pf.attempt+1); err != nil {
+			return false, err
+		}
+	}
+	err := c.eng.fireChecked(pf.Rule, pf.At, c.opts.ActionTimeout)
+	pf.attempt++
+	if err == nil {
+		if err := faultinject.Hit(c.opts.Faults, SiteAck); err != nil {
+			// The firing committed but its ack is lost with the crash;
+			// recovery deduplicates via RULE-TIME.
+			return true, err
+		}
+		if j != nil {
+			if err := j.Ack(pf.seq); err != nil {
+				return true, err
+			}
+		}
+		delete(c.scheduled, key)
+		c.fired++
+		c.lateSum += now - pf.At
+		// If the rule re-armed inside the current probe window, schedule it
+		// now — the next probe would otherwise scan past it. (Recovery
+		// chains catch-up instants itself, so skip the re-arm there.)
+		if next := c.eng.nextOf(pf.Rule); !c.recovering && next <= c.nextProbe && next < noTrigger && !c.scheduled[key] {
+			npf, err := c.newPending(pf.Rule, next)
+			if err != nil {
+				return true, err
+			}
+			c.scheduled[key] = true
+			heap.Push(&c.pending, npf)
+		}
+		return true, nil
+	}
+	if faultinject.IsCrash(err) {
+		return false, err
+	}
+	if !c.durable {
+		delete(c.scheduled, key)
+		return false, err
+	}
+	if pf.attempt >= c.opts.Retry.MaxAttempts {
+		c.dead++
+		if derr := c.eng.deadLetter(pf.Rule, pf.At, pf.attempt, err.Error(), now); derr != nil {
+			delete(c.scheduled, key)
+			return false, derr
+		}
+		if j != nil {
+			if derr := j.Dead(pf.seq, pf.attempt, err.Error()); derr != nil {
+				return false, derr
+			}
+		}
+		delete(c.scheduled, key)
+		return false, nil
+	}
+	c.retries++
+	pf.runAt = now + c.opts.Retry.backoff(pf.attempt, c.rng)
+	c.scheduled[key] = true
+	heap.Push(&c.pending, *pf)
+	return false, nil
+}
+
 // AdvanceTo processes all probes and firings due at or before `now`, in
-// timestamp order, and returns the firings executed. A rule that fails stops
-// processing and surfaces the error (remaining work resumes on the next
-// call).
+// timestamp order, and returns the firings executed. In legacy (fail-fast)
+// mode a rule that fails stops processing and surfaces the error; in
+// durable mode failures retry with backoff and processing continues.
 func (c *DBCron) AdvanceTo(now int64) ([]Firing, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var fired []Firing
 	for {
-		// Next event is either a probe or the earliest pending firing.
+		// Next event is either a probe or the earliest pending attempt.
 		nextAt := c.nextProbe
 		isFiring := false
-		if len(c.pending) > 0 && c.pending[0].At <= nextAt {
-			nextAt = c.pending[0].At
+		if len(c.pending) > 0 && c.pending[0].runAt <= nextAt {
+			nextAt = c.pending[0].runAt
 			isFiring = true
 		}
 		if nextAt > now {
 			return fired, nil
 		}
 		if isFiring {
-			f := heap.Pop(&c.pending).(Firing)
-			delete(c.scheduled, f.Rule)
-			if err := c.eng.fire(f.Rule, f.At); err != nil {
-				return fired, err
+			pf := heap.Pop(&c.pending).(pendingFiring)
+			ok, err := c.execute(&pf, now)
+			if ok {
+				fired = append(fired, pf.Firing)
 			}
-			c.fired++
-			c.lateSum += now - f.At
-			fired = append(fired, f)
-			// If the rule re-armed inside the current probe window, schedule
-			// it now — the next probe would otherwise scan past it.
-			if next := c.eng.nextOf(f.Rule); next <= c.nextProbe && !c.scheduled[f.Rule] {
-				c.scheduled[f.Rule] = true
-				heap.Push(&c.pending, Firing{Rule: f.Rule, At: next})
+			if err != nil {
+				return fired, err
 			}
 			continue
 		}
@@ -106,13 +368,35 @@ func (c *DBCron) AdvanceTo(now int64) ([]Firing, error) {
 	}
 }
 
-// NextWakeup returns the next instant the daemon must act (probe or firing).
+// ruleDropped is the engine's drop notification: discard schedule state so a
+// redefined rule starts clean instead of being suppressed by a stale window
+// entry or fired at a stale instant.
+func (c *DBCron) ruleDropped(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.scheduled, key)
+	kept := c.pending[:0]
+	for _, pf := range c.pending {
+		if strings.ToLower(pf.Rule) != key {
+			kept = append(kept, pf)
+			continue
+		}
+		if j := c.opts.Journal; j != nil && pf.seq != 0 {
+			_ = j.Skip(pf.seq) // best-effort; recovery also skips unknown rules
+		}
+	}
+	c.pending = kept
+	heap.Init(&c.pending)
+}
+
+// NextWakeup returns the next instant the daemon must act (probe, firing or
+// retry).
 func (c *DBCron) NextWakeup() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	next := c.nextProbe
-	if len(c.pending) > 0 && c.pending[0].At < next {
-		next = c.pending[0].At
+	if len(c.pending) > 0 && c.pending[0].runAt < next {
+		next = c.pending[0].runAt
 	}
 	return next
 }
@@ -124,23 +408,50 @@ func (c *DBCron) Stats() (fired int64, lateSum int64) {
 	return c.fired, c.lateSum
 }
 
+// CronStats is the daemon's full counter snapshot.
+type CronStats struct {
+	Fired   int64 // firings committed
+	LateSum int64 // cumulative lateness seconds
+	Retries int64 // failed attempts rescheduled with backoff
+	Dead    int64 // firings moved to RULE-DEADLETTER
+	Pending int   // heap entries awaiting execution or retry
+}
+
+// FullStats reports all daemon counters.
+func (c *DBCron) FullStats() CronStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CronStats{Fired: c.fired, LateSum: c.lateSum, Retries: c.retries, Dead: c.dead, Pending: len(c.pending)}
+}
+
 // Run drives the daemon against a real (or virtual) clock until stop is
 // closed, sleeping between wakeups. Errors are delivered to errs (dropped
-// when full) and processing continues with the next event.
+// when full) and processing continues with the next event. On stop the
+// daemon drains: one final sweep fires everything already due, so a clean
+// shutdown leaves no accepted firing behind in the heap.
 func (c *DBCron) Run(clock Clock, stop <-chan struct{}, errs chan<- error) {
-	for {
-		select {
-		case <-stop:
-			return
-		default:
-		}
-		now := clock.Now()
-		if _, err := c.AdvanceTo(now); err != nil && errs != nil {
+	report := func(err error) {
+		if err != nil && errs != nil {
 			select {
 			case errs <- err:
 			default:
 			}
 		}
+	}
+	drain := func() {
+		_, err := c.AdvanceTo(clock.Now())
+		report(err)
+	}
+	for {
+		select {
+		case <-stop:
+			drain()
+			return
+		default:
+		}
+		now := clock.Now()
+		_, err := c.AdvanceTo(now)
+		report(err)
 		wake := c.NextWakeup()
 		sleep := wake - clock.Now()
 		if sleep < 1 {
@@ -151,6 +462,7 @@ func (c *DBCron) Run(clock Clock, stop <-chan struct{}, errs chan<- error) {
 		}
 		select {
 		case <-stop:
+			drain()
 			return
 		case <-time.After(time.Duration(sleep) * time.Second):
 		}

@@ -1,0 +1,381 @@
+package rules
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"calsys/internal/chronology"
+	"calsys/internal/faultinject"
+	"calsys/internal/rules/journal"
+	"calsys/internal/store"
+)
+
+func openJournal(t *testing.T, opts ...journal.Option) *journal.Journal {
+	t.Helper()
+	j, err := journal.Open(filepath.Join(t.TempDir(), "firing.journal"),
+		append([]journal.Option{journal.WithSync(false)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+// A durable daemon retries a flaky action with backoff instead of dropping
+// the firing, and the firing commits exactly once.
+func TestRetryBackoffThenSuccess(t *testing.T) {
+	eng, cal := newEngine(t)
+	start := cal.Chron().EpochSecondsOf(d(1993, 1, 1))
+	calls := 0
+	flaky := FuncAction{Name: "flaky", Fn: func(*store.Txn, *store.Event, int64) error {
+		calls++
+		if calls <= 2 {
+			return errStub
+		}
+		return nil
+	}}
+	if err := eng.DefineTemporalRule("flaky", "DAYS", flaky, start); err != nil {
+		t.Fatal(err)
+	}
+	cron, err := NewDBCronWith(eng, chronology.SecondsPerDay, start, CronOptions{
+		Journal: openJournal(t),
+		Retry:   RetryPolicy{MaxAttempts: 5, BaseDelay: 2, MaxDelay: 60},
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First trigger is start+1d; two failures back off 2s then 4s.
+	at := start + chronology.SecondsPerDay
+	fired, err := cron.AdvanceTo(at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 0 || calls != 1 {
+		t.Fatalf("after first attempt: fired=%v calls=%d", fired, calls)
+	}
+	if wake := cron.NextWakeup(); wake <= at || wake > at+10 {
+		t.Errorf("retry not backed off: wake=%d at=%d", wake, at)
+	}
+	// Walk time forward second by second so each retry runs at its backed-
+	// off instant (2s after attempt 1, 4s after attempt 2).
+	var total []Firing
+	for now := at; now <= at+10; now++ {
+		fired, err = cron.AdvanceTo(now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total = append(total, fired...)
+	}
+	if len(total) != 1 || calls != 3 {
+		t.Fatalf("after retries: fired=%v calls=%d", total, calls)
+	}
+	st := cron.FullStats()
+	if st.Fired != 1 || st.Retries != 2 || st.Dead != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// A permanently failing action lands in RULE-DEADLETTER once the retry
+// budget is exhausted — and never blocks other rules or its own later
+// triggers.
+func TestDeadLetterAfterBudget(t *testing.T) {
+	eng, cal := newEngine(t)
+	start := cal.Chron().EpochSecondsOf(d(1993, 1, 1))
+	var badCalls, goodHits []int64
+	bad := FuncAction{Name: "bad", Fn: func(_ *store.Txn, _ *store.Event, at int64) error {
+		badCalls = append(badCalls, at)
+		if at == start+chronology.SecondsPerDay {
+			return errors.New("disk on fire")
+		}
+		return nil
+	}}
+	if err := eng.DefineTemporalRule("sick", "DAYS", bad, start); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.DefineTemporalRule("healthy", "DAYS", countingAction("good", &goodHits), start); err != nil {
+		t.Fatal(err)
+	}
+	j := openJournal(t)
+	cron, err := NewDBCronWith(eng, chronology.SecondsPerDay, start, CronOptions{
+		Journal: j,
+		Retry:   RetryPolicy{MaxAttempts: 3, BaseDelay: 1, MaxDelay: 2},
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := start + 4*chronology.SecondsPerDay
+	for now := start; now <= end; now += 600 {
+		if _, err := cron.AdvanceTo(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dls, err := eng.DeadLetters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dls) != 1 {
+		t.Fatalf("dead letters = %+v", dls)
+	}
+	dl := dls[0]
+	if dl.Rule != "sick" || dl.At != start+chronology.SecondsPerDay || dl.Attempts != 3 ||
+		!strings.Contains(dl.LastError, "disk on fire") {
+		t.Errorf("dead letter = %+v", dl)
+	}
+	// The healthy rule fired every day, and the sick rule's LATER triggers
+	// fired too — the dead instant did not wedge the schedule.
+	if len(goodHits) != 4 {
+		t.Errorf("healthy rule fired %d times, want 4", len(goodHits))
+	}
+	var laterOK int
+	for _, at := range badCalls {
+		if at > start+chronology.SecondsPerDay {
+			laterOK++
+		}
+	}
+	if laterOK != 3 {
+		t.Errorf("sick rule's later triggers fired %d times, want 3 (calls=%v)", laterOK, badCalls)
+	}
+	if st := cron.FullStats(); st.Dead != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// The journal closed the firing out as dead.
+	if len(j.Pending()) != 0 {
+		t.Errorf("journal pending = %+v", j.Pending())
+	}
+}
+
+// A panicking action is isolated: converted to an error, retried, and
+// dead-lettered like any other failure — the daemon survives.
+func TestPanicIsolation(t *testing.T) {
+	eng, cal := newEngine(t)
+	start := cal.Chron().EpochSecondsOf(d(1993, 1, 1))
+	boom := FuncAction{Name: "boom", Fn: func(*store.Txn, *store.Event, int64) error {
+		panic("kaboom")
+	}}
+	if err := eng.DefineTemporalRule("panicky", "DAYS", boom, start); err != nil {
+		t.Fatal(err)
+	}
+	cron, err := NewDBCronWith(eng, chronology.SecondsPerDay, start, CronOptions{
+		Journal: openJournal(t),
+		Retry:   RetryPolicy{MaxAttempts: 2, BaseDelay: 1, MaxDelay: 1},
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for now := start; now <= start+2*chronology.SecondsPerDay; now += 600 {
+		if _, err := cron.AdvanceTo(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dls, _ := eng.DeadLetters()
+	if len(dls) == 0 || !strings.Contains(dls[0].LastError, "panicked") {
+		t.Fatalf("dead letters = %+v", dls)
+	}
+}
+
+// A stuck action trips the per-action deadline; when the straggler
+// eventually commits, the retry's dedup check sees the advanced RULE-TIME
+// and does not execute the action a second time.
+func TestActionDeadline(t *testing.T) {
+	eng, cal := newEngine(t)
+	start := cal.Chron().EpochSecondsOf(d(1993, 1, 1))
+	var calls atomic.Int64
+	slow := FuncAction{Name: "slow", Fn: func(*store.Txn, *store.Event, int64) error {
+		calls.Add(1)
+		time.Sleep(100 * time.Millisecond)
+		return nil
+	}}
+	if err := eng.DefineTemporalRule("slow", "DAYS", slow, start); err != nil {
+		t.Fatal(err)
+	}
+	at := start + chronology.SecondsPerDay
+	if err := eng.fireChecked("slow", at, 10*time.Millisecond); !errors.Is(err, ErrActionTimeout) {
+		t.Fatalf("err = %v, want deadline", err)
+	}
+	// Let the straggler commit, then retry: it must dedup, not re-execute.
+	time.Sleep(200 * time.Millisecond)
+	if err := eng.fireChecked("slow", at, 10*time.Millisecond); err != nil {
+		t.Fatalf("retry after straggler commit: %v", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("action executed %d times, want 1", n)
+	}
+}
+
+// Regression for the stale scheduled-set bug: dropping (or redefining) a
+// rule while it sits in the probe window must not suppress the successor's
+// firings, and the dropped rule's heap entries must go with it.
+func TestScheduledBookkeepingOnDropAndRedefine(t *testing.T) {
+	eng, cal := newEngine(t)
+	start := cal.Chron().EpochSecondsOf(d(1993, 1, 1))
+	var oldHits, newHits []int64
+	if err := eng.DefineTemporalRule("daily", "DAYS", countingAction("old", &oldHits), start); err != nil {
+		t.Fatal(err)
+	}
+	cron, err := NewDBCron(eng, 7*chronology.SecondsPerDay, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probe happens; the rule is now scheduled inside the 7-day window.
+	if _, err := cron.AdvanceTo(start + 3600); err != nil {
+		t.Fatal(err)
+	}
+	if len(cron.pending) != 1 {
+		t.Fatalf("pending = %d, want the daily rule scheduled", len(cron.pending))
+	}
+	// Drop and redefine before the firing instant.
+	if err := eng.DropRule("daily"); err != nil {
+		t.Fatal(err)
+	}
+	if got := cron.FullStats().Pending; got != 0 {
+		t.Fatalf("heap not purged on drop: %d entries", got)
+	}
+	if err := eng.DefineTemporalRule("DAILY", "DAYS", countingAction("new", &newHits), start+3600); err != nil {
+		t.Fatal(err)
+	}
+	for nowd := int64(1); nowd <= 7; nowd++ {
+		if _, err := cron.AdvanceTo(start + nowd*chronology.SecondsPerDay); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(oldHits) != 0 {
+		t.Errorf("dropped rule fired: %v", oldHits)
+	}
+	// Without the fix the stale scheduled entry suppresses every firing
+	// until the next window rollover.
+	if len(newHits) != 7 {
+		t.Errorf("redefined rule fired %d times in 7 days, want 7", len(newHits))
+	}
+}
+
+// Satellite: probe must rebuild the scheduled set from the heap each window
+// so entries cannot leak across rollovers.
+func TestScheduledSetRebuiltOnRollover(t *testing.T) {
+	eng, cal := newEngine(t)
+	start := cal.Chron().EpochSecondsOf(d(1993, 1, 1))
+	var hits []int64
+	if err := eng.DefineTemporalRule("daily", "DAYS", countingAction("n", &hits), start); err != nil {
+		t.Fatal(err)
+	}
+	cron, err := NewDBCron(eng, chronology.SecondsPerDay, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inject a stale entry directly (models any bookkeeping leak).
+	cron.mu.Lock()
+	cron.scheduled["daily"] = true
+	cron.mu.Unlock()
+	if _, err := cron.AdvanceTo(start + 2*chronology.SecondsPerDay); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 {
+		t.Errorf("fired %d times with stale scheduled entry, want 2", len(hits))
+	}
+}
+
+// Satellite: DefineTemporalRule is atomic — a failure after the RULE-INFO
+// write must leave no partial catalog rows behind, and the name stays
+// definable.
+func TestDefineTemporalRuleAtomicUnderFault(t *testing.T) {
+	eng, cal := newEngine(t)
+	start := cal.Chron().EpochSecondsOf(d(1993, 1, 1))
+	inj := faultinject.New(1)
+	inj.FailAt(SiteDefineRuleTime, 1)
+	eng.SetFaults(inj)
+	var hits []int64
+	if err := eng.DefineTemporalRule("daily", "DAYS", countingAction("n", &hits), start); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	for _, table := range []string{RuleInfoTable, RuleTimeTable} {
+		tab, _ := eng.db.Table(table)
+		if tab.Len() != 0 {
+			t.Errorf("%s has %d rows after failed define", table, tab.Len())
+		}
+	}
+	// The fault is spent; the same name defines cleanly now.
+	if err := eng.DefineTemporalRule("daily", "DAYS", countingAction("n", &hits), start); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.DueWithin(start, 2*chronology.SecondsPerDay); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Satellite: a clean shutdown drains the pending heap — everything already
+// due fires before Run returns, and the stats agree with the firings.
+func TestRunDrainsOnShutdown(t *testing.T) {
+	eng, cal := newEngine(t)
+	start := cal.Chron().EpochSecondsOf(d(1993, 1, 1))
+	var hits []int64
+	if err := eng.DefineTemporalRule("daily", "DAYS", countingAction("n", &hits), start); err != nil {
+		t.Fatal(err)
+	}
+	cron, err := NewDBCronWith(eng, chronology.SecondsPerDay, start, CronOptions{
+		Journal: openJournal(t),
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Anchor the clock 3 model-days past start and stop immediately: the
+	// drain pass must still fire all three due triggers.
+	clock := SystemClock{Anchor: time.Now().Add(-time.Duration(start+3*chronology.SecondsPerDay) * time.Second)}
+	stop := make(chan struct{})
+	close(stop)
+	errs := make(chan error, 4)
+	cron.Run(clock, stop, errs)
+	if len(hits) != 3 {
+		t.Fatalf("drain fired %d times, want 3", len(hits))
+	}
+	st := cron.FullStats()
+	if st.Fired != 3 {
+		t.Errorf("stats after drain = %+v", st)
+	}
+	// Nothing DUE may remain; a future trigger scheduled in-window is fine.
+	if wake := cron.NextWakeup(); wake <= clock.Now() {
+		t.Errorf("due work left behind: wake=%d now=%d", wake, clock.Now())
+	}
+	if st.LateSum < 0 {
+		t.Errorf("negative lateness %d", st.LateSum)
+	}
+}
+
+// CatchUpPolicy round-trips through its string form.
+func TestCatchUpPolicyParse(t *testing.T) {
+	for _, p := range []CatchUpPolicy{FireAll, FireLast, SkipMissed} {
+		got, err := ParseCatchUpPolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("round-trip %v: got %v err %v", p, got, err)
+		}
+	}
+	if _, err := ParseCatchUpPolicy("yolo"); err == nil {
+		t.Error("bad policy accepted")
+	}
+}
+
+// Backoff grows exponentially, caps at MaxDelay, and stays deterministic
+// for a fixed seed.
+func TestBackoffShape(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 9, BaseDelay: 2, MaxDelay: 30}
+	var prev int64
+	for attempt := 1; attempt <= 8; attempt++ {
+		got := p.backoff(attempt, nil)
+		if got < prev {
+			t.Errorf("backoff shrank at attempt %d: %d < %d", attempt, got, prev)
+		}
+		if got > 30 {
+			t.Errorf("backoff over cap at attempt %d: %d", attempt, got)
+		}
+		prev = got
+	}
+	if p.backoff(1, nil) != 2 || p.backoff(2, nil) != 4 || p.backoff(8, nil) != 30 {
+		t.Errorf("backoff schedule: %d %d %d", p.backoff(1, nil), p.backoff(2, nil), p.backoff(8, nil))
+	}
+}

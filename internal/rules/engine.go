@@ -1,22 +1,49 @@
 package rules
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"calsys/internal/caldb"
 	"calsys/internal/chronology"
 	"calsys/internal/core/callang"
 	"calsys/internal/core/plan"
+	"calsys/internal/faultinject"
 	"calsys/internal/store"
 )
 
-// Catalog table names (Figure 4).
+// Catalog table names (Figure 4), plus the dead-letter table for firings
+// that exhausted their retry budget.
 const (
-	RuleInfoTable = "RULE_INFO"
-	RuleTimeTable = "RULE_TIME"
+	RuleInfoTable   = "RULE_INFO"
+	RuleTimeTable   = "RULE_TIME"
+	DeadLetterTable = "RULE_DEADLETTER"
 )
+
+// Fault-injection sites in the engine.
+const (
+	// SiteFire is hit inside the firing transaction, before the action
+	// executes: a crash here rolls the firing back (crash-before-commit).
+	SiteFire = "engine.fire"
+	// SiteDefineRuleTime is hit between the RULE-INFO and RULE-TIME appends
+	// of a definition, exercising mid-definition atomicity.
+	SiteDefineRuleTime = "engine.define.ruletime"
+)
+
+// ErrActionTimeout reports an action that exceeded its per-firing deadline.
+// The attempt counts as failed for retry purposes; if the straggler commits
+// later anyway, the retry detects it via RULE-TIME and does not re-execute.
+var ErrActionTimeout = errors.New("action deadline exceeded")
+
+// errAlreadyFired is returned inside the firing transaction when RULE-TIME
+// shows the firing already committed (a crashed or timed-out earlier attempt
+// that made it through) — the caller treats it as success without
+// re-executing, giving exactly-once over a journal replay.
+var errAlreadyFired = errors.New("rules: firing already committed")
 
 // Action is what a rule does when it triggers. The Postquel package supplies
 // an implementation that runs query-language commands; tests and examples
@@ -94,8 +121,36 @@ type Engine struct {
 	// orphans are rule names found in RULE-INFO at startup (e.g. after a
 	// snapshot restore) whose actions — which are code — have not been
 	// re-attached yet. Redefining an orphaned rule replaces its catalog
-	// rows instead of failing as a duplicate.
+	// rows instead of failing as a duplicate; ReattachAction re-binds the
+	// action while preserving the persisted trigger state.
 	orphans map[string]bool
+	// onDrop listeners let daemons discard in-memory schedule state for a
+	// dropped rule (lower-cased name).
+	onDrop []func(name string)
+	// faults is the optional fault-injection harness (nil in production).
+	faults *faultinject.Injector
+}
+
+// SetFaults threads a fault injector through the engine's injection sites
+// (tests only; nil disables).
+func (e *Engine) SetFaults(in *faultinject.Injector) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.faults = in
+}
+
+func (e *Engine) injector() *faultinject.Injector {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.faults
+}
+
+// addDropListener registers a callback invoked (outside the engine lock)
+// after a rule is dropped.
+func (e *Engine) addDropListener(fn func(name string)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.onDrop = append(e.onDrop, fn)
 }
 
 // NewEngine creates the rule catalogs and registers the event dispatcher.
@@ -143,6 +198,24 @@ func NewEngine(cal *caldb.Manager) (*Engine, error) {
 			return nil, err
 		}
 	}
+	if _, ok := e.db.Table(DeadLetterTable); !ok {
+		schema, err := store.NewSchema(
+			store.Column{Name: "name", Type: store.TText},
+			store.Column{Name: "fired_at", Type: store.TInt}, // trigger instant, epoch seconds
+			store.Column{Name: "attempts", Type: store.TInt},
+			store.Column{Name: "last_error", Type: store.TText},
+			store.Column{Name: "dead_at", Type: store.TInt}, // when it was given up on
+		)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.db.CreateTable(DeadLetterTable, schema); err != nil {
+			return nil, err
+		}
+		if err := e.db.CreateIndex(DeadLetterTable, "name"); err != nil {
+			return nil, err
+		}
+	}
 	// Rules restored from a snapshot have catalog rows but no attached
 	// actions (actions are code); record them so redefinition reattaches.
 	if tab, ok := e.db.Table(RuleInfoTable); ok {
@@ -167,35 +240,41 @@ func (e *Engine) Orphans() []string {
 	return out
 }
 
-// reattachIfOrphan clears the stale catalog rows of an orphaned rule so a
-// fresh definition can replace them. It reports whether name was orphaned.
-func (e *Engine) reattachIfOrphan(name string) (bool, error) {
+// takeOrphan claims an orphaned rule name for redefinition, reporting
+// whether it was orphaned. If the definition then fails, restoreOrphan puts
+// the claim back so the catalog rows stay reattachable.
+func (e *Engine) takeOrphan(name string) bool {
 	key := strings.ToLower(name)
 	e.mu.Lock()
-	orphan := e.orphans[key]
-	if orphan {
-		delete(e.orphans, key)
+	defer e.mu.Unlock()
+	if !e.orphans[key] {
+		return false
 	}
-	e.mu.Unlock()
-	if !orphan {
-		return false, nil
-	}
-	err := e.db.RunTxn(func(tx *store.Txn) error {
-		for _, table := range []string{RuleInfoTable, RuleTimeTable} {
-			tab, _ := e.db.Table(table)
-			rids, err := tab.LookupEq("name", store.NewText(name))
-			if err != nil {
+	delete(e.orphans, key)
+	return true
+}
+
+func (e *Engine) restoreOrphan(name string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.orphans[strings.ToLower(name)] = true
+}
+
+// deleteCatalogRows removes a rule's RULE-INFO and RULE-TIME rows inside tx.
+func (e *Engine) deleteCatalogRows(tx *store.Txn, name string) error {
+	for _, table := range []string{RuleInfoTable, RuleTimeTable} {
+		tab, _ := e.db.Table(table)
+		rids, err := tab.LookupEq("name", store.NewText(name))
+		if err != nil {
+			return err
+		}
+		for _, rid := range rids {
+			if err := tx.Delete(table, rid); err != nil {
 				return err
 			}
-			for _, rid := range rids {
-				if err := tx.Delete(table, rid); err != nil {
-					return err
-				}
-			}
 		}
-		return nil
-	})
-	return true, err
+	}
+	return nil
 }
 
 // Cal exposes the calendar catalog.
@@ -204,6 +283,11 @@ func (e *Engine) Cal() *caldb.Manager { return e.cal }
 // DefineTemporalRule declares a rule "On <calendar expression> do <action>".
 // The expression is parsed, its plan stored in RULE-INFO, and the rule's
 // first trigger strictly after `now` recorded in RULE-TIME.
+//
+// The definition is atomic: parsing and next-trigger computation happen
+// before any catalog mutation, and the orphan cleanup plus both catalog
+// appends run in one transaction, so a mid-definition failure leaves no
+// partial rows and an orphaned rule stays reattachable.
 func (e *Engine) DefineTemporalRule(name, calExpr string, action Action, now int64) error {
 	if strings.TrimSpace(name) == "" {
 		return fmt.Errorf("rules: empty rule name")
@@ -218,9 +302,6 @@ func (e *Engine) DefineTemporalRule(name, calExpr string, action Action, now int
 	if dupT || dupE {
 		return fmt.Errorf("rules: rule %q already defined", name)
 	}
-	if _, err := e.reattachIfOrphan(name); err != nil {
-		return err
-	}
 	expr, err := callang.ParseExpr(calExpr)
 	if err != nil {
 		return err
@@ -232,16 +313,28 @@ func (e *Engine) DefineTemporalRule(name, calExpr string, action Action, now int
 	}
 	r.next = next
 
+	wasOrphan := e.takeOrphan(name)
 	if err := e.db.RunTxn(func(tx *store.Txn) error {
+		if wasOrphan {
+			if err := e.deleteCatalogRows(tx, name); err != nil {
+				return err
+			}
+		}
 		if _, err := tx.Append(RuleInfoTable, store.Row{
 			store.NewText(name), store.NewText("temporal"), store.NewText(""), store.NewText(""),
 			store.NewText(calExpr), store.NewText(planText), store.NewText(action.Describe()),
 		}); err != nil {
 			return err
 		}
+		if err := faultinject.Hit(e.injector(), SiteDefineRuleTime); err != nil {
+			return err
+		}
 		_, err := tx.Append(RuleTimeTable, store.Row{store.NewText(name), store.NewInt(next)})
 		return err
 	}); err != nil {
+		if wasOrphan {
+			e.restoreOrphan(name)
+		}
 		return err
 	}
 	e.mu.Lock()
@@ -268,16 +361,22 @@ func (e *Engine) DefineEventRule(name string, op store.EventOp, table string, co
 	if dupT || dupE {
 		return fmt.Errorf("rules: rule %q already defined", name)
 	}
-	if _, err := e.reattachIfOrphan(name); err != nil {
-		return err
-	}
+	wasOrphan := e.takeOrphan(name)
 	if err := e.db.RunTxn(func(tx *store.Txn) error {
+		if wasOrphan {
+			if err := e.deleteCatalogRows(tx, name); err != nil {
+				return err
+			}
+		}
 		_, err := tx.Append(RuleInfoTable, store.Row{
 			store.NewText(name), store.NewText("event"), store.NewText(op.String()), store.NewText(table),
 			store.NewText(""), store.NewText(""), store.NewText(action.Describe()),
 		})
 		return err
 	}); err != nil {
+		if wasOrphan {
+			e.restoreOrphan(name)
+		}
 		return err
 	}
 	e.mu.Lock()
@@ -286,7 +385,8 @@ func (e *Engine) DefineEventRule(name string, op store.EventOp, table string, co
 	return nil
 }
 
-// DropRule removes a rule of either kind.
+// DropRule removes a rule of either kind and tells registered daemons to
+// discard any in-memory schedule state for it.
 func (e *Engine) DropRule(name string) error {
 	key := strings.ToLower(name)
 	e.mu.Lock()
@@ -294,25 +394,20 @@ func (e *Engine) DropRule(name string) error {
 	_, isE := e.events[key]
 	delete(e.temporal, key)
 	delete(e.events, key)
+	listeners := append([]func(string){}, e.onDrop...)
 	e.mu.Unlock()
 	if !isT && !isE {
 		return fmt.Errorf("rules: no rule %q", name)
 	}
-	return e.db.RunTxn(func(tx *store.Txn) error {
-		for _, table := range []string{RuleInfoTable, RuleTimeTable} {
-			tab, _ := e.db.Table(table)
-			rids, err := tab.LookupEq("name", store.NewText(name))
-			if err != nil {
-				return err
-			}
-			for _, rid := range rids {
-				if err := tx.Delete(table, rid); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
-	})
+	if err := e.db.RunTxn(func(tx *store.Txn) error {
+		return e.deleteCatalogRows(tx, name)
+	}); err != nil {
+		return err
+	}
+	for _, fn := range listeners {
+		fn(key)
+	}
+	return nil
 }
 
 // RuleNames lists rules of both kinds.
@@ -451,27 +546,292 @@ type Firing struct {
 	At   int64 // epoch seconds
 }
 
-// fire executes a temporal rule's action and recomputes its next trigger.
+// fire executes a temporal rule's action and advances its next trigger.
 func (e *Engine) fire(name string, at int64) error {
+	return e.fireChecked(name, at, 0)
+}
+
+// safeExecute runs an action with panic isolation: a panicking action is
+// converted into an error so one bad rule cannot take down the daemon.
+func safeExecute(a Action, tx *store.Txn, ev *store.Event, at int64) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("action panicked: %v", p)
+		}
+	}()
+	return a.Execute(tx, ev, at)
+}
+
+// fireChecked is the atomic firing path: the action and the RULE-TIME
+// advance commit in one transaction, so a crash either loses the whole
+// firing (the journal re-drives it) or none of it. Inside the transaction
+// it first checks whether RULE-TIME already advanced past `at` — the mark
+// of an earlier attempt that committed before a crash or after a timeout —
+// and in that case reports success without re-executing (exactly-once).
+// A positive timeout bounds the attempt; see ErrActionTimeout.
+func (e *Engine) fireChecked(name string, at int64, timeout time.Duration) error {
 	e.mu.Lock()
 	r, ok := e.temporal[strings.ToLower(name)]
 	e.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("rules: temporal rule %q disappeared", name)
 	}
-	if err := e.db.RunTxn(func(tx *store.Txn) error {
-		return r.action.Execute(tx, nil, at)
-	}); err != nil {
-		return fmt.Errorf("rules: rule %s action: %w", name, err)
-	}
 	next, _, err := e.nextTrigger(r, at)
+	if err != nil {
+		return err
+	}
+	run := func() error {
+		return e.db.RunTxn(func(tx *store.Txn) error {
+			tab, ok := e.db.Table(RuleTimeTable)
+			if !ok {
+				return fmt.Errorf("rules: RULE_TIME missing")
+			}
+			rids, err := tab.LookupEq("name", store.NewText(r.name))
+			if err != nil || len(rids) == 0 {
+				return fmt.Errorf("rules: RULE_TIME row for %q missing", r.name)
+			}
+			row, _ := tab.Get(rids[0])
+			if row[1].I > at {
+				return errAlreadyFired
+			}
+			if err := faultinject.Hit(e.injector(), SiteFire); err != nil {
+				return err
+			}
+			if err := safeExecute(r.action, tx, nil, at); err != nil {
+				return fmt.Errorf("rules: rule %s action: %w", r.name, err)
+			}
+			return tx.Replace(RuleTimeTable, rids[0], store.Row{store.NewText(r.name), store.NewInt(next)})
+		})
+	}
+	if timeout <= 0 {
+		err = run()
+	} else {
+		done := make(chan error, 1)
+		go func() { done <- run() }()
+		select {
+		case err = <-done:
+		case <-time.After(timeout):
+			// The straggler goroutine keeps the transaction lock until it
+			// finishes; if it eventually commits, the retry's already-fired
+			// check sees the advanced RULE-TIME and does not double-execute.
+			return fmt.Errorf("rules: rule %s: %w", name, ErrActionTimeout)
+		}
+	}
+	if errors.Is(err, errAlreadyFired) {
+		err = nil
+	}
 	if err != nil {
 		return err
 	}
 	e.mu.Lock()
 	r.next = next
 	e.mu.Unlock()
-	return e.updateRuleTime(name, next)
+	return nil
+}
+
+// deadLetter records a permanently failed firing in RULE-DEADLETTER and, in
+// the same transaction, advances the rule's RULE-TIME past the failed
+// instant so the dead firing stops being probed while later triggers and
+// other rules proceed unimpeded.
+func (e *Engine) deadLetter(name string, at int64, attempts int, lastErr string, now int64) error {
+	e.mu.Lock()
+	r, ok := e.temporal[strings.ToLower(name)]
+	e.mu.Unlock()
+	next := int64(noTrigger)
+	if ok {
+		n, _, err := e.nextTrigger(r, at)
+		if err == nil {
+			next = n
+		}
+	}
+	if err := e.db.RunTxn(func(tx *store.Txn) error {
+		if _, err := tx.Append(DeadLetterTable, store.Row{
+			store.NewText(name), store.NewInt(at), store.NewInt(int64(attempts)),
+			store.NewText(lastErr), store.NewInt(now),
+		}); err != nil {
+			return err
+		}
+		tab, okT := e.db.Table(RuleTimeTable)
+		if !okT {
+			return nil
+		}
+		rids, err := tab.LookupEq("name", store.NewText(name))
+		if err != nil || len(rids) == 0 {
+			return nil // rule dropped meanwhile; the dead-letter row still lands
+		}
+		row, _ := tab.Get(rids[0])
+		if row[1].I > at {
+			return nil // already advanced
+		}
+		return tx.Replace(RuleTimeTable, rids[0], store.Row{store.NewText(row[0].S), store.NewInt(next)})
+	}); err != nil {
+		return err
+	}
+	if ok {
+		e.mu.Lock()
+		r.next = next
+		e.mu.Unlock()
+	}
+	return nil
+}
+
+// DeadLetter is one permanently failed firing from RULE-DEADLETTER.
+type DeadLetter struct {
+	Rule      string
+	At        int64 // the trigger instant that kept failing
+	Attempts  int
+	LastError string
+	DeadAt    int64 // when the retry budget ran out
+}
+
+// DeadLetters lists the dead-letter table in insertion order.
+func (e *Engine) DeadLetters() ([]DeadLetter, error) {
+	tab, ok := e.db.Table(DeadLetterTable)
+	if !ok {
+		return nil, fmt.Errorf("rules: %s missing", DeadLetterTable)
+	}
+	var out []DeadLetter
+	tab.Scan(func(_ int64, row store.Row) bool {
+		out = append(out, DeadLetter{
+			Rule: row[0].S, At: row[1].I, Attempts: int(row[2].I),
+			LastError: row[3].S, DeadAt: row[4].I,
+		})
+		return true
+	})
+	return out, nil
+}
+
+// ReattachAction re-binds a Go action to an orphaned temporal rule (one
+// restored from a snapshot), preserving its persisted RULE-TIME trigger.
+// Unlike redefinition — which recomputes the first trigger from "now" — a
+// reattach keeps an overdue trigger overdue, so crash recovery can catch up
+// the firings missed while the daemon was down. Event rules carry no trigger
+// state and conditions are code; redefine those instead.
+func (e *Engine) ReattachAction(name string, action Action) error {
+	if action == nil {
+		return fmt.Errorf("rules: rule %q needs an action", name)
+	}
+	key := strings.ToLower(name)
+	e.mu.Lock()
+	orphan := e.orphans[key]
+	e.mu.Unlock()
+	if !orphan {
+		return fmt.Errorf("rules: rule %q is not awaiting reattachment", name)
+	}
+	tab, _ := e.db.Table(RuleInfoTable)
+	rids, err := tab.LookupEq("name", store.NewText(name))
+	if err != nil || len(rids) == 0 {
+		return fmt.Errorf("rules: no RULE_INFO row for %q", name)
+	}
+	row, _ := tab.Get(rids[0])
+	if row[1].S != "temporal" {
+		return fmt.Errorf("rules: %q is an event rule; redefine it to reattach", name)
+	}
+	src := row[4].S
+	expr, err := callang.ParseExpr(src)
+	if err != nil {
+		return fmt.Errorf("rules: reattaching %q: %w", name, err)
+	}
+	next := int64(noTrigger)
+	if stored, ok := e.storedNext(name); ok {
+		next = stored
+	}
+	r := &temporalRule{name: row[0].S, src: src, expr: expr, action: action, next: next}
+	e.mu.Lock()
+	delete(e.orphans, key)
+	e.temporal[key] = r
+	e.mu.Unlock()
+	return nil
+}
+
+// storedNext reads a rule's persisted next trigger from RULE-TIME.
+func (e *Engine) storedNext(name string) (int64, bool) {
+	tab, ok := e.db.Table(RuleTimeTable)
+	if !ok {
+		return 0, false
+	}
+	rids, err := tab.LookupEq("name", store.NewText(name))
+	if err != nil || len(rids) == 0 {
+		return 0, false
+	}
+	row, ok := tab.Get(rids[0])
+	if !ok {
+		return 0, false
+	}
+	return row[1].I, true
+}
+
+// missedInstants enumerates a rule's trigger instants from its persisted
+// next trigger through `now` (inclusive), capped at max entries (0 = no
+// cap). It performs no firing and no catalog writes.
+func (e *Engine) missedInstants(name string, now int64, max int) ([]int64, error) {
+	e.mu.Lock()
+	r, ok := e.temporal[strings.ToLower(name)]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("rules: temporal rule %q disappeared", name)
+	}
+	t, ok := e.storedNext(name)
+	if !ok {
+		return nil, fmt.Errorf("rules: RULE_TIME row for %q missing", name)
+	}
+	var out []int64
+	for t <= now && t < noTrigger {
+		out = append(out, t)
+		if max > 0 && len(out) >= max {
+			break
+		}
+		nt, _, err := e.nextTrigger(r, t)
+		if err != nil {
+			return out, err
+		}
+		t = nt
+	}
+	return out, nil
+}
+
+// skipPast recomputes a rule's next trigger strictly after `now` and
+// persists it without firing — the Skip catch-up policy, and the fast-
+// forward under FireLast.
+func (e *Engine) skipPast(name string, now int64) (int64, error) {
+	e.mu.Lock()
+	r, ok := e.temporal[strings.ToLower(name)]
+	e.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("rules: temporal rule %q disappeared", name)
+	}
+	next, _, err := e.nextTrigger(r, now)
+	if err != nil {
+		return 0, err
+	}
+	if err := e.updateRuleTime(r.name, next); err != nil {
+		return 0, err
+	}
+	e.mu.Lock()
+	r.next = next
+	e.mu.Unlock()
+	return next, nil
+}
+
+// hasTemporal reports whether a live (action-attached) temporal rule with
+// this name exists.
+func (e *Engine) hasTemporal(name string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, ok := e.temporal[strings.ToLower(name)]
+	return ok
+}
+
+// temporalNames lists the live temporal rules (sorted, original casing).
+func (e *Engine) temporalNames() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	names := make([]string, 0, len(e.temporal))
+	for _, r := range e.temporal {
+		names = append(names, r.name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // nextOf reports a temporal rule's cached next trigger (noTrigger when

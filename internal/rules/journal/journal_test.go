@@ -1,0 +1,243 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"calsys/internal/faultinject"
+)
+
+func open(t *testing.T, path string, opts ...Option) *Journal {
+	t.Helper()
+	j, err := Open(path, append([]Option{WithSync(false)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestLifecycleAndReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "firing.journal")
+	j := open(t, path)
+
+	s1, err := j.Scheduled("daily", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := j.Scheduled("weekly", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == s2 {
+		t.Fatal("sequence numbers must be distinct")
+	}
+	if err := j.Begin(s1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Ack(s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Begin(s2, 1); err != nil {
+		t.Fatal(err)
+	}
+	// crash before ack of s2
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := open(t, path)
+	defer j2.Close()
+	pend := j2.Pending()
+	if len(pend) != 1 || pend[0].Rule != "weekly" || pend[0].At != 200 || pend[0].Attempts != 1 {
+		t.Fatalf("pending = %+v", pend)
+	}
+	if got := j2.AckedThrough("daily"); got != 100 {
+		t.Errorf("AckedThrough(daily) = %d", got)
+	}
+	if got := j2.AckedThrough("weekly"); got != 0 {
+		t.Errorf("AckedThrough(weekly) = %d", got)
+	}
+	// new sequence numbers continue after the replayed ones
+	s3, err := j2.Scheduled("daily", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 <= s2 {
+		t.Errorf("seq did not advance: %d after %d", s3, s2)
+	}
+}
+
+func TestDeadAndSkipComplete(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j := open(t, path)
+	s1, _ := j.Scheduled("a", 10)
+	s2, _ := j.Scheduled("b", 20)
+	if err := j.Dead(s1, 5, "gave up: boom"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Skip(s2); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2 := open(t, path)
+	defer j2.Close()
+	if p := j2.Pending(); len(p) != 0 {
+		t.Fatalf("pending = %+v", p)
+	}
+	if j2.AckedThrough("a") != 10 || j2.AckedThrough("b") != 20 {
+		t.Errorf("acked-through: a=%d b=%d", j2.AckedThrough("a"), j2.AckedThrough("b"))
+	}
+}
+
+func TestTornTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j := open(t, path)
+	s1, _ := j.Scheduled("a", 10)
+	if err := j.Ack(s1); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := j.Scheduled("b", 20)
+	_ = s2
+	j.Close()
+
+	// Simulate a torn final write: chop the file mid-record.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := open(t, path)
+	st := j2.State()
+	if !st.Truncated {
+		t.Error("torn tail not flagged")
+	}
+	if len(st.Pending) != 0 {
+		t.Errorf("pending after torn S = %+v", st.Pending)
+	}
+	if j2.AckedThrough("a") != 10 {
+		t.Errorf("acked-through lost: %d", j2.AckedThrough("a"))
+	}
+	// Appending after recovery must yield a clean journal again.
+	s3, err := j2.Scheduled("c", 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Ack(s3); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3 := open(t, path)
+	defer j3.Close()
+	if st := j3.State(); st.Truncated || j3.AckedThrough("c") != 30 {
+		t.Errorf("post-recovery journal unhealthy: %+v", st)
+	}
+}
+
+func TestGarbageTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j := open(t, path)
+	s1, _ := j.Scheduled("a", 10)
+	j.Ack(s1)
+	j.Close()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("X@@ total garbage\n")
+	f.Close()
+
+	j2 := open(t, path)
+	defer j2.Close()
+	if st := j2.State(); !st.Truncated || j2.AckedThrough("a") != 10 {
+		t.Errorf("garbage tail: %+v", st)
+	}
+}
+
+func TestRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	if err := os.WriteFile(path, []byte("not a journal\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil || !strings.Contains(err.Error(), "bad magic") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestQuotedRuleNamesRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j := open(t, path)
+	name := `we"ird rule \n name`
+	s, err := j.Scheduled(name, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s
+	j.Close()
+	j2 := open(t, path)
+	defer j2.Close()
+	p := j2.Pending()
+	if len(p) != 1 || p[0].Rule != name {
+		t.Fatalf("pending = %+v", p)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j := open(t, path)
+	for i := 0; i < 50; i++ {
+		s, _ := j.Scheduled("daily", int64(100+i))
+		j.Begin(s, 1)
+		j.Ack(s)
+	}
+	sPend, _ := j.Scheduled("daily", 999)
+	j.Begin(sPend, 2)
+	big, _ := os.Stat(path)
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	small, _ := os.Stat(path)
+	if small.Size() >= big.Size() {
+		t.Errorf("compact did not shrink: %d -> %d", big.Size(), small.Size())
+	}
+	// State preserved across compact + reopen.
+	s2, err := j.Scheduled("daily", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Ack(s2)
+	j.Close()
+	j2 := open(t, path)
+	defer j2.Close()
+	if got := j2.AckedThrough("daily"); got != 1000 {
+		t.Errorf("acked-through after compact = %d", got)
+	}
+	p := j2.Pending()
+	if len(p) != 1 || p[0].At != 999 || p[0].Attempts != 2 {
+		t.Fatalf("pending after compact = %+v", p)
+	}
+}
+
+func TestInjectedAppendFailureSurfaces(t *testing.T) {
+	inj := faultinject.New(1)
+	path := filepath.Join(t.TempDir(), "j")
+	j := open(t, path, WithFaults(inj))
+	defer j.Close()
+	inj.CrashAt(SiteAppend, inj.Count(SiteAppend)+1)
+	if _, err := j.Scheduled("a", 1); !faultinject.IsCrash(err) {
+		t.Fatalf("err = %v, want injected crash", err)
+	}
+	// After the crash point passes, the journal keeps working.
+	if _, err := j.Scheduled("a", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Sync(); err != nil && !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatal(err)
+	}
+}

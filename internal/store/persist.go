@@ -68,58 +68,84 @@ func (db *DB) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
+// snapReader wraps the scanner with a line counter so every corruption
+// error names the exact snapshot line and what was expected there —
+// operators diagnosing a damaged snapshot should not need a hex dump.
+type snapReader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+func (r *snapReader) scan() bool {
+	if r.sc.Scan() {
+		r.line++
+		return true
+	}
+	return false
+}
+
+func (r *snapReader) text() string { return r.sc.Text() }
+
+// errf positions an error at the current line.
+func (r *snapReader) errf(format string, args ...any) error {
+	return fmt.Errorf("store: snapshot line %d: %s", r.line, fmt.Sprintf(format, args...))
+}
+
 // Load replaces the database's tables with a snapshot previously written by
-// Save. The database must be empty of tables.
+// Save. The database must be empty of tables. Corruption errors carry the
+// snapshot line number and the expectation that failed.
 func (db *DB) Load(r io.Reader) error {
 	if len(db.TableNames()) != 0 {
 		return fmt.Errorf("store: Load requires an empty database")
 	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<26)
-	if !sc.Scan() || sc.Text() != snapshotMagic {
-		return fmt.Errorf("store: not a calsys snapshot (bad magic)")
+	sr := &snapReader{sc: sc}
+	if !sr.scan() || sr.text() != snapshotMagic {
+		return fmt.Errorf("store: snapshot line 1: not a calsys snapshot (want magic %q)", snapshotMagic)
 	}
-	for sc.Scan() {
-		line := sc.Text()
+	for sr.scan() {
+		line := sr.text()
 		fields := strings.Fields(line)
 		if len(fields) == 0 {
 			continue
 		}
 		if fields[0] != "table" || len(fields) != 3 {
-			return fmt.Errorf("store: expected table header, got %q", line)
+			return sr.errf("expected %q, got %q", "table <name> <ncols>", line)
 		}
 		name, err := unescape(fields[1])
 		if err != nil {
-			return err
+			return sr.errf("bad table name: %v", err)
 		}
 		ncols, err := strconv.Atoi(fields[2])
 		if err != nil || ncols <= 0 {
-			return fmt.Errorf("store: bad column count in %q", line)
+			return sr.errf("bad column count in %q (want positive integer)", line)
 		}
-		if err := db.loadTable(sc, name, ncols); err != nil {
+		if err := db.loadTable(sr, name, ncols); err != nil {
 			return err
 		}
 	}
 	return sc.Err()
 }
 
-func (db *DB) loadTable(sc *bufio.Scanner, name string, ncols int) error {
+func (db *DB) loadTable(sr *snapReader, name string, ncols int) error {
 	var cols []Column
 	var indexCols []string
 	var rows []Row
-	for sc.Scan() {
-		line := sc.Text()
+	sawRows := false
+	for sr.scan() {
+		line := sr.text()
 		switch {
 		case line == "end":
 			schema, err := NewSchema(cols...)
 			if err != nil {
-				return err
+				return sr.errf("table %s: %v", name, err)
 			}
 			if len(schema.Cols) != ncols {
-				return fmt.Errorf("store: table %s has %d cols, header said %d", name, len(schema.Cols), ncols)
+				return sr.errf("table %s declares %d cols, header said %d", name, len(schema.Cols), ncols)
 			}
 			if err := db.CreateTable(name, schema); err != nil {
-				return err
+				return sr.errf("table %s: %v", name, err)
 			}
 			if err := db.RunTxn(func(tx *Txn) error {
 				for _, row := range rows {
@@ -129,53 +155,57 @@ func (db *DB) loadTable(sc *bufio.Scanner, name string, ncols int) error {
 				}
 				return nil
 			}); err != nil {
-				return err
+				return sr.errf("table %s rows: %v", name, err)
 			}
 			for _, col := range indexCols {
 				if err := db.CreateIndex(name, col); err != nil {
-					return err
+					return sr.errf("table %s index: %v", name, err)
 				}
 			}
 			return nil
 		case strings.HasPrefix(line, "col "):
+			if sawRows {
+				return sr.errf("table %s: col line after rows (want cols, then indexes, then rows)", name)
+			}
 			fields := strings.Fields(line)
 			if len(fields) != 3 {
-				return fmt.Errorf("store: bad col line %q", line)
+				return sr.errf("expected %q, got %q", "col <name> <type>", line)
 			}
 			cname, err := unescape(fields[1])
 			if err != nil {
-				return err
+				return sr.errf("bad column name: %v", err)
 			}
 			typ, err := ParseType(fields[2])
 			if err != nil {
-				return err
+				return sr.errf("column %s: %v", cname, err)
 			}
 			cols = append(cols, Column{Name: cname, Type: typ})
 		case strings.HasPrefix(line, "index "):
 			col, err := unescape(strings.TrimPrefix(line, "index "))
 			if err != nil {
-				return err
+				return sr.errf("bad index column: %v", err)
 			}
 			indexCols = append(indexCols, col)
 		case strings.HasPrefix(line, "row"):
+			sawRows = true
 			fields := strings.Fields(line)[1:]
 			if len(fields) != ncols {
-				return fmt.Errorf("store: row has %d fields, want %d: %q", len(fields), ncols, line)
+				return sr.errf("row has %d fields, want %d (table %s)", len(fields), ncols, name)
 			}
 			row := make(Row, ncols)
 			for i, f := range fields {
 				v, err := decodeValue(f)
 				if err != nil {
-					return fmt.Errorf("store: %w in row %q", err, line)
+					return sr.errf("field %d: %v", i+1, err)
 				}
 				row[i] = v
 			}
 			rows = append(rows, row)
 		default:
-			return fmt.Errorf("store: unexpected line %q in table %s", line, name)
+			return sr.errf("unexpected %q in table %s (want col/index/row/end)", line, name)
 		}
 	}
-	return fmt.Errorf("store: table %s not terminated", name)
+	return sr.errf("table %s not terminated (missing %q — truncated snapshot?)", name, "end")
 }
 
 // encodeValue renders a value as <type>:<escaped payload>.

@@ -1,0 +1,78 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"calsys/internal/faultinject"
+)
+
+// Fault-injection sites in file persistence.
+const (
+	// SiteSaveWrite is hit after the temp snapshot is written but before it
+	// is fsynced — a crash here must leave the previous snapshot intact.
+	SiteSaveWrite = "store.save.write"
+	// SiteSaveRename is hit before the temp file is renamed over the
+	// target — the commit point of SaveFile.
+	SiteSaveRename = "store.save.rename"
+)
+
+// SaveFile writes a snapshot to path atomically: the dump goes to a temp
+// file in the same directory, is fsynced, and is renamed over the target,
+// so a crash at any point leaves either the old snapshot or the new one —
+// never a torn file. faults may be nil.
+func (db *DB) SaveFile(path string, faults *faultinject.Injector) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: save %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: save %s: %w", path, err)
+	}
+	if err := db.Save(tmp); err != nil {
+		return fail(err)
+	}
+	if err := faultinject.Hit(faults, SiteSaveWrite); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: save %s: %w", path, err)
+	}
+	if err := faultinject.Hit(faults, SiteSaveRename); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: save %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: save %s: %w", path, err)
+	}
+	// Persist the rename itself; without the directory fsync the new name
+	// may not survive a power loss.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// LoadFile loads a snapshot previously written by SaveFile (or Save).
+func (db *DB) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("store: load %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := db.Load(f); err != nil {
+		return fmt.Errorf("store: load %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"calsys/internal/faultinject"
+)
+
+// TestLoadErrorsArePositioned checks that every corruption class reports
+// the snapshot line it was found on plus what was expected — the
+// operator-facing contract of the hardened loader.
+func TestLoadErrorsArePositioned(t *testing.T) {
+	cases := []struct {
+		name string
+		snap string
+		want []string // substrings the error must carry
+	}{
+		{
+			"bad magic",
+			"nope 9\n",
+			[]string{"line 1", "magic"},
+		},
+		{
+			"empty file",
+			"",
+			[]string{"line 1", "magic"},
+		},
+		{
+			"not a table header",
+			"calsysdb 1\ncol v int\n",
+			[]string{"line 2", "table <name> <ncols>"},
+		},
+		{
+			"bad column count",
+			"calsysdb 1\ntable t x\n",
+			[]string{"line 2", "column count", "positive integer"},
+		},
+		{
+			"arity mismatch",
+			"calsysdb 1\ntable t 2\ncol v int\nend\n",
+			[]string{"line 4", "declares 1 cols, header said 2"},
+		},
+		{
+			"row arity",
+			"calsysdb 1\ntable t 2\ncol a int\ncol b int\nrow int:1\nend\n",
+			[]string{"line 5", "row has 1 fields, want 2"},
+		},
+		{
+			"bad field payload",
+			"calsysdb 1\ntable t 1\ncol v int\nrow int:abc\nend\n",
+			[]string{"line 4", "field 1"},
+		},
+		{
+			"stray line",
+			"calsysdb 1\ntable t 1\ncol v int\nfrobnicate\nend\n",
+			[]string{"line 4", "frobnicate", "col/index/row/end"},
+		},
+		{
+			"col after rows",
+			"calsysdb 1\ntable t 1\ncol v int\nrow int:1\ncol w int\nend\n",
+			[]string{"line 5", "after rows"},
+		},
+		{
+			"truncated table",
+			"calsysdb 1\ntable t 1\ncol v int\nrow int:1",
+			[]string{"line 4", "not terminated", "truncated"},
+		},
+		{
+			"unknown type",
+			"calsysdb 1\ntable t 1\ncol v blob\nend\n",
+			[]string{"line 3"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			db := NewDB()
+			err := db.Load(strings.NewReader(tc.snap))
+			if err == nil {
+				t.Fatal("Load should fail")
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q missing %q", err, want)
+				}
+			}
+		})
+	}
+}
+
+func seedDB(t *testing.T, rows ...int64) *DB {
+	t.Helper()
+	db := NewDB()
+	if err := db.CreateTable("t", Schema{Cols: []Column{{Name: "v", Type: TInt}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RunTxn(func(tx *Txn) error {
+		for _, v := range rows {
+			if _, err := tx.Append("t", Row{NewInt(v)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func rowsOf(t *testing.T, db *DB) []int64 {
+	t.Helper()
+	tab, ok := db.Table("t")
+	if !ok {
+		t.Fatal("table t missing")
+	}
+	var out []int64
+	tab.Scan(func(_ int64, row Row) bool {
+		out = append(out, row[0].I)
+		return true
+	})
+	return out
+}
+
+func TestSaveFileLoadFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.db")
+	if err := seedDB(t, 1, 2, 3).SaveFile(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewDB()
+	if err := fresh.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if got := rowsOf(t, fresh); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("rows = %v", got)
+	}
+}
+
+// TestSaveFileCrashKeepsOldSnapshot proves SaveFile's atomicity: a crash
+// before the fsync or before the rename must leave the previous snapshot
+// readable and no temp litter behind.
+func TestSaveFileCrashKeepsOldSnapshot(t *testing.T) {
+	for _, site := range []string{SiteSaveWrite, SiteSaveRename} {
+		t.Run(site, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "snap.db")
+			if err := seedDB(t, 10).SaveFile(path, nil); err != nil {
+				t.Fatal(err)
+			}
+			inj := faultinject.New(1)
+			inj.CrashAt(site, 1)
+			err := seedDB(t, 10, 20).SaveFile(path, inj)
+			if !faultinject.IsCrash(err) {
+				t.Fatalf("err = %v, want injected crash", err)
+			}
+			old := NewDB()
+			if err := old.LoadFile(path); err != nil {
+				t.Fatalf("old snapshot unreadable after crashed save: %v", err)
+			}
+			if got := rowsOf(t, old); len(got) != 1 || got[0] != 10 {
+				t.Errorf("old snapshot rows = %v", got)
+			}
+			ents, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ents) != 1 {
+				t.Errorf("temp litter left behind: %v", ents)
+			}
+		})
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	db := NewDB()
+	if err := db.LoadFile(filepath.Join(t.TempDir(), "nope.db")); err == nil {
+		t.Error("LoadFile of missing path should fail")
+	}
+}
