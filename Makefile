@@ -5,7 +5,7 @@
 GO ?= go
 
 .PHONY: check build vet vet-calsys fmt-check test race chaos bench-smoke bench \
-	bench-json bench-compare fuzz-smoke staticcheck govulncheck
+	bench-json bench-compare bench-gate profile fuzz-smoke staticcheck govulncheck
 
 check: build vet vet-calsys fmt-check test race chaos bench-smoke fuzz-smoke \
 	staticcheck govulncheck
@@ -70,8 +70,27 @@ bench:
 bench-json:
 	$(GO) test -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -o BENCH_core.json
 
-# Warn-only drift check of a fresh smoke run against the committed baseline
-# (what the CI bench-smoke job runs).
+# Warn-only drift check of a fresh smoke run against the committed baseline,
+# then the hard gate (what the CI bench-smoke job runs).
 bench-compare:
 	$(GO) test -bench=. -benchtime=1x -benchmem ./... | \
 		$(GO) run ./cmd/benchjson -compare BENCH_baseline.json -threshold 3 -
+	$(MAKE) bench-gate
+
+# Hard benchmark gate: the scheduling kernel, the warm materialized-calendar
+# cache, and the sweep join are run at a real benchtime and must stay within
+# 1.25x of BENCH_baseline.json ns/op, or the build fails.
+bench-gate:
+	$(GO) test -bench 'NextAfter|CacheColdVsWarm|ForeachSweepVsGeneric' \
+		-benchtime=100x -benchmem . | \
+		$(GO) run ./cmd/benchjson -compare BENCH_baseline.json \
+			-gate 'BenchmarkNextAfter|BenchmarkCacheColdVsWarm/warm|BenchmarkForeachSweepVsGeneric/sweep' \
+			-gate-threshold 1.25 -
+
+# CPU + heap profile of one probe-day over the 100k-rule fleet; inspect with
+# `go tool pprof cpu.prof` (or mem.prof). The live daemon exposes the same
+# profiles over HTTP via `dbcrond -pprof localhost:6060`.
+profile:
+	$(GO) test -run '^$$' -bench BenchmarkProbe100kRules -benchtime=10x \
+		-cpuprofile cpu.prof -memprofile mem.prof ./internal/rules
+	@echo "wrote cpu.prof and mem.prof; try: go tool pprof cpu.prof"

@@ -85,6 +85,8 @@ type (
 	RuleAction = rules.Action
 	// FuncAction wraps a Go callback as a rule action.
 	FuncAction = rules.FuncAction
+	// TemporalRuleDef is one rule of a batch define (System.OnCalendars).
+	TemporalRuleDef = rules.TemporalRuleDef
 	// RuleEngine owns RULE-INFO / RULE-TIME and dispatches rules.
 	RuleEngine = rules.Engine
 	// DBCron is the daemon of Figure 4.

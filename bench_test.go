@@ -671,3 +671,49 @@ func BenchmarkForeachSweepVsGeneric(b *testing.B) {
 		})
 	}
 }
+
+// --- next-instant kernel (DBCRON scheduling at scale) ----------------------
+
+// BenchmarkNextAfter measures one next-trigger query through the plan
+// Scheduler: the kernel path (pattern arithmetic / probe cache) against the
+// seed windowed path (evaluate the full 730-day lookahead and scan). The
+// kernel/windowed ratio is the speedup that lets DBCRON carry ~10^6 rules.
+// The kernel sub-benchmarks are CI-gated (see cmd/benchjson -gate).
+func BenchmarkNextAfter(b *testing.B) {
+	env, _ := benchEnv(b, DefaultEpoch)
+	ch := env.Chron
+	start := ch.EpochSecondsOf(MustDate(1993, 1, 1))
+	for _, tc := range []struct{ name, src string }{
+		{"basic", "DAYS"},
+		{"weekly", "[2]/DAYS:during:WEEKS"},
+		{"monthly", "[n]/DAYS:during:MONTHS"},
+	} {
+		prepped, gran, err := plan.Prepare(env, benchExpr(b, tc.src), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range []string{"kernel", "windowed"} {
+			b.Run(tc.name+"/"+mode, func(b *testing.B) {
+				s := plan.NewScheduler(env, prepped, gran)
+				s.Configure(0, mode == "windowed")
+				at := start
+				// Warm outside the timer: the kernel's first query probes.
+				if _, _, err := s.NextAfter(at); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					next, ok, err := s.NextAfter(at)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !ok {
+						at = start
+						continue
+					}
+					at = next
+				}
+			})
+		}
+	}
+}

@@ -292,6 +292,13 @@ func (s *System) OnCalendar(name, calExpr string, action func(tx *Txn, firedAt i
 	}, s.clock.Now())
 }
 
+// OnCalendars declares a batch of temporal rules in one RULE-TIME
+// transaction, preparing each distinct calendar expression once — the fast
+// path for defining large rule fleets over a shared set of expressions.
+func (s *System) OnCalendars(defs []TemporalRuleDef) error {
+	return s.rules.DefineTemporalRules(s.clock.Now(), defs)
+}
+
 // OnEvent declares an event rule with a Go condition and action.
 func (s *System) OnEvent(name string, op EventOp, table string,
 	cond func(tx *Txn, ev Event) (bool, error),

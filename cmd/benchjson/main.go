@@ -6,9 +6,18 @@
 //	go run ./cmd/benchjson -compare BENCH_baseline.json BENCH_core.json
 //
 // Compare mode prints a warning line per metric that regressed beyond the
-// threshold and always exits 0: bench-smoke timings (one iteration, shared
-// CI hardware) are too noisy to gate a build on, but the warnings make
-// drift visible in the job log.
+// threshold and by default exits 0: bench-smoke timings (one iteration,
+// shared CI hardware) are too noisy to gate a build on wholesale, but the
+// warnings make drift visible in the job log.
+//
+// The -gate flag promotes a subset to a hard gate: benchmarks whose name
+// matches the regexp fail the compare (exit 1) when their ns/op regresses
+// beyond -gate-threshold (default 1.25, i.e. >25% slower than baseline).
+// Gated benchmarks should be run with a real -benchtime, not 1x:
+//
+//	go test -bench 'NextAfter' -benchtime=100x ./... | \
+//	    go run ./cmd/benchjson -compare BENCH_baseline.json \
+//	        -gate 'BenchmarkNextAfter' -gate-threshold 1.25
 package main
 
 import (
@@ -18,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -43,10 +53,21 @@ func main() {
 	out := flag.String("o", "", "write JSON to this file instead of stdout")
 	baseline := flag.String("compare", "", "baseline JSON file: compare instead of convert")
 	threshold := flag.Float64("threshold", 2.0, "warn when a metric grows beyond this factor of the baseline")
+	gate := flag.String("gate", "", "regexp of benchmark names whose ns/op regressions fail the compare")
+	gateThreshold := flag.Float64("gate-threshold", 1.25, "fail when a gated benchmark's ns/op grows beyond this factor")
 	flag.Parse()
 
 	if *baseline != "" {
-		if err := compare(*baseline, flag.Arg(0), *threshold); err != nil {
+		var gateRe *regexp.Regexp
+		if *gate != "" {
+			re, err := regexp.Compile(*gate)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson: bad -gate:", err)
+				os.Exit(1)
+			}
+			gateRe = re
+		}
+		if err := compare(*baseline, flag.Arg(0), *threshold, gateRe, *gateThreshold); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -163,10 +184,12 @@ func load(path string) (*Report, error) {
 	return &rep, nil
 }
 
-// compare prints warn-only drift between a baseline JSON and a current run
-// (a JSON file when the argument ends in .json, otherwise bench text — "-"
-// or empty reads text from stdin).
-func compare(basePath, curPath string, threshold float64) error {
+// compare prints drift between a baseline JSON and a current run (a JSON
+// file when the argument ends in .json, otherwise bench text — "-" or empty
+// reads text from stdin). Metric growth beyond `threshold` warns; for
+// benchmarks matching gateRe, ns/op growth beyond gateThreshold fails the
+// compare with a non-nil error.
+func compare(basePath, curPath string, threshold float64, gateRe *regexp.Regexp, gateThreshold float64) error {
 	base, err := load(basePath)
 	if err != nil {
 		return err
@@ -194,11 +217,20 @@ func compare(basePath, curPath string, threshold float64) error {
 	for _, b := range base.Benchmarks {
 		baseBy[b.Name] = b
 	}
-	warned := 0
+	warned, failed, gated := 0, 0, 0
 	for _, b := range cur.Benchmarks {
 		prev, ok := baseBy[b.Name]
 		if !ok {
 			continue
+		}
+		if gateRe != nil && gateRe.MatchString(b.Name) {
+			gated++
+			pv, pok := prev.Metrics["ns/op"]
+			if v, vok := b.Metrics["ns/op"]; pok && vok && pv > 0 && v > pv*gateThreshold {
+				fmt.Printf("FAIL %s: ns/op %.6g -> %.6g (%.2fx over baseline, gate %.2fx)\n",
+					b.Name, pv, v, v/pv, gateThreshold)
+				failed++
+			}
 		}
 		for unit, v := range b.Metrics {
 			pv, ok := prev.Metrics[unit]
@@ -212,7 +244,10 @@ func compare(basePath, curPath string, threshold float64) error {
 			}
 		}
 	}
-	fmt.Printf("benchjson: compared %d benchmarks against %s: %d warning(s)\n",
-		len(cur.Benchmarks), basePath, warned)
+	fmt.Printf("benchjson: compared %d benchmarks against %s: %d warning(s), %d gated, %d gate failure(s)\n",
+		len(cur.Benchmarks), basePath, warned, gated, failed)
+	if failed > 0 {
+		return fmt.Errorf("%d gated benchmark(s) regressed beyond %.2fx", failed, gateThreshold)
+	}
 	return nil
 }

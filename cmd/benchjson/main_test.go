@@ -1,6 +1,9 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -67,5 +70,51 @@ func TestParseLineRejectsGarbage(t *testing.T) {
 		if b, ok := parseLine(line); ok {
 			t.Errorf("parseLine(%q) accepted: %+v", line, b)
 		}
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	base := write("base.json", `{"benchmarks": [
+		{"name": "BenchmarkNextAfter/weekly/kernel", "iterations": 100, "metrics": {"ns/op": 100}},
+		{"name": "BenchmarkOther", "iterations": 100, "metrics": {"ns/op": 100}}
+	]}`)
+	gate := regexp.MustCompile("BenchmarkNextAfter")
+
+	// Within the gate threshold: no error, even though the warn threshold
+	// and the ungated benchmark regressed.
+	cur := write("ok.json", `{"benchmarks": [
+		{"name": "BenchmarkNextAfter/weekly/kernel", "iterations": 100, "metrics": {"ns/op": 120}},
+		{"name": "BenchmarkOther", "iterations": 100, "metrics": {"ns/op": 900}}
+	]}`)
+	if err := compare(base, cur, 2.0, gate, 1.25); err != nil {
+		t.Fatalf("compare within gate: %v", err)
+	}
+
+	// A gated ns/op regression beyond the factor fails the compare.
+	bad := write("bad.json", `{"benchmarks": [
+		{"name": "BenchmarkNextAfter/weekly/kernel", "iterations": 100, "metrics": {"ns/op": 130}}
+	]}`)
+	if err := compare(base, bad, 2.0, gate, 1.25); err == nil {
+		t.Fatal("compare accepted a gated regression")
+	}
+	// The same regression without a gate stays warn-only.
+	if err := compare(base, bad, 2.0, nil, 1.25); err != nil {
+		t.Fatalf("ungated compare errored: %v", err)
+	}
+	// A gated benchmark absent from the baseline is not a failure (new
+	// benchmark; the baseline refresh picks it up).
+	fresh := write("fresh.json", `{"benchmarks": [
+		{"name": "BenchmarkNextAfter/brand/new", "iterations": 100, "metrics": {"ns/op": 500}}
+	]}`)
+	if err := compare(base, fresh, 2.0, gate, 1.25); err != nil {
+		t.Fatalf("compare failed on a benchmark missing from baseline: %v", err)
 	}
 }

@@ -9,19 +9,31 @@
 // journal, fast-forwards stale RULE-TIME rows, and catches up missed
 // triggers under the selected -policy (fireall | firelast | skip).
 //
+// With -rules the daemon instead runs the scheduling-at-scale demo: it
+// batch-defines N synthetic rules over -distinct calendar expressions and
+// times the probe loop, showing the shared-plan fan-out keeping the cost per
+// probe day proportional to the number of distinct expressions, not rules.
+//
+// -pprof serves net/http/pprof on the given address for live CPU and heap
+// profiles of a running daemon (see also `make profile`).
+//
 // Usage:
 //
 //	dbcrond [-days N] [-T seconds] [-start YYYY-MM-DD] [-q]
 //	        [-journal FILE] [-snapshot FILE] [-policy fireall]
 //	        [-checkpoint-days N] [-crash-after N] [-recover]
+//	        [-rules N [-distinct K]] [-pprof addr]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"calsys"
 )
@@ -40,6 +52,9 @@ type config struct {
 	checkpointDays int64
 	crashAfter     int64
 	doRecover      bool
+	rules          int64
+	distinct       int64
+	pprofAddr      string
 }
 
 func main() {
@@ -54,7 +69,31 @@ func main() {
 	flag.Int64Var(&cfg.checkpointDays, "checkpoint-days", 7, "virtual days between snapshot checkpoints")
 	flag.Int64Var(&cfg.crashAfter, "crash-after", 0, "simulate a crash after N firings (0 = never)")
 	flag.BoolVar(&cfg.doRecover, "recover", false, "recover from -snapshot and -journal before simulating")
+	flag.Int64Var(&cfg.rules, "rules", 0, "scale demo: define N synthetic rules instead of the named set")
+	flag.Int64Var(&cfg.distinct, "distinct", 50, "scale demo: distinct calendar expressions across -rules")
+	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if cfg.pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(cfg.pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "dbcrond: pprof server:", err)
+			}
+		}()
+		fmt.Printf("pprof: http://%s/debug/pprof/\n", cfg.pprofAddr)
+	}
+
+	if cfg.rules > 0 {
+		if cfg.journalPath != "" || cfg.doRecover || cfg.crashAfter > 0 {
+			fmt.Fprintln(os.Stderr, "dbcrond: -rules is a scale demo; it does not combine with -journal/-recover/-crash-after")
+			os.Exit(1)
+		}
+		if err := runFleet(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "dbcrond:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dbcrond:", err)
@@ -239,5 +278,82 @@ func run(cfg config) error {
 	if dls, err := sys.DeadLetters(); err == nil && len(dls) > 0 {
 		fmt.Printf("  RULE-DEADLETTER holds %d firings (query with calsh .deadletter)\n", len(dls))
 	}
+	return nil
+}
+
+// fleetExprs returns `distinct` calendar expressions for the scale demo:
+// mostly monthly day picks, plus weekly and week-of-month shapes — the same
+// mix BenchmarkProbe100kRules uses.
+func fleetExprs(distinct int64) []string {
+	exprs := make([]string, 0, distinct)
+	for k := 1; int64(len(exprs)) < distinct && k <= 28; k++ {
+		exprs = append(exprs, fmt.Sprintf("[%d]/DAYS:during:MONTHS", k))
+	}
+	for k := 1; int64(len(exprs)) < distinct && k <= 7; k++ {
+		exprs = append(exprs, fmt.Sprintf("[%d]/DAYS:during:WEEKS", k))
+	}
+	for k := 1; int64(len(exprs)) < distinct && k <= 4; k++ {
+		exprs = append(exprs, fmt.Sprintf("[%d]/WEEKS:overlaps:MONTHS", k))
+	}
+	for k := 1; int64(len(exprs)) < distinct; k++ {
+		exprs = append(exprs, fmt.Sprintf("[%d,%d]/DAYS:during:MONTHS", k, k+14))
+	}
+	return exprs
+}
+
+// runFleet is the scheduling-at-scale demo: batch-define -rules temporal
+// rules over -distinct expressions, then time the probe loop. Rules sharing
+// an expression share one plan group and one next-instant computation per
+// firing, so the probe cost tracks the number of distinct expressions.
+func runFleet(cfg config) error {
+	startDate, err := calsys.ParseDate(cfg.start)
+	if err != nil {
+		return err
+	}
+	clock := calsys.NewVirtualClock(0)
+	sys, err := calsys.Open(calsys.WithClock(clock))
+	if err != nil {
+		return err
+	}
+	clock.Set(sys.SecondsOf(startDate))
+
+	var fired int64
+	count := calsys.FuncAction{Name: "count", Fn: func(*calsys.Txn, *calsys.Event, int64) error {
+		fired++
+		return nil
+	}}
+	exprs := fleetExprs(cfg.distinct)
+	defs := make([]calsys.TemporalRuleDef, cfg.rules)
+	for i := range defs {
+		defs[i] = calsys.TemporalRuleDef{
+			Name:    fmt.Sprintf("r%d", i),
+			CalExpr: exprs[i%len(exprs)],
+			Action:  count,
+		}
+	}
+	t0 := time.Now()
+	if err := sys.OnCalendars(defs); err != nil {
+		return err
+	}
+	defined := time.Since(t0)
+
+	cron, err := sys.StartDBCron(cfg.T)
+	if err != nil {
+		return err
+	}
+	t0 = time.Now()
+	for i := int64(0); i < cfg.days; i++ {
+		if _, err := cron.AdvanceTo(clock.Advance(calsys.SecondsPerDay)); err != nil {
+			return err
+		}
+	}
+	probed := time.Since(t0)
+	groups, probes := sys.Rules().PlanGroupStats()
+	fmt.Printf("defined %d rules over %d expressions in %v\n",
+		cfg.rules, len(exprs), defined.Round(time.Millisecond))
+	fmt.Printf("probed %d days in %v (%v per day), %d firings\n",
+		cfg.days, probed.Round(time.Millisecond),
+		(probed / time.Duration(cfg.days)).Round(time.Microsecond), fired)
+	fmt.Printf("plan groups: %d, windowed evaluations across the whole run: %d\n", groups, probes)
 	return nil
 }

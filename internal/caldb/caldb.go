@@ -89,6 +89,31 @@ type Manager struct {
 	// the memo was computed at).
 	volatile map[string]bool
 	volGen   uint64
+
+	// listeners are invoked (outside m.mu) after every successful catalog
+	// mutation; DBCRON uses this to schedule a mass next-trigger recompute.
+	listenMu  sync.Mutex
+	listeners []func()
+}
+
+// AddChangeListener registers a callback invoked after every successful
+// catalog mutation (Define / Replace / Drop), outside the manager's locks.
+// Callbacks should only set flags or send on channels; heavy work belongs in
+// the caller's own loop.
+func (m *Manager) AddChangeListener(fn func()) {
+	m.listenMu.Lock()
+	defer m.listenMu.Unlock()
+	m.listeners = append(m.listeners, fn)
+}
+
+// notifyChanged fires the change listeners.
+func (m *Manager) notifyChanged() {
+	m.listenMu.Lock()
+	fns := append([]func(){}, m.listeners...)
+	m.listenMu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
 }
 
 // scopeCounter distinguishes managers sharing the process-wide cache.
@@ -400,6 +425,7 @@ func (m *Manager) ReplaceStored(name string, values *calendar.Calendar) error {
 	for dep, warnings := range revetted {
 		m.refreshWarnings(dep, warnings, gen)
 	}
+	m.notifyChanged()
 	return nil
 }
 
@@ -501,14 +527,18 @@ func (m *Manager) Drop(name string) error {
 	if err != nil {
 		return err
 	}
-	return m.db.RunTxn(func(tx *store.Txn) error {
+	if err := m.db.RunTxn(func(tx *store.Txn) error {
 		for _, rid := range rids {
 			if err := tx.Delete(TableName, rid); err != nil {
 				return err
 			}
 		}
 		return nil
-	})
+	}); err != nil {
+		return err
+	}
+	m.notifyChanged()
+	return nil
 }
 
 // Lookup returns a calendar's catalog entry.
@@ -561,6 +591,7 @@ func (m *Manager) insert(e *Entry) error {
 	m.mu.Lock()
 	m.cache[strings.ToLower(e.Name)] = e
 	m.mu.Unlock()
+	m.notifyChanged()
 	return nil
 }
 

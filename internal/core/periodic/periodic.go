@@ -237,6 +237,37 @@ func (p *Pattern) SelectLast(win interval.Interval) (interval.Interval, bool) {
 	return p.Select(win, -1)
 }
 
+// NextAfter returns the index and start tick of the first element whose
+// start lies strictly after tick t, in O(log spans) arithmetic. This is the
+// next-instant kernel: "when does this calendar fire next?" answered without
+// materializing any window. The tick honors the no-zero convention.
+func (p *Pattern) NextAfter(t chronology.Tick) (q int64, start chronology.Tick) {
+	x := chronology.OffsetFromTick(t)
+	// Element starts are non-decreasing in the index (a New invariant), and
+	// strictly increase across ties, so the first start > x is the element
+	// right after the last with Lo ≤ x.
+	q = p.lastWithLoLE(x) + 1
+	lo, _ := p.element(q)
+	return q, chronology.TickFromOffset(lo)
+}
+
+// NextAfterBetween is NextAfter restricted to element indices within
+// [qmin, qmax] — the validity range of a detected pattern, mirroring
+// ExpandBetween. ok is false when the next element lies past qmax; an index
+// below qmin clamps up to qmin (the earliest observed element).
+func (p *Pattern) NextAfterBetween(t chronology.Tick, qmin, qmax int64) (start chronology.Tick, ok bool) {
+	q, start := p.NextAfter(t)
+	if q < qmin {
+		q = qmin
+		lo, _ := p.element(q)
+		start = chronology.TickFromOffset(lo)
+	}
+	if q > qmax {
+		return 0, false
+	}
+	return start, true
+}
+
 // Expand materializes the elements overlapping the tick window, in order, in
 // O(output) time — the pattern-backed equivalent of generating the window.
 func (p *Pattern) Expand(win interval.Interval) []interval.Interval {

@@ -428,3 +428,132 @@ func TestNoZeroTicks(t *testing.T) {
 		}
 	}
 }
+
+// TestNextAfterMatchesExpansion checks the O(log spans) next-element query
+// against the windowed expansion: NextAfter(t) must return exactly the first
+// expanded element start strictly after t, for arbitrary patterns and query
+// points on both sides of the phase.
+func TestNextAfterMatchesExpansion(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pats := []*periodic.Pattern{
+		mustPattern(t, 1, 0, []periodic.Span{{Lo: 0, Hi: 0}}),
+		mustPattern(t, 7, 0, []periodic.Span{{Lo: 0, Hi: 6}}),
+		mustPattern(t, 7, 3, []periodic.Span{{Lo: 0, Hi: 0}}),
+		mustPattern(t, 10, 2, []periodic.Span{{Lo: 0, Hi: 1}, {Lo: 4, Hi: 5}}),
+		mustPattern(t, 15, -4, []periodic.Span{{Lo: 0, Hi: 2}, {Lo: 7, Hi: 8}, {Lo: 12, Hi: 16}}),
+		mustPattern(t, 31, 11, []periodic.Span{{Lo: 0, Hi: 0}, {Lo: 1, Hi: 4}, {Lo: 9, Hi: 9}, {Lo: 30, Hi: 31}}),
+	}
+	for pi, pat := range pats {
+		period := pat.Period()
+		for trial := 0; trial < 300; trial++ {
+			x := rng.Int63n(40*period+1) - 20*period
+			tk := chronology.TickFromOffset(x)
+			_, start := pat.NextAfter(tk)
+			got := chronology.OffsetFromTick(start)
+			if got <= x {
+				t.Fatalf("pattern %d: NextAfter(%d) = %d, not strictly after", pi, x, got)
+			}
+			win := interval.Interval{
+				Lo: chronology.TickFromOffset(x - 2*period),
+				Hi: chronology.TickFromOffset(x + 3*period),
+			}
+			var want chronology.Tick
+			found := false
+			for _, iv := range pat.Expand(win) {
+				if chronology.OffsetFromTick(iv.Lo) > x {
+					want, found = iv.Lo, true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("pattern %d: no expanded start after %d in %v", pi, x, win)
+			}
+			if start != want {
+				t.Fatalf("pattern %d: NextAfter(%d) = tick %d, expansion says %d", pi, x, start, want)
+			}
+		}
+	}
+}
+
+// TestNextAfterBetweenClamps checks the [qmin, qmax] restriction used with
+// detected patterns: queries before the observed range clamp up to element
+// qmin, queries at or past element qmax's start report no next element.
+func TestNextAfterBetweenClamps(t *testing.T) {
+	pat := mustPattern(t, 10, 2, []periodic.Span{{Lo: 0, Hi: 1}, {Lo: 4, Hi: 5}})
+	const qmin, qmax = -3, 5
+	period := pat.Period()
+	wide := interval.Interval{
+		Lo: chronology.TickFromOffset((qmin - 2) * period),
+		Hi: chronology.TickFromOffset((qmax + 2) * period),
+	}
+	elems := pat.ExpandBetween(wide, qmin, qmax)
+	if len(elems) != int(qmax-qmin+1) {
+		t.Fatalf("setup: ExpandBetween yielded %d elements, want %d", len(elems), qmax-qmin+1)
+	}
+	first, last := elems[0].Lo, elems[len(elems)-1].Lo
+	for x := chronology.OffsetFromTick(first) - 2*period; x <= chronology.OffsetFromTick(last)+period; x++ {
+		tk := chronology.TickFromOffset(x)
+		start, ok := pat.NextAfterBetween(tk, qmin, qmax)
+		var want chronology.Tick
+		wantOK := false
+		for _, iv := range elems {
+			if chronology.OffsetFromTick(iv.Lo) > x {
+				want, wantOK = iv.Lo, true
+				break
+			}
+		}
+		// Below the range the answer clamps to element qmin even though
+		// NextAfter alone would name an earlier (unobserved) element.
+		if x < chronology.OffsetFromTick(first) {
+			want, wantOK = first, true
+		}
+		if ok != wantOK || (ok && start != want) {
+			t.Fatalf("NextAfterBetween(%d) = %d,%v, want %d,%v", x, start, ok, want, wantOK)
+		}
+	}
+}
+
+// TestNextAfterBasicPairs spot-checks the infinite patterns the scheduler
+// fast path relies on: the next week/month/year start after random instants
+// must match a GenerateFull scan.
+func TestNextAfterBasicPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ch := chronology.MustNew(chronology.DefaultEpoch)
+	pairs := [][2]chronology.Granularity{
+		{chronology.Week, chronology.Day},
+		{chronology.Month, chronology.Day},
+		{chronology.Year, chronology.Month},
+	}
+	for _, pair := range pairs {
+		of, in := pair[0], pair[1]
+		pat, err := periodic.ForBasicPair(ch, of, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := approxTicks[of] / approxTicks[in]
+		full, err := calendar.GenerateFull(ch, of, in,
+			chronology.TickFromOffset(-25*ratio), chronology.TickFromOffset(25*ratio))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ivs := full.Intervals()
+		for trial := 0; trial < 100; trial++ {
+			x := rng.Int63n(40*ratio+1) - 20*ratio
+			_, start := pat.NextAfter(chronology.TickFromOffset(x))
+			var want chronology.Tick
+			found := false
+			for _, iv := range ivs {
+				if chronology.OffsetFromTick(iv.Lo) > x {
+					want, found = iv.Lo, true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("%v in %v: no generated start after %d", of, in, x)
+			}
+			if start != want {
+				t.Fatalf("%v in %v: NextAfter(%d) = tick %d, GenerateFull says %d", of, in, x, start, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,466 @@
+// next.go implements the next-instant kernel: "when does this calendar fire
+// next?" answered without materializing the whole lookahead window whenever
+// the expression's shape allows it.
+//
+// Strategy, in order of preference:
+//
+//  1. Infinite pattern. A prepared expression that is a single basic
+//     calendar maps to its exact periodic.Pattern; NextAfter answers in
+//     O(log spans) arithmetic for any instant, forever.
+//  2. Detected pattern / cached probe. Window-anchor-free expressions
+//     (Tuesdays, third Fridays, month ends…) evaluate once over the full
+//     horizon; the result is cached — compressed to a detected Pattern when
+//     periodic — and subsequent queries answer by O(log n) search until
+//     they near the cached window's end, where generation-edge effects
+//     begin and a fresh probe re-anchors the cache.
+//  3. Exponential doubling. Anchor-sensitive but end-stable expressions
+//     (positive order-1 selections over stable operands) evaluate over a
+//     window that starts small and doubles out to the horizon, stopping at
+//     the first window that contains an instant.
+//  4. Full-window fallback. Everything else — caloperate grouping,
+//     end-relative selections, before/<= foreach, opaque derived calendars,
+//     `today` — evaluates the full horizon window exactly like the seed
+//     nextTrigger path, so genuinely aperiodic calendars keep their
+//     semantics bit-for-bit.
+package plan
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"calsys/internal/chronology"
+	"calsys/internal/core/calendar"
+	"calsys/internal/core/callang"
+	"calsys/internal/core/interval"
+	"calsys/internal/core/periodic"
+)
+
+// DefaultHorizonDays bounds how far ahead a next-instant search looks when
+// the caller does not configure a horizon (the rules engine's historical
+// LookaheadDays default).
+const DefaultHorizonDays = 730
+
+// initialProbeDays is the first window of the exponential-doubling fallback.
+const initialProbeDays = 64
+
+// nextProfile classifies a prepared expression for the kernel.
+//
+// anchorFree: the expression's elements are intrinsic to the timeline — the
+// materialization of a window is independent of where the window starts, so
+// one probe's result can serve queries at any later instant it covers.
+//
+// endStable: extending the window's end only appends elements; anything
+// found in a shorter window is exactly what a longer window would yield, so
+// the doubling fallback is sound.
+type nextProfile struct {
+	anchorFree bool
+	endStable  bool
+}
+
+func (a nextProfile) and(b nextProfile) nextProfile {
+	return nextProfile{a.anchorFree && b.anchorFree, a.endStable && b.endStable}
+}
+
+// profileExpr classifies a prepared (inlined + factorized) expression.
+// Anything unrecognized degrades to the pinned profile, which routes every
+// query through the seed full-window path.
+func profileExpr(cat Catalog, e callang.Expr) nextProfile {
+	free := nextProfile{anchorFree: true, endStable: true}
+	pinned := nextProfile{}
+	switch n := e.(type) {
+	case *callang.Ident:
+		if n.Name == "today" {
+			return pinned
+		}
+		if _, err := chronology.ParseGranularity(n.Name); err == nil {
+			return free
+		}
+		if _, ok := cat.StoredCalendar(n.Name); ok {
+			return free
+		}
+		// Opaque derived calendar (multi-statement script) or unknown name:
+		// its script may read today or wait on the clock.
+		return pinned
+	case *callang.Number, *callang.StringLit:
+		return free
+	case *callang.LabelSelExpr:
+		return profileExpr(cat, n.X)
+	case *callang.ForeachExpr:
+		switch n.Op {
+		case interval.Before, interval.BeforeEquals:
+			// Elements reach back to the window's start: anchored both ways.
+			return pinned
+		}
+		return profileExpr(cat, n.X).and(profileExpr(cat, n.Y))
+	case *callang.IntersectExpr:
+		return profileExpr(cat, n.X).and(profileExpr(cat, n.Y))
+	case *callang.BinExpr:
+		return profileExpr(cat, n.X).and(profileExpr(cat, n.Y))
+	case *callang.SelectExpr:
+		p := profileExpr(cat, n.X)
+		if exprOrder(n.X) >= 2 {
+			// Per-group selection: each group is an intrinsic unit (the third
+			// Friday of a month does not care where the window starts).
+			return p
+		}
+		// An order-1 selection indexes the windowed list itself: anchored at
+		// the window start, and end-stable only while no index counts from
+		// the end of the list.
+		if !p.endStable || selEndRelative(n.Pred) {
+			return pinned
+		}
+		return nextProfile{endStable: true}
+	case *callang.CallExpr:
+		switch n.Name {
+		case "interval", "points", "generate":
+			return free
+		case "caloperate":
+			// Groups count off from the window's first element, and a partial
+			// trailing group reshapes as the window end moves.
+			return pinned
+		}
+		return pinned
+	}
+	return pinned
+}
+
+// exprOrder estimates the order of an expression's value — whether selection
+// over it applies per sub-group (order ≥ 2) or to the windowed list itself.
+func exprOrder(e callang.Expr) int {
+	switch n := e.(type) {
+	case *callang.ForeachExpr:
+		return 2
+	case *callang.SelectExpr:
+		if n.Pred.Single() {
+			return 1 // single selection collapses one level
+		}
+		return exprOrder(n.X)
+	case *callang.CallExpr:
+		if n.Name == "caloperate" {
+			return 2
+		}
+	}
+	return 1
+}
+
+// selEndRelative reports whether any predicate item resolves against the end
+// of the list ([n], negative positions, or ranges touching either).
+func selEndRelative(s calendar.Selection) bool {
+	for _, it := range s.Items {
+		switch {
+		case it.Last:
+			return true
+		case it.Range:
+			if it.From <= 0 || it.To <= 0 {
+				return true
+			}
+		default:
+			if it.Pos < 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// granSlack is the maximum width of one unit, in seconds — how far a
+// window-straddling element of that granularity can reach past a window
+// edge.
+var granSlack = map[chronology.Granularity]int64{
+	chronology.Second:  1,
+	chronology.Minute:  60,
+	chronology.Hour:    3600,
+	chronology.Day:     chronology.SecondsPerDay,
+	chronology.Week:    7 * chronology.SecondsPerDay,
+	chronology.Month:   31 * chronology.SecondsPerDay,
+	chronology.Year:    366 * chronology.SecondsPerDay,
+	chronology.Decade:  3653 * chronology.SecondsPerDay,
+	chronology.Century: 36525 * chronology.SecondsPerDay,
+}
+
+// exprSlack bounds the generation-edge effects of one windowed evaluation:
+// elements within this many seconds of the window's end may differ from what
+// a longer window yields (straddling units, groups cut short), so cached
+// answers are only served below it.
+func exprSlack(e callang.Expr) int64 {
+	if id, ok := e.(*callang.Ident); ok {
+		if g, err := chronology.ParseGranularity(id.Name); err == nil {
+			return granSlack[g]
+		}
+		if id.Name == "today" {
+			return 0
+		}
+		// Stored or derived calendars hold absolute values; allow a year of
+		// straddle for their elements.
+		return granSlack[chronology.Year]
+	}
+	var max int64
+	for _, c := range e.Children() {
+		if s := exprSlack(c); s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// A Scheduler answers next-instant queries for one prepared expression. It
+// is safe for concurrent use; the rules engine shares one Scheduler among
+// all rules over the same prepared plan (shared-plan fan-out), so the probe
+// cost below is paid once per plan, not once per rule.
+type Scheduler struct {
+	env     *Env
+	prepped callang.Expr
+	gran    chronology.Granularity
+
+	mu            sync.Mutex
+	horizonDays   int64
+	forceWindowed bool
+	prof          nextProfile
+	slack         int64
+	planText      string
+	probes        int64 // windowed evaluations performed
+
+	// exact is the infinite-pattern fast path: the prepared expression is a
+	// single basic calendar, answered by arithmetic with no evaluation ever.
+	exact *periodic.Pattern
+
+	// Anchor-free probe cache: the materialized horizon starting at anchor,
+	// compressed to a detected pattern valid on [qmin, qmax] when periodic,
+	// else kept as the sorted element start ticks.
+	pat        *periodic.Pattern
+	qmin, qmax int64
+	starts     []chronology.Tick
+	anchor     int64 // epoch second the cached probe was anchored at
+	safeThru   int64 // serve cached answers at or before this instant
+	haveCache  bool
+}
+
+// NewScheduler builds a scheduler for a prepared expression (the output of
+// Prepare). The environment's catalog must stay fixed for the scheduler's
+// lifetime; the rules engine keys schedulers by catalog generation and
+// rebuilds them on change.
+func NewScheduler(env *Env, prepped callang.Expr, gran chronology.Granularity) *Scheduler {
+	s := &Scheduler{
+		env:         env,
+		prepped:     prepped,
+		gran:        gran,
+		horizonDays: DefaultHorizonDays,
+	}
+	s.prof = profileExpr(env.Cat, prepped)
+	s.slack = 2 * exprSlack(prepped)
+	if id, ok := prepped.(*callang.Ident); ok && !env.DisablePeriodic {
+		if g, err := chronology.ParseGranularity(id.Name); err == nil {
+			if p, perr := periodic.ForBasicPair(env.Chron, g, gran); perr == nil {
+				s.exact = p
+			}
+		}
+	}
+	return s
+}
+
+// Configure sets the lookahead horizon in days (≤ 0 keeps the current value)
+// and the windowed-ablation switch, under which every query evaluates the
+// full horizon window — the seed behavior.
+func (s *Scheduler) Configure(horizonDays int64, forceWindowed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if horizonDays > 0 && horizonDays != s.horizonDays {
+		s.horizonDays = horizonDays
+		s.haveCache, s.pat, s.starts = false, nil, nil
+	}
+	s.forceWindowed = forceWindowed
+}
+
+// PlanString returns the rendering of the most recently compiled plan (set
+// by the first NextAfter call) for the RULE-INFO catalog.
+func (s *Scheduler) PlanString() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.planText
+}
+
+// Probes reports how many windowed evaluations the scheduler has run — the
+// work the kernel amortizes away.
+func (s *Scheduler) Probes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.probes
+}
+
+// NextAfter returns the first instant (epoch seconds) at which the
+// expression fires strictly after `after`, searching at most the configured
+// horizon ahead. ok is false when the expression is dormant over the whole
+// horizon. The result is identical to evaluating the full horizon window
+// and scanning for the minimum start strictly after `after` (the seed
+// nextTrigger semantics); only the work differs.
+func (s *Scheduler) NextAfter(after int64) (at int64, ok bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := s.env.Chron
+	from := ch.CivilOfDayTick(ch.TickAt(chronology.Day, after))
+	to := from.AddDays(s.horizonDays)
+	hwin, err := CivilWindow(ch, s.gran, from, to)
+	if err != nil {
+		return 0, false, err
+	}
+	if s.planText == "" {
+		// Render the eval plan once even on pattern paths that never compile.
+		p, cerr := Compile(s.env, s.prepped, nil, s.gran, hwin)
+		if cerr != nil {
+			return 0, false, cerr
+		}
+		s.planText = p.String()
+	}
+	if s.forceWindowed {
+		return s.probeWindow(after, hwin)
+	}
+	if s.exact != nil {
+		afterTick := ch.TickAt(s.gran, after)
+		_, t := s.exact.NextAfter(afterTick)
+		if t > hwin.Hi {
+			return 0, false, nil
+		}
+		return ch.UnitStart(s.gran, t), true, nil
+	}
+	if s.prof.anchorFree {
+		afterTick := ch.TickAt(s.gran, after)
+		if at, ok, hit := s.cachedNext(after, afterTick); hit {
+			return at, ok, nil
+		}
+		return s.probeWindow(after, hwin) // re-anchors the cache
+	}
+	if s.prof.endStable {
+		return s.probeDoubling(after, from, hwin)
+	}
+	return s.probeWindow(after, hwin)
+}
+
+// cachedNext serves a query from the cached probe. hit=false falls through
+// to a fresh probe.
+func (s *Scheduler) cachedNext(after int64, afterTick chronology.Tick) (at int64, ok, hit bool) {
+	if !s.haveCache || after < s.anchor {
+		return 0, false, false
+	}
+	var t chronology.Tick
+	if s.pat != nil {
+		nt, found := s.pat.NextAfterBetween(afterTick, s.qmin, s.qmax)
+		if !found {
+			return 0, false, false
+		}
+		t = nt
+	} else {
+		i := sort.Search(len(s.starts), func(i int) bool { return s.starts[i] > afterTick })
+		if i == len(s.starts) {
+			return 0, false, false
+		}
+		t = s.starts[i]
+	}
+	at = s.env.Chron.UnitStart(s.gran, t)
+	if at > s.safeThru {
+		// Too close to the cached window's end: edge effects possible.
+		return 0, false, false
+	}
+	return at, true, true
+}
+
+// probeWindow evaluates the expression over one window and scans for the
+// minimum start strictly after `after` — the seed path. On the anchor-free
+// profile the materialization is also cached for subsequent queries.
+func (s *Scheduler) probeWindow(after int64, win interval.Interval) (int64, bool, error) {
+	cal, err := s.eval(win)
+	if err != nil {
+		return 0, false, err
+	}
+	ch := s.env.Chron
+	ivs := cal.Flatten().Intervals()
+	if !s.forceWindowed && s.prof.anchorFree {
+		s.fillCache(after, win, ivs)
+	}
+	best, ok := int64(math.MaxInt64), false
+	for _, iv := range ivs {
+		if at := ch.UnitStart(s.gran, iv.Lo); at > after && at < best {
+			best, ok = at, true
+		}
+	}
+	if !ok {
+		return 0, false, nil
+	}
+	return best, true, nil
+}
+
+func (s *Scheduler) eval(win interval.Interval) (*calendar.Calendar, error) {
+	s.probes++
+	p, err := Compile(s.env, s.prepped, nil, s.gran, win)
+	if err != nil {
+		return nil, err
+	}
+	s.planText = p.String()
+	return p.Exec(s.env, nil)
+}
+
+// fillCache stores a probe's materialization, compressed to a detected
+// pattern when the element list is periodic.
+func (s *Scheduler) fillCache(after int64, win interval.Interval, ivs []interval.Interval) {
+	sorted := make([]interval.Interval, len(ivs))
+	copy(sorted, ivs)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Lo != sorted[j].Lo {
+			return sorted[i].Lo < sorted[j].Lo
+		}
+		return sorted[i].Hi < sorted[j].Hi
+	})
+	s.pat, s.starts, s.haveCache = nil, nil, true
+	s.anchor = after
+	s.safeThru = s.env.Chron.UnitStart(s.gran, win.Hi) - s.slack
+	if !s.env.DisablePeriodic {
+		if p, qmin, qmax, ok := periodic.Detect(sorted); ok {
+			s.pat, s.qmin, s.qmax = p, qmin, qmax
+			return
+		}
+	}
+	starts := make([]chronology.Tick, len(sorted))
+	for i, iv := range sorted {
+		starts[i] = iv.Lo
+	}
+	s.starts = starts
+}
+
+// probeDoubling evaluates anchor-sensitive but end-stable expressions over
+// an exponentially growing window: the window start stays pinned to the
+// query (matching the seed path's anchoring) while the end doubles out to
+// the horizon. End-stability means an instant found safely inside a shorter
+// window is exactly what the full-horizon evaluation would return; finds
+// within the edge-effect slack of a short window's end are distrusted and
+// re-probed wider.
+func (s *Scheduler) probeDoubling(after int64, from chronology.Civil, hwin interval.Interval) (int64, bool, error) {
+	ch := s.env.Chron
+	for days := int64(initialProbeDays); ; days *= 2 {
+		last := days >= s.horizonDays
+		win := hwin
+		if !last {
+			w, err := CivilWindow(ch, s.gran, from, from.AddDays(days))
+			if err != nil {
+				return 0, false, err
+			}
+			win = w
+		}
+		at, ok, err := s.probeWindow(after, win)
+		if err != nil {
+			return 0, false, err
+		}
+		if last || (ok && at <= ch.UnitStart(s.gran, win.Hi)-s.slack) {
+			return at, ok, nil
+		}
+	}
+}
+
+// NextInstant answers "first instant strictly after `after`" for a prepared
+// expression, searching horizonDays ahead (≤ 0 uses DefaultHorizonDays).
+// ok=false means no instant within the horizon. This is the one-shot form
+// of Scheduler for callers without an instance to amortize into.
+func NextInstant(env *Env, prepped callang.Expr, gran chronology.Granularity, after int64, horizonDays int64) (int64, bool, error) {
+	s := NewScheduler(env, prepped, gran)
+	s.Configure(horizonDays, false)
+	return s.NextAfter(after)
+}

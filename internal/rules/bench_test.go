@@ -1,0 +1,109 @@
+package rules
+
+import (
+	"fmt"
+	"testing"
+
+	"calsys/internal/chronology"
+	"calsys/internal/store"
+)
+
+// BenchmarkNextTrigger measures one engine next-trigger computation per
+// expression class, kernel against the seed windowed ablation
+// (DisableNextKernel). The ratio here is the per-firing recompute cost that
+// dominates DBCRON at fleet scale.
+func BenchmarkNextTrigger(b *testing.B) {
+	noop := FuncAction{Name: "noop", Fn: func(*store.Txn, *store.Event, int64) error { return nil }}
+	for _, tc := range []struct{ name, src string }{
+		{"basic", "DAYS"},
+		{"weekly", "[2]/DAYS:during:WEEKS"},
+		{"monthly", "[n]/DAYS:during:MONTHS"},
+		{"quarterly", "[n]/DAYS:during:caloperate(MONTHS, 3)"},
+	} {
+		for _, mode := range []string{"kernel", "windowed"} {
+			b.Run(tc.name+"/"+mode, func(b *testing.B) {
+				eng, cal := newEngine(b)
+				eng.DisableNextKernel = mode == "windowed"
+				ch := cal.Chron()
+				start := ch.EpochSecondsOf(d(1993, 1, 1))
+				if err := eng.DefineTemporalRule("r", tc.src, noop, start); err != nil {
+					b.Fatal(err)
+				}
+				eng.mu.Lock()
+				r := eng.temporal["r"]
+				eng.mu.Unlock()
+				at := start
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					next, _, err := eng.nextTrigger(r, at)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if next >= noTrigger {
+						at = start
+						continue
+					}
+					at = next
+				}
+			})
+		}
+	}
+}
+
+// fleetExprs returns `distinct` calendar expressions for a synthetic rule
+// fleet: mostly monthly day picks, plus weekly and week-of-month shapes.
+func fleetExprs(distinct int) []string {
+	exprs := make([]string, 0, distinct)
+	for k := 1; len(exprs) < distinct && k <= 28; k++ {
+		exprs = append(exprs, fmt.Sprintf("[%d]/DAYS:during:MONTHS", k))
+	}
+	for k := 1; len(exprs) < distinct && k <= 7; k++ {
+		exprs = append(exprs, fmt.Sprintf("[%d]/DAYS:during:WEEKS", k))
+	}
+	for k := 1; len(exprs) < distinct && k <= 4; k++ {
+		exprs = append(exprs, fmt.Sprintf("[%d]/WEEKS:overlaps:MONTHS", k))
+	}
+	for k := 1; len(exprs) < distinct; k++ {
+		exprs = append(exprs, fmt.Sprintf("[%d,%d]/DAYS:during:MONTHS", k, k+14))
+	}
+	return exprs
+}
+
+// BenchmarkProbe100kRules drives one probe-day of DBCRON over a fleet of
+// 100k temporal rules sharing 50 distinct expressions — the scale target of
+// the shared-plan fan-out. Each iteration advances the daemon one virtual
+// day: one RULE-TIME probe plus every firing due that day (~3.5k with this
+// mix).
+func BenchmarkProbe100kRules(b *testing.B) {
+	const nRules, distinct = 100_000, 50
+	eng, cal := newEngine(b)
+	ch := cal.Chron()
+	start := ch.EpochSecondsOf(d(1993, 1, 1))
+	noop := FuncAction{Name: "noop", Fn: func(*store.Txn, *store.Event, int64) error { return nil }}
+	exprs := fleetExprs(distinct)
+	defs := make([]TemporalRuleDef, nRules)
+	for i := range defs {
+		defs[i] = TemporalRuleDef{Name: fmt.Sprintf("r%d", i), CalExpr: exprs[i%distinct], Action: noop}
+	}
+	if err := eng.DefineTemporalRules(start, defs); err != nil {
+		b.Fatal(err)
+	}
+	cron, err := NewDBCron(eng, chronology.SecondsPerDay, start)
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := start
+	b.ResetTimer()
+	fired := 0
+	for i := 0; i < b.N; i++ {
+		now += chronology.SecondsPerDay
+		fs, err := cron.AdvanceTo(now)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fired += len(fs)
+	}
+	b.ReportMetric(float64(fired)/float64(b.N), "firings/day")
+	_, probes := eng.PlanGroupStats()
+	b.ReportMetric(float64(probes), "probes")
+}

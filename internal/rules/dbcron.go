@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"calsys/internal/faultinject"
@@ -143,6 +144,10 @@ type DBCron struct {
 	opts    CronOptions
 	rng     *rand.Rand
 
+	// catalogChanged is set by the calendar catalog's change listener; the
+	// next probe runs a mass next-trigger recompute before scheduling.
+	catalogChanged atomic.Bool
+
 	mu         sync.Mutex
 	pending    firingHeap
 	scheduled  map[string]bool // rules (lower-cased) currently in the heap
@@ -163,6 +168,7 @@ func NewDBCron(eng *Engine, T int64, startAt int64) (*DBCron, error) {
 	}
 	c := &DBCron{eng: eng, T: T, scheduled: map[string]bool{}, nextProbe: startAt}
 	eng.addDropListener(c.ruleDropped)
+	eng.Cal().AddChangeListener(func() { c.catalogChanged.Store(true) })
 	return c, nil
 }
 
@@ -225,6 +231,16 @@ func (c *DBCron) newPending(rule string, at int64) (pendingFiring, error) {
 func (c *DBCron) probe(now int64) error {
 	if err := faultinject.Hit(c.opts.Faults, SiteProbe); err != nil {
 		return err
+	}
+	// A calendar catalog change invalidates every stored next trigger: run
+	// the batched recompute (one RULE-TIME transaction, worker pool across
+	// plan groups) before scheduling from the table. Heap entries whose
+	// instant moved are neutralized by the firing path's already-advanced
+	// check against RULE-TIME.
+	if c.catalogChanged.CompareAndSwap(true, false) {
+		if _, err := c.eng.RecomputeAll(now); err != nil {
+			return err
+		}
 	}
 	due, err := c.eng.DueWithin(now, c.T)
 	if err != nil {

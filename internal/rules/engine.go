@@ -3,13 +3,14 @@ package rules
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"calsys/internal/caldb"
-	"calsys/internal/chronology"
 	"calsys/internal/core/callang"
 	"calsys/internal/core/plan"
 	"calsys/internal/faultinject"
@@ -80,16 +81,25 @@ type temporalRule struct {
 	src    string
 	expr   callang.Expr
 	action Action
-	// prepped is the inlined+factorized expression with its inferred
-	// granularity, so each firing only recompiles the window-dependent plan.
-	// prepGen records the calendar-catalog generation it was prepared at;
-	// next-trigger computation re-prepares when the catalog has changed, so
-	// redefined calendars are picked up on the next firing.
-	prepped callang.Expr
-	gran    chronology.Granularity
-	prepGen uint64
+	// group is the shared plan group the rule was last resolved into, with
+	// the calendar-catalog generation it belongs to; next-trigger computation
+	// re-resolves when the catalog has changed, so redefined calendars are
+	// picked up on the next firing.
+	group    *planGroup
+	groupGen uint64
 	// next trigger in epoch seconds; noTrigger when dormant.
 	next int64
+}
+
+// planGroup is one shared prepared plan: every temporal rule whose
+// expression prepares (inlines + factorizes) to the same canonical plan text
+// at the same catalog generation shares one Scheduler, so N rules over the
+// same calendar expression pay for one plan and one next-instant computation
+// per instant — the shared-plan fan-out.
+type planGroup struct {
+	key   string
+	gen   uint64
+	sched *plan.Scheduler
 }
 
 // eventRule is the in-memory form of one event rule.
@@ -114,10 +124,19 @@ type Engine struct {
 	// LookaheadDays bounds how far ahead next-trigger computation searches
 	// (default 730 days).
 	LookaheadDays int64
+	// DisableNextKernel forces the seed windowed next-trigger path (every
+	// computation evaluates the full lookahead window); the ablation switch
+	// the kernel benchmarks compare against.
+	DisableNextKernel bool
 
 	mu       sync.Mutex
 	temporal map[string]*temporalRule
 	events   map[string]*eventRule
+	// groups shares one plan.Scheduler among all rules over the same
+	// prepared plan; groupsGen is the catalog generation the map was built
+	// at (a mismatch discards the whole map).
+	groups    map[string]*planGroup
+	groupsGen uint64
 	// orphans are rule names found in RULE-INFO at startup (e.g. after a
 	// snapshot restore) whose actions — which are code — have not been
 	// re-attached yet. Redefining an orphaned rule replaces its catalog
@@ -161,6 +180,7 @@ func NewEngine(cal *caldb.Manager) (*Engine, error) {
 		LookaheadDays: 730,
 		temporal:      map[string]*temporalRule{},
 		events:        map[string]*eventRule{},
+		groups:        map[string]*planGroup{},
 		orphans:       map[string]bool{},
 	}
 	if _, ok := e.db.Table(RuleInfoTable); !ok {
@@ -195,6 +215,16 @@ func NewEngine(cal *caldb.Manager) (*Engine, error) {
 			return nil, err
 		}
 		if err := e.db.CreateIndex(RuleTimeTable, "next_trigger"); err != nil {
+			return nil, err
+		}
+	}
+	// Every firing resolves its RULE-TIME row by name inside the firing
+	// transaction; without this index that lookup is a full scan and the
+	// daemon degrades to O(rules) per firing at fleet scale. Built outside
+	// the create block so databases restored from older snapshots (which
+	// carry the table but not the index) are upgraded on open.
+	if tab, ok := e.db.Table(RuleTimeTable); ok && !tab.HasIndex("name") {
+		if err := e.db.CreateIndex(RuleTimeTable, "name"); err != nil {
 			return nil, err
 		}
 	}
@@ -343,6 +373,241 @@ func (e *Engine) DefineTemporalRule(name, calExpr string, action Action, now int
 	return nil
 }
 
+// TemporalRuleDef is one rule of a DefineTemporalRules batch.
+type TemporalRuleDef struct {
+	Name    string
+	CalExpr string
+	Action  Action
+}
+
+// DefineTemporalRules defines a batch of temporal rules in one transaction.
+// Parsing, plan preparation and first-trigger computation happen up front:
+// rules sharing a calendar expression resolve to one shared plan group, and
+// the distinct groups are computed on a worker pool — so defining N rules
+// over K distinct expressions costs K next-instant computations plus one
+// RULE-INFO and one RULE-TIME append per rule, all in a single transaction.
+// A failure anywhere leaves no partial rows.
+func (e *Engine) DefineTemporalRules(now int64, defs []TemporalRuleDef) error {
+	if len(defs) == 0 {
+		return nil
+	}
+	rules := make([]*temporalRule, len(defs))
+	seen := make(map[string]bool, len(defs))
+	e.mu.Lock()
+	for i, d := range defs {
+		key := strings.ToLower(d.Name)
+		if strings.TrimSpace(d.Name) == "" {
+			e.mu.Unlock()
+			return fmt.Errorf("rules: empty rule name in batch entry %d", i)
+		}
+		if d.Action == nil {
+			e.mu.Unlock()
+			return fmt.Errorf("rules: rule %q needs an action", d.Name)
+		}
+		_, dupT := e.temporal[key]
+		_, dupE := e.events[key]
+		if dupT || dupE || seen[key] {
+			e.mu.Unlock()
+			return fmt.Errorf("rules: rule %q already defined", d.Name)
+		}
+		seen[key] = true
+	}
+	e.mu.Unlock()
+	for i, d := range defs {
+		expr, err := callang.ParseExpr(d.CalExpr)
+		if err != nil {
+			return fmt.Errorf("rules: rule %q: %w", d.Name, err)
+		}
+		rules[i] = &temporalRule{name: d.Name, src: d.CalExpr, expr: expr, action: d.Action}
+	}
+
+	// One representative rule per distinct raw expression; the worker pool
+	// computes each representative's trigger, then the result fans out.
+	byExpr := make(map[string][]*temporalRule)
+	var exprs []string
+	for _, r := range rules {
+		if _, ok := byExpr[r.src]; !ok {
+			exprs = append(exprs, r.src)
+		}
+		byExpr[r.src] = append(byExpr[r.src], r)
+	}
+	plans := make([]string, len(exprs))
+	err := parallelDo(len(exprs), func(i int) error {
+		peers := byExpr[exprs[i]]
+		rep := peers[0]
+		next, planText, err := e.nextTrigger(rep, now)
+		if err != nil {
+			return fmt.Errorf("rules: rule %q: %w", rep.name, err)
+		}
+		plans[i] = planText
+		for _, r := range peers {
+			r.next = next
+			r.group, r.groupGen = rep.group, rep.groupGen
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	planOf := make(map[string]string, len(exprs))
+	for i, src := range exprs {
+		planOf[src] = plans[i]
+	}
+
+	orphaned := make([]string, 0, len(rules))
+	for _, r := range rules {
+		if e.takeOrphan(r.name) {
+			orphaned = append(orphaned, r.name)
+		}
+	}
+	if err := e.db.RunTxn(func(tx *store.Txn) error {
+		for _, name := range orphaned {
+			if err := e.deleteCatalogRows(tx, name); err != nil {
+				return err
+			}
+		}
+		for _, r := range rules {
+			if _, err := tx.Append(RuleInfoTable, store.Row{
+				store.NewText(r.name), store.NewText("temporal"), store.NewText(""), store.NewText(""),
+				store.NewText(r.src), store.NewText(planOf[r.src]), store.NewText(r.action.Describe()),
+			}); err != nil {
+				return err
+			}
+			if err := faultinject.Hit(e.injector(), SiteDefineRuleTime); err != nil {
+				return err
+			}
+			if _, err := tx.Append(RuleTimeTable, store.Row{store.NewText(r.name), store.NewInt(r.next)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		for _, name := range orphaned {
+			e.restoreOrphan(name)
+		}
+		return err
+	}
+	e.mu.Lock()
+	for _, r := range rules {
+		e.temporal[strings.ToLower(r.name)] = r
+	}
+	e.mu.Unlock()
+	return nil
+}
+
+// RecomputeAll recomputes the next trigger of every live temporal rule
+// strictly after `now` and persists the changed rows in one RULE-TIME
+// transaction — the mass path DBCRON runs after a calendar-catalog change.
+// Rules sharing a plan group share one next-instant computation; distinct
+// groups run on a worker pool. A rule whose stored trigger is already due
+// (<= now) keeps it, so pending catch-up firings are not skipped; and a
+// recomputation never postpones a pending trigger — an armed instant still
+// fires (matching fireChecked, which resolves the following trigger with the
+// current catalog at fire time), so only earlier-moving triggers are
+// rewritten here. Returns how many RULE-TIME rows changed.
+func (e *Engine) RecomputeAll(now int64) (int, error) {
+	e.mu.Lock()
+	rules := make([]*temporalRule, 0, len(e.temporal))
+	for _, r := range e.temporal {
+		rules = append(rules, r)
+	}
+	e.mu.Unlock()
+	if len(rules) == 0 {
+		return 0, nil
+	}
+	nexts := make([]int64, len(rules))
+	if err := parallelDo(len(rules), func(i int) error {
+		next, _, err := e.nextTrigger(rules[i], now)
+		if err != nil {
+			return fmt.Errorf("rules: rule %q: %w", rules[i].name, err)
+		}
+		nexts[i] = next
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+	changed := 0
+	applied := make([]bool, len(rules))
+	if err := e.db.RunTxn(func(tx *store.Txn) error {
+		tab, ok := e.db.Table(RuleTimeTable)
+		if !ok {
+			return fmt.Errorf("rules: RULE_TIME missing")
+		}
+		for i, r := range rules {
+			rids, err := tab.LookupEq("name", store.NewText(r.name))
+			if err != nil || len(rids) == 0 {
+				continue // dropped meanwhile
+			}
+			row, ok := tab.Get(rids[0])
+			if !ok || row[1].I <= now || nexts[i] >= row[1].I {
+				continue
+			}
+			if err := tx.Replace(RuleTimeTable, rids[0],
+				store.Row{store.NewText(r.name), store.NewInt(nexts[i])}); err != nil {
+				return err
+			}
+			applied[i] = true
+			changed++
+		}
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+	e.mu.Lock()
+	for i, r := range rules {
+		if applied[i] {
+			r.next = nexts[i]
+		}
+	}
+	e.mu.Unlock()
+	return changed, nil
+}
+
+// parallelDo runs f(0..n-1) on a bounded worker pool, returning the first
+// error.
+func parallelDo(n int, f func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		idx      int64
+		mu       sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&idx, 1)) - 1
+				if i >= n {
+					return
+				}
+				if err := f(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
 // DefineEventRule declares "On <event> to <table> [where cond] do <action>".
 func (e *Engine) DefineEventRule(name string, op store.EventOp, table string, cond Condition, action Action) error {
 	if strings.TrimSpace(name) == "" {
@@ -455,70 +720,102 @@ func (e *Engine) dispatch(tx *store.Txn, ev store.Event) error {
 	return nil
 }
 
-// nextTrigger evaluates a temporal rule's calendar expression over the
-// lookahead horizon and returns the first trigger instant strictly after
-// now, plus the compiled plan's rendering for RULE-INFO.
-func (e *Engine) nextTrigger(r *temporalRule, now int64) (int64, string, error) {
-	ch := e.cal.Chron()
-	env := e.cal.Env()
-	fromDay := ch.TickAt(chronology.Day, now)
-	from := ch.CivilOfDayTick(fromDay)
-	to := from.AddDays(e.LookaheadDays)
-
+// groupFor resolves the shared plan group for a rule at the current catalog
+// generation, preparing the expression and creating the group on first use.
+func (e *Engine) groupFor(r *temporalRule) (*planGroup, error) {
 	gen := e.cal.CatalogGeneration()
 	e.mu.Lock()
-	prepped, gran := r.prepped, r.gran
-	if r.prepGen != gen {
-		prepped = nil
+	if e.groupsGen != gen {
+		e.groups = map[string]*planGroup{}
+		e.groupsGen = gen
 	}
-	e.mu.Unlock()
-	if prepped == nil {
-		var err error
-		prepped, gran, err = plan.Prepare(env, r.expr, nil)
-		if err != nil {
-			return 0, "", err
-		}
-		e.mu.Lock()
-		r.prepped, r.gran, r.prepGen = prepped, gran, gen
+	if r.group != nil && r.groupGen == gen {
+		g := r.group
 		e.mu.Unlock()
+		return g, nil
 	}
-	win, err := plan.CivilWindow(ch, gran, from, to)
+	expr := r.expr
+	e.mu.Unlock()
+
+	// Prepare outside the engine lock: inlining consults the catalog.
+	env := e.cal.Env()
+	prepped, gran, err := plan.Prepare(env, expr, nil)
 	if err != nil {
-		return 0, "", err
+		return nil, err
 	}
-	p, err := plan.Compile(env, prepped, nil, gran, win)
-	if err != nil {
-		return 0, "", err
+	key := gran.String() + "|" + prepped.String()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	g := e.groups[key]
+	if g == nil || g.gen != gen {
+		g = &planGroup{key: key, gen: gen, sched: plan.NewScheduler(env, prepped, gran)}
+		e.groups[key] = g
 	}
-	cal, err := p.Exec(env, nil)
-	if err != nil {
-		return 0, "", err
-	}
-	next := int64(noTrigger)
-	for _, iv := range cal.Flatten().Intervals() {
-		at := ch.UnitStart(gran, iv.Lo)
-		if at > now && at < next {
-			next = at
-		}
-	}
-	return next, p.String(), nil
+	r.group, r.groupGen = g, gen
+	return g, nil
 }
 
-// updateRuleTime persists a rule's recomputed next trigger.
-func (e *Engine) updateRuleTime(name string, next int64) error {
-	tab, _ := e.db.Table(RuleTimeTable)
-	rids, err := tab.LookupEq("name", store.NewText(name))
-	if err != nil || len(rids) == 0 {
-		return fmt.Errorf("rules: RULE_TIME row for %q missing", name)
+// PlanGroupStats reports the shared-plan fan-out state: how many distinct
+// plan groups are live at the current catalog generation, and the total
+// windowed evaluations (probes) their schedulers have run — the work the
+// kernel and the sharing amortize away.
+func (e *Engine) PlanGroupStats() (groups int, probes int64) {
+	e.mu.Lock()
+	gs := make([]*planGroup, 0, len(e.groups))
+	for _, g := range e.groups {
+		gs = append(gs, g)
 	}
+	e.mu.Unlock()
+	for _, g := range gs {
+		probes += g.sched.Probes()
+	}
+	return len(gs), probes
+}
+
+// nextTrigger returns a temporal rule's first trigger instant strictly after
+// now, plus the compiled plan's rendering for RULE-INFO. The computation
+// goes through the rule's shared plan group: periodic expressions answer by
+// pattern arithmetic, anchor-free ones from the group's probe cache, and
+// only genuinely aperiodic ones evaluate a lookahead window (see plan/next.go).
+func (e *Engine) nextTrigger(r *temporalRule, now int64) (int64, string, error) {
+	g, err := e.groupFor(r)
+	if err != nil {
+		return 0, "", err
+	}
+	g.sched.Configure(e.LookaheadDays, e.DisableNextKernel)
+	next, ok, err := g.sched.NextAfter(now)
+	if err != nil {
+		return 0, "", err
+	}
+	if !ok {
+		next = noTrigger
+	}
+	return next, g.sched.PlanString(), nil
+}
+
+// updateRuleTime persists a rule's recomputed next trigger. The rid lookup
+// runs inside the same transaction as the replace, so a concurrent
+// drop-and-redefine cannot slip between them and resurrect a stale rid.
+func (e *Engine) updateRuleTime(name string, next int64) error {
 	return e.db.RunTxn(func(tx *store.Txn) error {
+		tab, ok := e.db.Table(RuleTimeTable)
+		if !ok {
+			return fmt.Errorf("rules: RULE_TIME missing")
+		}
+		rids, err := tab.LookupEq("name", store.NewText(name))
+		if err != nil || len(rids) == 0 {
+			return fmt.Errorf("rules: RULE_TIME row for %q missing", name)
+		}
 		return tx.Replace(RuleTimeTable, rids[0], store.Row{store.NewText(name), store.NewInt(next)})
 	})
 }
 
 // DueWithin returns the temporal rules with next trigger at or before
-// now+T from RULE-TIME — DBCRON's probe. Overdue rules (trigger <= now) are
-// included so a busy or restarted daemon never loses a firing.
+// now+T from RULE-TIME — DBCRON's probe. The boundary is inclusive (a
+// trigger exactly at now+T is due) and overdue rules (trigger <= now) are
+// included so a busy or restarted daemon never loses a firing. Dormant
+// rules — the noTrigger sentinel — are never scheduled, whatever T is.
 func (e *Engine) DueWithin(now, T int64) ([]Firing, error) {
 	tab, ok := e.db.Table(RuleTimeTable)
 	if !ok {
@@ -532,7 +829,7 @@ func (e *Engine) DueWithin(now, T int64) ([]Firing, error) {
 	out := make([]Firing, 0, len(rids))
 	for _, rid := range rids {
 		row, ok := tab.Get(rid)
-		if !ok {
+		if !ok || row[1].I >= noTrigger {
 			continue
 		}
 		out = append(out, Firing{Rule: row[0].S, At: row[1].I})
