@@ -5,10 +5,11 @@
 GO ?= go
 
 .PHONY: check build vet vet-calsys fmt-check test race chaos bench-smoke bench \
-	bench-json bench-compare bench-gate profile fuzz-smoke staticcheck govulncheck
+	bench-json bench-compare bench-gate profile fuzz-smoke staticcheck govulncheck \
+	serve-smoke
 
 check: build vet vet-calsys fmt-check test race chaos bench-smoke fuzz-smoke \
-	staticcheck govulncheck
+	serve-smoke staticcheck govulncheck
 
 build:
 	$(GO) build ./...
@@ -32,7 +33,8 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/store/... ./internal/rules/... ./internal/core/plan/...
+	$(GO) test -race ./internal/store/... ./internal/rules/... ./internal/core/plan/... \
+		./internal/serve/...
 
 # Crash-recovery fault injection: the seeded kill-and-recover suites, run
 # three times under the race detector. Set CHAOS_ARTIFACTS to a directory to
@@ -42,6 +44,13 @@ chaos:
 
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem ./... | tee bench-smoke.txt
+
+# End-to-end smoke of the serving layer: build calserved + calload, boot on
+# an ephemeral port, drive the mixed workload, render the benchjson latency
+# artifact, drain on SIGTERM. Artifacts land in smoke-out/ (set SMOKE_OUT to
+# move them).
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # Short fuzz run over the calendar-language front end (parser + calvet).
 fuzz-smoke:

@@ -54,6 +54,7 @@ type Option func(*options)
 type options struct {
 	epoch Civil
 	clock Clock
+	scope string
 }
 
 // WithEpoch anchors the chronology at a system start date other than
@@ -66,6 +67,15 @@ func WithEpoch(epoch Civil) Option {
 // The default is a virtual clock starting at the epoch.
 func WithClock(c Clock) Option {
 	return func(o *options) { o.clock = c }
+}
+
+// WithCatalogScope prefixes this system's entries in the process-wide
+// materialization cache (e.g. "tenant/<name>"). Systems with different
+// scopes share the cache's byte budget but never each other's entries, and
+// each keeps its own catalog generation counter — the serving layer's
+// tenant-isolation mechanism.
+func WithCatalogScope(scope string) Option {
+	return func(o *options) { o.scope = scope }
 }
 
 // Open assembles a fresh system.
@@ -85,7 +95,7 @@ func Open(opts ...Option) (*System, error) {
 	if err := datearith.Register(db); err != nil {
 		return nil, err
 	}
-	cal, err := caldb.New(db, chron)
+	cal, err := caldb.NewScoped(db, chron, o.scope)
 	if err != nil {
 		return nil, err
 	}
@@ -382,7 +392,7 @@ func OpenSnapshot(r io.Reader, opts ...Option) (*System, error) {
 	if err := db.Load(r); err != nil {
 		return nil, err
 	}
-	cal, err := caldb.New(db, chron)
+	cal, err := caldb.NewScoped(db, chron, o.scope)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,294 @@
+// Command calload drives a mixed CRUD/expand/next-instant workload against
+// a running calserved and reports latency percentiles and throughput. The
+// summary is printed as a human table plus Benchmark-formatted lines that
+// cmd/benchjson parses into machine-readable artifacts:
+//
+//	calload -addr 127.0.0.1:8437 -admin-token secret | tee calload.txt
+//	go run ./cmd/benchjson -o BENCH_serve.json calload.txt
+//
+// Any failed request makes the run exit nonzero — the CI smoke gate treats
+// one failure as a broken server.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+type opStat struct {
+	durs []time.Duration
+	fail int
+}
+
+// result is one request's outcome.
+type result struct {
+	op  string
+	dur time.Duration
+	ok  bool
+	msg string // failure detail
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "calload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8437", "calserved address")
+		adminToken = flag.String("admin-token", os.Getenv("CALSERVED_ADMIN_TOKEN"), "admin bearer token")
+		tenants    = flag.Int("tenants", 4, "tenant namespaces to provision")
+		clients    = flag.Int("clients", 8, "concurrent clients")
+		requests   = flag.Int("requests", 50, "workload requests per client")
+		seed       = flag.Int64("seed", 1, "workload mix seed")
+	)
+	flag.Parse()
+	if *adminToken == "" {
+		return fmt.Errorf("-admin-token (or $CALSERVED_ADMIN_TOKEN) is required")
+	}
+	if *tenants < 1 || *clients < 1 || *requests < 1 {
+		return fmt.Errorf("-tenants, -clients and -requests must be positive")
+	}
+
+	lg := &loadgen{base: "http://" + *addr, client: &http.Client{Timeout: 30 * time.Second}}
+
+	// Provision tenants, each with a stored holidays calendar and one
+	// temporal rule, so the workload exercises the catalog too.
+	tokens := make([]string, *tenants)
+	for i := range tokens {
+		name := fmt.Sprintf("load%d", i)
+		status, body, err := lg.do("POST", "/v1/tenants", *adminToken,
+			map[string]any{"name": name})
+		if err != nil {
+			return fmt.Errorf("create tenant %s: %v", name, err)
+		}
+		if status != http.StatusCreated {
+			return fmt.Errorf("create tenant %s: status %d: %s", name, status, body)
+		}
+		var resp struct {
+			Token string `json:"token"`
+		}
+		if err := json.Unmarshal(body, &resp); err != nil || resp.Token == "" {
+			return fmt.Errorf("create tenant %s: bad response %s", name, body)
+		}
+		tokens[i] = resp.Token
+		if status, body, err = lg.do("PUT", "/v1/tenants/"+name+"/calendars/holidays", resp.Token,
+			map[string]any{"days": []string{"1993-01-01", "1993-07-04", "1993-12-25"}}); err != nil || status != http.StatusCreated {
+			return fmt.Errorf("seed holidays for %s: %v status %d: %s", name, err, status, body)
+		}
+		if status, body, err = lg.do("PUT", "/v1/tenants/"+name+"/rules/board", resp.Token,
+			map[string]any{"recurrence": map[string]any{
+				"cycle": "monthly", "ordinal": "third", "wdays": []string{"friday"},
+			}}); err != nil || status != http.StatusCreated {
+			return fmt.Errorf("seed rule for %s: %v status %d: %s", name, err, status, body)
+		}
+	}
+
+	// Fan out the workload: clients are assigned to tenants round-robin,
+	// each with its own deterministic mix stream. A collector drains the
+	// results channel while the clients run.
+	results := make(chan result, 256)
+	stats := map[string]*opStat{}
+	var all []time.Duration
+	failed := 0
+	collected := make(chan struct{})
+	go func() {
+		defer close(collected)
+		for r := range results {
+			st := stats[r.op]
+			if st == nil {
+				st = &opStat{}
+				stats[r.op] = st
+			}
+			if !r.ok {
+				st.fail++
+				failed++
+				fmt.Fprintf(os.Stderr, "calload: FAIL %s: %s\n", r.op, r.msg)
+				continue
+			}
+			st.durs = append(st.durs, r.dur)
+			all = append(all, r.dur)
+		}
+	}()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tenant := fmt.Sprintf("load%d", c%*tenants)
+			lg.client2(results, tenant, tokens[c%*tenants], c, *requests, rand.New(rand.NewSource(*seed+int64(c))))
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(results)
+	<-collected
+
+	report(stats, all, elapsed)
+	if failed > 0 {
+		return fmt.Errorf("%d of %d requests failed", failed, len(all)+failed)
+	}
+	return nil
+}
+
+type loadgen struct {
+	base   string
+	client *http.Client
+}
+
+// do issues one JSON request.
+func (lg *loadgen) do(method, path, token string, body any) (int, []byte, error) {
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, lg.base+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := lg.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.Bytes(), nil
+}
+
+// client2 runs one client's request loop, posting results.
+func (lg *loadgen) client2(results chan<- result, tenant, token string, id, requests int, rng *rand.Rand) {
+	base := "/v1/tenants/" + tenant
+	scratch := fmt.Sprintf("scratch-c%d", id)
+	one := func(op, method, path string, body any, wantStatus int) {
+		t0 := time.Now()
+		status, raw, err := lg.do(method, path, token, body)
+		dur := time.Since(t0)
+		if err != nil {
+			results <- result{op: op, msg: err.Error()}
+			return
+		}
+		if status != wantStatus {
+			results <- result{op: op, msg: fmt.Sprintf("%s %s: status %d want %d: %s", method, path, status, wantStatus, raw)}
+			return
+		}
+		results <- result{op: op, dur: dur, ok: true}
+	}
+	for i := 0; i < requests; i++ {
+		switch rng.Intn(6) {
+		case 0: // windowed expansion off a compiled recurrence
+			one("expand", "POST", base+"/expand", map[string]any{
+				"recurrence": map[string]any{"cycle": "monthly", "ordinal": "third", "wdays": []string{"friday"}},
+				"from":       "1993-01-01", "to": "1993-12-31",
+			}, http.StatusOK)
+		case 1: // windowed expansion over the tenant catalog
+			one("expand", "POST", base+"/expand", map[string]any{
+				"expr": "holidays", "from": "1993-01-01", "to": "1993-12-31",
+			}, http.StatusOK)
+		case 2: // next instant on the cross-tenant shared plan
+			one("next", "POST", base+"/next", map[string]any{
+				"recurrence": map[string]any{"cycle": "yearly", "month": 7, "days": []int{4}},
+			}, http.StatusOK)
+		case 3: // next firing of the seeded rule
+			one("next", "POST", base+"/next", map[string]any{
+				"rule": "board", "after": "1993-06-01",
+			}, http.StatusOK)
+		case 4: // catalog read
+			one("read", "GET", base+"/calendars/holidays", nil, http.StatusOK)
+		case 5: // catalog write: replace the stored calendar in place
+			days := []string{"1993-01-01", "1993-07-04", "1993-12-25"}
+			if rng.Intn(2) == 0 {
+				days = append(days, "1993-11-25")
+			}
+			one("write", "PUT", base+"/calendars/holidays", map[string]any{"days": days}, http.StatusOK)
+		}
+	}
+	// One define+drop cycle per client exercises vet-on-write and deletes.
+	one("write", "PUT", base+"/calendars/"+scratch, map[string]any{
+		"derivation": "[1,2,3,4,5]/DAYS:during:WEEKS",
+	}, http.StatusCreated)
+	one("write", "DELETE", base+"/calendars/"+scratch, nil, http.StatusNoContent)
+}
+
+// percentile returns the p-th percentile (0 < p <= 100) of durs using the
+// nearest-rank method; durs must be sorted ascending.
+func percentile(durs []time.Duration, p float64) time.Duration {
+	if len(durs) == 0 {
+		return 0
+	}
+	rank := int(float64(len(durs))*p/100+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(durs) {
+		rank = len(durs) - 1
+	}
+	return durs[rank]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// report prints the human table and the Benchmark lines benchjson parses.
+func report(stats map[string]*opStat, all []time.Duration, elapsed time.Duration) {
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	ops := make([]string, 0, len(stats))
+	for op := range stats {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+
+	fmt.Printf("%-8s %8s %6s %10s %10s %10s\n", "op", "count", "fail", "p50(ms)", "p95(ms)", "p99(ms)")
+	for _, op := range ops {
+		st := stats[op]
+		sort.Slice(st.durs, func(i, j int) bool { return st.durs[i] < st.durs[j] })
+		fmt.Printf("%-8s %8d %6d %10.3f %10.3f %10.3f\n", op, len(st.durs), st.fail,
+			ms(percentile(st.durs, 50)), ms(percentile(st.durs, 95)), ms(percentile(st.durs, 99)))
+	}
+	rps := float64(len(all)) / elapsed.Seconds()
+	fmt.Printf("%-8s %8d %6s %10.3f %10.3f %10.3f   %.0f req/s\n\n", "total", len(all), "-",
+		ms(percentile(all, 50)), ms(percentile(all, 95)), ms(percentile(all, 99)), rps)
+
+	// Benchmark-formatted lines: name, iteration count, then (value, unit)
+	// pairs — the format cmd/benchjson ingests.
+	var mean time.Duration
+	if len(all) > 0 {
+		var sum time.Duration
+		for _, d := range all {
+			sum += d
+		}
+		mean = sum / time.Duration(len(all))
+	}
+	fmt.Printf("BenchmarkServeMixed %d %d ns/op %.3f p50-ms %.3f p95-ms %.3f p99-ms %.1f req/s\n",
+		len(all), mean.Nanoseconds(), ms(percentile(all, 50)), ms(percentile(all, 95)), ms(percentile(all, 99)), rps)
+	for _, op := range ops {
+		st := stats[op]
+		if len(st.durs) == 0 {
+			continue
+		}
+		var sum time.Duration
+		for _, d := range st.durs {
+			sum += d
+		}
+		fmt.Printf("BenchmarkServe_%s %d %d ns/op %.3f p50-ms %.3f p95-ms %.3f p99-ms\n",
+			op, len(st.durs), (sum / time.Duration(len(st.durs))).Nanoseconds(),
+			ms(percentile(st.durs, 50)), ms(percentile(st.durs, 95)), ms(percentile(st.durs, 99)))
+	}
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPercentile(t *testing.T) {
+	durs := make([]time.Duration, 100)
+	for i := range durs {
+		durs[i] = time.Duration(i+1) * time.Millisecond // 1ms..100ms, sorted
+	}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{50, 50 * time.Millisecond},
+		{95, 95 * time.Millisecond},
+		{99, 99 * time.Millisecond},
+		{100, 100 * time.Millisecond},
+		{1, 1 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		if got := percentile(durs, tc.p); got != tc.want {
+			t.Errorf("percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("percentile(nil) = %v, want 0", got)
+	}
+	one := []time.Duration{7 * time.Millisecond}
+	for _, p := range []float64{1, 50, 99, 100} {
+		if got := percentile(one, p); got != 7*time.Millisecond {
+			t.Errorf("percentile(one, %v) = %v", p, got)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Command calserved serves the calendar system over HTTP: multi-tenant
+// namespaces (token auth) with calendar/rule CRUD, vet-on-write, windowed
+// expansion and next-instant queries. See internal/serve for the API.
+//
+// The listener supports ":0" for an ephemeral port; the chosen address is
+// printed as "calserved: listening on ADDR" so harnesses (make serve-smoke)
+// can scrape it. SIGINT/SIGTERM drain in-flight requests and exit 0.
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"calsys/internal/chronology"
+	"calsys/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "calserved: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8437", "listen address (\":0\" picks an ephemeral port)")
+		adminToken   = flag.String("admin-token", os.Getenv("CALSERVED_ADMIN_TOKEN"), "admin bearer token (default $CALSERVED_ADMIN_TOKEN; generated when empty)")
+		todayStr     = flag.String("today", "", "civil date tenant clocks anchor at, YYYY-MM-DD (default: the system epoch)")
+		maxBody      = flag.Int64("max-body", serve.DefaultMaxBodyBytes, "request body size limit in bytes")
+		readTimeout  = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
+		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
+		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "HTTP idle connection timeout")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown drain limit")
+	)
+	flag.Parse()
+
+	token := *adminToken
+	if token == "" {
+		var b [16]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return fmt.Errorf("generating admin token: %v", err)
+		}
+		token = "admin_" + hex.EncodeToString(b[:])
+		fmt.Printf("calserved: generated admin token %s\n", token)
+	}
+
+	cfg := serve.Config{AdminToken: token, MaxBodyBytes: *maxBody}
+	if *todayStr != "" {
+		today, err := chronology.ParseCivil(*todayStr)
+		if err != nil {
+			return fmt.Errorf("-today: %v", err)
+		}
+		cfg.Today = today
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("calserved: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadTimeout:       *readTimeout,
+		ReadHeaderTimeout: *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		stop()
+		fmt.Println("calserved: draining")
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(dctx); err != nil {
+			return fmt.Errorf("drain: %v", err)
+		}
+		fmt.Println("calserved: stopped")
+		return nil
+	}
+}

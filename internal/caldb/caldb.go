@@ -142,8 +142,21 @@ func checkCatalogSchema(tab *store.Table) error {
 	return nil
 }
 
-// New creates (if necessary) the CALENDARS table and returns a Manager.
+// New creates (if necessary) the CALENDARS table and returns a Manager with
+// an anonymous materialization-cache scope.
 func New(db *store.DB, chron *chronology.Chronology) (*Manager, error) {
+	return NewScoped(db, chron, "")
+}
+
+// NewScoped is New with a caller-chosen scope prefix for the shared
+// materialization cache. The serving layer passes "tenant/<name>" so every
+// cache key is tenant-prefixed and carries that tenant's own catalog
+// generation: one tenant's Replace bumps only its own generation, leaving
+// every other tenant's warm entries addressable. The prefix is combined with
+// a process-unique incarnation counter, so dropping and recreating a tenant
+// under the same name can never alias a stale entry from the previous
+// incarnation (both start their generation counters at 1).
+func NewScoped(db *store.DB, chron *chronology.Chronology, scope string) (*Manager, error) {
 	if tab, ok := db.Table(TableName); ok {
 		if err := checkCatalogSchema(tab); err != nil {
 			return nil, err
@@ -168,10 +181,13 @@ func New(db *store.DB, chron *chronology.Chronology) (*Manager, error) {
 			return nil, err
 		}
 	}
+	if scope == "" {
+		scope = "caldb"
+	}
 	m := &Manager{
 		db: db, chron: chron, cache: map[string]*Entry{},
 		mat:   matcache.Shared(),
-		scope: fmt.Sprintf("caldb%d|%v", scopeCounter.Add(1), chron.Epoch()),
+		scope: fmt.Sprintf("%s#%d|%v", scope, scopeCounter.Add(1), chron.Epoch()),
 	}
 	m.gen.Store(1)
 	if err := m.reload(); err != nil {
@@ -184,6 +200,10 @@ func New(db *store.DB, chron *chronology.Chronology) (*Manager, error) {
 // every Define/Replace/Drop. Shared materializations of catalog-dependent
 // calendars are keyed by it, so any catalog mutation invalidates them.
 func (m *Manager) CatalogGeneration() uint64 { return m.gen.Load() }
+
+// MatScope returns this manager's namespace in the shared materialization
+// cache (the tenant-prefixed scope for managers built by the serving layer).
+func (m *Manager) MatScope() string { return m.scope }
 
 // bump advances the catalog generation and returns the new value.
 func (m *Manager) bump() uint64 { return m.gen.Add(1) }

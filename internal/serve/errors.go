@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+
+	calvet "calsys/internal/core/callang/vet"
+)
+
+// Stable API error codes. Like calvet's CV-codes these are append-only:
+// clients and CI pipelines filter on them, so a code's meaning never changes
+// once released.
+const (
+	ErrUnauthorized = "unauthorized" // missing or unknown token
+	ErrForbidden    = "forbidden"    // valid token, wrong tenant
+	ErrNotFound     = "not_found"
+	ErrConflict     = "conflict"   // name already defined
+	ErrBadJSON      = "bad_json"   // request body is not the expected JSON
+	ErrBadSchema    = "bad_schema" // recurrence schema invalid (position = field)
+	ErrVetFailed    = "vet_failed" // calvet rejected the definition (diagnostics carry CV-codes)
+	ErrBadWindow    = "bad_window" // unparsable or oversized expansion window
+	ErrBadRequest   = "bad_request"
+	ErrTooLarge     = "too_large" // request body over the configured limit
+	ErrInternal     = "internal"
+)
+
+// Diagnostic is one positioned calvet diagnostic rendered for the wire.
+type Diagnostic struct {
+	Code     string `json:"code"`               // CV001..CV009, or PARSE
+	Severity string `json:"severity"`           // "error" | "warning"
+	Position string `json:"position,omitempty"` // "line:col" into the derivation source
+	Message  string `json:"message"`
+}
+
+// ErrorBody is the structured JSON error envelope every non-2xx response
+// carries: {"error": {code, message, position?, diagnostics?}}.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Position locates the problem: a "line:col" into a calendar
+	// expression, or a recurrence-schema field path such as "wdays[1]".
+	Position    string       `json:"position,omitempty"`
+	Diagnostics []Diagnostic `json:"diagnostics,omitempty"`
+}
+
+type errorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// writeJSON writes v with the given status; encoding failures surface as a
+// bare 500 since the header is already committed.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError writes a structured JSON error.
+func writeError(w http.ResponseWriter, status int, body ErrorBody) {
+	writeJSON(w, status, errorEnvelope{Error: body})
+}
+
+// writeVetError maps calvet diagnostics onto a 400 vet_failed body, keeping
+// each diagnostic's stable CV-code and source position.
+func writeVetError(w http.ResponseWriter, what string, diags calvet.Diags) {
+	body := ErrorBody{Code: ErrVetFailed, Message: what + " does not vet"}
+	for _, d := range diags {
+		jd := Diagnostic{Code: d.Code, Severity: d.Severity.String(), Message: d.Msg}
+		if p := d.Pos; p.Line != 0 || p.Col != 0 {
+			jd.Position = p.String()
+		}
+		body.Diagnostics = append(body.Diagnostics, jd)
+		if body.Position == "" && jd.Position != "" && d.Severity == calvet.Error {
+			body.Position = jd.Position
+		}
+	}
+	writeError(w, http.StatusBadRequest, body)
+}

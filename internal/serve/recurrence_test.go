@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"calsys"
+	"calsys/internal/chronology"
+	"calsys/internal/core/callang"
+)
+
+func testChron(t *testing.T) *chronology.Chronology {
+	t.Helper()
+	sys, err := calsys.Open()
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return sys.Chron()
+}
+
+// TestRecurrenceCompile pins the compiled expression for every cycle kind
+// and the ordinal × wdays combinations.
+func TestRecurrenceCompile(t *testing.T) {
+	cases := []struct {
+		name string
+		rec  Recurrence
+		want string
+	}{
+		{"daily", Recurrence{Cycle: "daily"}, "DAYS"},
+		{"daily-interval-1", Recurrence{Cycle: "daily", Interval: 1}, "DAYS"},
+		{"weekly-one-day", Recurrence{Cycle: "weekly", WDays: []string{"tuesday"}},
+			"[2]/DAYS:during:WEEKS"},
+		{"weekly-mon-fri", Recurrence{Cycle: "weekly", WDays: []string{"friday", "monday"}},
+			"[1,5]/DAYS:during:WEEKS"},
+		{"weekly-dedup", Recurrence{Cycle: "weekly", WDays: []string{"friday", "monday", "friday"}},
+			"[1,5]/DAYS:during:WEEKS"},
+		{"weekly-kazoo-typo", Recurrence{Cycle: "weekly", WDays: []string{"wensday"}},
+			"[3]/DAYS:during:WEEKS"},
+		{"monthly-days", Recurrence{Cycle: "monthly", Days: []int{15, 1}},
+			"[1,15]/(DAYS:during:MONTHS)"},
+		{"monthly-last-day", Recurrence{Cycle: "monthly", Days: []int{-1}},
+			"[-1]/(DAYS:during:MONTHS)"},
+		{"monthly-every-weekday", Recurrence{Cycle: "monthly", WDays: []string{"tuesday"}},
+			"([2]/(DAYS:during:WEEKS)):during:MONTHS"},
+		{"monthly-every-explicit", Recurrence{Cycle: "monthly", Ordinal: "every", WDays: []string{"tuesday"}},
+			"([2]/(DAYS:during:WEEKS)):during:MONTHS"},
+		{"monthly-third-friday", Recurrence{Cycle: "monthly", Ordinal: "third", WDays: []string{"friday"}},
+			"[3]/(([5]/(DAYS:during:WEEKS)):during:MONTHS)"},
+		{"monthly-first", Recurrence{Cycle: "monthly", Ordinal: "first", WDays: []string{"monday"}},
+			"[1]/(([1]/(DAYS:during:WEEKS)):during:MONTHS)"},
+		{"monthly-second", Recurrence{Cycle: "monthly", Ordinal: "second", WDays: []string{"monday"}},
+			"[2]/(([1]/(DAYS:during:WEEKS)):during:MONTHS)"},
+		{"monthly-fourth", Recurrence{Cycle: "monthly", Ordinal: "fourth", WDays: []string{"monday"}},
+			"[4]/(([1]/(DAYS:during:WEEKS)):during:MONTHS)"},
+		{"monthly-fifth", Recurrence{Cycle: "monthly", Ordinal: "fifth", WDays: []string{"monday"}},
+			"[5]/(([1]/(DAYS:during:WEEKS)):during:MONTHS)"},
+		{"monthly-last-friday", Recurrence{Cycle: "monthly", Ordinal: "last", WDays: []string{"friday"}},
+			"[n]/(([5]/(DAYS:during:WEEKS)):during:MONTHS)"},
+		{"monthly-first-mon-or-fri", Recurrence{Cycle: "monthly", Ordinal: "first", WDays: []string{"monday", "friday"}},
+			"[1]/(([1]/(DAYS:during:WEEKS)):during:MONTHS) + [1]/(([5]/(DAYS:during:WEEKS)):during:MONTHS)"},
+		{"yearly-july-4", Recurrence{Cycle: "yearly", Month: 7, Days: []int{4}},
+			"[4]/(DAYS:during:([7]/(MONTHS:during:YEARS)))"},
+		{"yearly-whole-month", Recurrence{Cycle: "yearly", Month: 2},
+			"DAYS:during:([2]/(MONTHS:during:YEARS))"},
+		{"yearly-thanksgiving", Recurrence{Cycle: "yearly", Month: 11, Ordinal: "fourth", WDays: []string{"thursday"}},
+			"[4]/(([4]/(DAYS:during:WEEKS)):during:([11]/(MONTHS:during:YEARS)))"},
+		{"yearly-every-weekday", Recurrence{Cycle: "yearly", Month: 6, WDays: []string{"sunday"}},
+			"([7]/(DAYS:during:WEEKS)):during:([6]/(MONTHS:during:YEARS))"},
+		{"cycle-case-insensitive", Recurrence{Cycle: "  Daily "}, "DAYS"},
+	}
+	ch := testChron(t)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.rec.Compile(ch)
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			if got != tc.want {
+				t.Fatalf("Compile = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRecurrenceCompileDate pins the single-date compilation: the day tick
+// is anchored to the chronology epoch.
+func TestRecurrenceCompileDate(t *testing.T) {
+	ch := testChron(t)
+	got, err := Recurrence{Cycle: "date", StartDate: "1987-01-02"}.Compile(ch)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	// 1987-01-02 is day tick 2 (the epoch day is tick 1).
+	if want := "DAYS:during:interval(2, 2)"; got != want {
+		t.Fatalf("Compile = %q, want %q", got, want)
+	}
+}
+
+// TestRecurrenceReject pins the positioned rejection of every invalid
+// schema shape: the error is a *SchemaError naming the offending field.
+func TestRecurrenceReject(t *testing.T) {
+	cases := []struct {
+		name  string
+		rec   Recurrence
+		field string
+	}{
+		{"empty-cycle", Recurrence{}, "cycle"},
+		{"unknown-cycle", Recurrence{Cycle: "fortnightly"}, "cycle"},
+		{"interval-2", Recurrence{Cycle: "daily", Interval: 2}, "interval"},
+		{"interval-negative", Recurrence{Cycle: "daily", Interval: -1}, "interval"},
+		{"weekly-no-wdays", Recurrence{Cycle: "weekly"}, "wdays"},
+		{"weekly-bad-weekday", Recurrence{Cycle: "weekly", WDays: []string{"monday", "funday"}}, "wdays[1]"},
+		{"weekly-stray-days", Recurrence{Cycle: "weekly", WDays: []string{"monday"}, Days: []int{1}}, "days"},
+		{"daily-stray-wdays", Recurrence{Cycle: "daily", WDays: []string{"monday"}}, "wdays"},
+		{"daily-stray-month", Recurrence{Cycle: "daily", Month: 3}, "month"},
+		{"monthly-none", Recurrence{Cycle: "monthly"}, "days"},
+		{"monthly-days-and-wdays", Recurrence{Cycle: "monthly", Days: []int{1}, WDays: []string{"monday"}}, "days"},
+		{"monthly-ordinal-no-wdays", Recurrence{Cycle: "monthly", Ordinal: "third"}, "ordinal"},
+		{"monthly-bad-ordinal", Recurrence{Cycle: "monthly", Ordinal: "sixth", WDays: []string{"monday"}}, "ordinal"},
+		{"monthly-day-zero", Recurrence{Cycle: "monthly", Days: []int{0}}, "days[0]"},
+		{"monthly-day-32", Recurrence{Cycle: "monthly", Days: []int{1, 32}}, "days[1]"},
+		{"monthly-day-minus-32", Recurrence{Cycle: "monthly", Days: []int{-32}}, "days[0]"},
+		{"monthly-stray-month", Recurrence{Cycle: "monthly", Days: []int{1}, Month: 2}, "month"},
+		{"yearly-no-month", Recurrence{Cycle: "yearly", Days: []int{1}}, "month"},
+		{"yearly-month-13", Recurrence{Cycle: "yearly", Month: 13, Days: []int{1}}, "month"},
+		{"date-no-start", Recurrence{Cycle: "date"}, "start_date"},
+		{"date-bad-start", Recurrence{Cycle: "date", StartDate: "July 4"}, "start_date"},
+		{"date-before-epoch", Recurrence{Cycle: "date", StartDate: "1986-12-31"}, "start_date"},
+		{"date-stray-wdays", Recurrence{Cycle: "date", StartDate: "1993-07-04", WDays: []string{"monday"}}, "wdays"},
+		{"weekly-stray-start", Recurrence{Cycle: "weekly", WDays: []string{"monday"}, StartDate: "1993-01-01"}, "start_date"},
+	}
+	ch := testChron(t)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.rec.Compile(ch)
+			if err == nil {
+				t.Fatalf("Compile accepted invalid schema %+v", tc.rec)
+			}
+			var se *SchemaError
+			if !errors.As(err, &se) {
+				t.Fatalf("error %v is not a *SchemaError", err)
+			}
+			if se.Field != tc.field {
+				t.Fatalf("error field = %q, want %q (err: %v)", se.Field, tc.field, err)
+			}
+		})
+	}
+}
+
+// expandDays evaluates a compiled expression over a civil window and
+// returns the matching days as ISO strings.
+func expandDays(t *testing.T, sys *calsys.System, expr, from, to string) []string {
+	t.Helper()
+	f, err := chronology.ParseCivil(from)
+	if err != nil {
+		t.Fatalf("ParseCivil(%q): %v", from, err)
+	}
+	u, err := chronology.ParseCivil(to)
+	if err != nil {
+		t.Fatalf("ParseCivil(%q): %v", to, err)
+	}
+	cal, err := sys.EvalCalendar(expr, f, u)
+	if err != nil {
+		t.Fatalf("EvalCalendar(%q): %v", expr, err)
+	}
+	ch, g := sys.Chron(), cal.Granularity()
+	var out []string
+	for _, iv := range cal.Flatten().Intervals() {
+		for tick := iv.Lo; tick <= iv.Hi; tick++ {
+			c := ch.CivilOf(ch.UnitStart(g, tick))
+			// Mirror the server's window clipping: the engine expands
+			// whole containing units, which can spill past the window.
+			if c.Before(f) || u.Before(c) {
+				continue
+			}
+			out = append(out, c.String())
+		}
+	}
+	return out
+}
+
+// TestRecurrenceSemantics evaluates compiled expressions against known 1993
+// dates (1993-01-01 was a Friday), proving the compilation is not just
+// string-shaped but correct.
+func TestRecurrenceSemantics(t *testing.T) {
+	sys, err := calsys.Open()
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	ch := sys.Chron()
+	cases := []struct {
+		name     string
+		rec      Recurrence
+		from, to string
+		want     []string
+	}{
+		{"third-friday", Recurrence{Cycle: "monthly", Ordinal: "third", WDays: []string{"friday"}},
+			"1993-01-01", "1993-03-31",
+			[]string{"1993-01-15", "1993-02-19", "1993-03-19"}},
+		{"last-friday", Recurrence{Cycle: "monthly", Ordinal: "last", WDays: []string{"friday"}},
+			"1993-01-01", "1993-02-28",
+			[]string{"1993-01-29", "1993-02-26"}},
+		{"july-4", Recurrence{Cycle: "yearly", Month: 7, Days: []int{4}},
+			"1993-01-01", "1994-12-31",
+			[]string{"1993-07-04", "1994-07-04"}},
+		{"weekly-mon-fri", Recurrence{Cycle: "weekly", WDays: []string{"monday", "friday"}},
+			"1993-01-01", "1993-01-10",
+			[]string{"1993-01-01", "1993-01-04", "1993-01-08"}},
+		{"month-end", Recurrence{Cycle: "monthly", Days: []int{-1}},
+			"1993-01-01", "1993-03-31",
+			[]string{"1993-01-31", "1993-02-28", "1993-03-31"}},
+		{"single-date", Recurrence{Cycle: "date", StartDate: "1993-07-04"},
+			"1993-01-01", "1993-12-31",
+			[]string{"1993-07-04"}},
+		{"first-monday", Recurrence{Cycle: "monthly", Ordinal: "first", WDays: []string{"monday"}},
+			"1993-07-01", "1993-07-31",
+			[]string{"1993-07-05"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expr, err := tc.rec.Compile(ch)
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			got := expandDays(t, sys, expr, tc.from, tc.to)
+			if strings.Join(got, " ") != strings.Join(tc.want, " ") {
+				t.Fatalf("%q over %s..%s = %v, want %v", expr, tc.from, tc.to, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRecurrenceShareable proves every compiled recurrence references only
+// basic calendars, so its prepared plan is shareable across tenants.
+func TestRecurrenceShareable(t *testing.T) {
+	ch := testChron(t)
+	recs := []Recurrence{
+		{Cycle: "daily"},
+		{Cycle: "weekly", WDays: []string{"monday"}},
+		{Cycle: "monthly", Ordinal: "third", WDays: []string{"friday"}},
+		{Cycle: "yearly", Month: 7, Days: []int{4}},
+		{Cycle: "date", StartDate: "1993-07-04"},
+	}
+	for _, rec := range recs {
+		expr, err := rec.Compile(ch)
+		if err != nil {
+			t.Fatalf("Compile(%+v): %v", rec, err)
+		}
+		e, err := callang.ParseExpr(expr)
+		if err != nil {
+			t.Fatalf("parse %q: %v", expr, err)
+		}
+		if !Shareable(e) {
+			t.Errorf("compiled recurrence %q is not shareable", expr)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke gate for the serving layer.
+#
+# Builds calserved and calload, boots the server on an ephemeral port,
+# drives the mixed workload (tenant create -> recurrence rule -> expand ->
+# next-instant -> CRUD), converts the latency report to a benchjson
+# artifact, then SIGTERMs the server and asserts a graceful exit.
+#
+# Artifacts (in $SMOKE_OUT, default ./smoke-out):
+#   calload.txt       human latency table + Benchmark lines
+#   BENCH_serve.json  benchjson rendering of the Benchmark lines
+#   calserved.log     server log
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${SMOKE_OUT:-smoke-out}"
+mkdir -p "$OUT"
+BIN="$OUT/bin"
+mkdir -p "$BIN"
+
+ADMIN_TOKEN="${CALSERVED_ADMIN_TOKEN:-smoke-admin-token}"
+
+echo "serve-smoke: building"
+go build -o "$BIN/calserved" ./cmd/calserved
+go build -o "$BIN/calload" ./cmd/calload
+
+echo "serve-smoke: booting calserved"
+"$BIN/calserved" -addr 127.0.0.1:0 -admin-token "$ADMIN_TOKEN" -today 1993-01-01 \
+    >"$OUT/calserved.log" 2>&1 &
+SERVER_PID=$!
+cleanup() {
+    kill "$SERVER_PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+# Scrape the ephemeral address from the startup line.
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/^calserved: listening on //p' "$OUT/calserved.log" | head -n1)
+    [ -n "$ADDR" ] && break
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "serve-smoke: server died during startup" >&2
+        cat "$OUT/calserved.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "serve-smoke: server never printed its address" >&2
+    cat "$OUT/calserved.log" >&2
+    exit 1
+fi
+echo "serve-smoke: server at $ADDR"
+
+echo "serve-smoke: running calload"
+"$BIN/calload" -addr "$ADDR" -admin-token "$ADMIN_TOKEN" \
+    -tenants 4 -clients 8 -requests 40 | tee "$OUT/calload.txt"
+
+echo "serve-smoke: rendering benchjson artifact"
+go run ./cmd/benchjson -o "$OUT/BENCH_serve.json" "$OUT/calload.txt"
+
+echo "serve-smoke: draining server (SIGTERM)"
+kill -TERM "$SERVER_PID"
+WAIT_STATUS=0
+wait "$SERVER_PID" || WAIT_STATUS=$?
+trap - EXIT
+if [ "$WAIT_STATUS" -ne 0 ]; then
+    echo "serve-smoke: server exited $WAIT_STATUS on SIGTERM (want graceful 0)" >&2
+    cat "$OUT/calserved.log" >&2
+    exit 1
+fi
+grep -q "calserved: stopped" "$OUT/calserved.log" || {
+    echo "serve-smoke: no graceful-stop line in server log" >&2
+    cat "$OUT/calserved.log" >&2
+    exit 1
+}
+
+echo "serve-smoke: OK (artifacts in $OUT)"
