@@ -6,10 +6,10 @@ GO ?= go
 
 .PHONY: check build vet vet-calsys fmt-check test race chaos bench-smoke bench \
 	bench-json bench-compare bench-gate profile fuzz-smoke staticcheck govulncheck \
-	serve-smoke
+	serve-smoke calvet-corpus
 
 check: build vet vet-calsys fmt-check test race chaos bench-smoke fuzz-smoke \
-	serve-smoke staticcheck govulncheck
+	serve-smoke calvet-corpus staticcheck govulncheck
 
 build:
 	$(GO) build ./...
@@ -17,9 +17,24 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project-specific vet passes (tickzero: the no-zero tick convention).
+# Project-specific vet passes (tickzero: the no-zero tick convention;
+# errcode: structured error-envelope codes in HTTP handlers).
 vet-calsys:
 	$(GO) run ./cmd/vet-calsys ./...
+
+# Golden gate on the calvet -fleet symbolic diagnostics: the clean corpus
+# must stay silent, the adversarial corpus must report exactly its planted
+# CV010/CV012/CV013 findings and equivalence class — no more, no fewer.
+calvet-corpus:
+	@$(GO) run ./cmd/calvet -fleet examples/calvet-corpus/clean.rules \
+		examples/calvet-corpus/adversarial.rules > calvet-corpus.out || \
+		{ echo "calvet-corpus: calvet -fleet failed" >&2; cat calvet-corpus.out; rm -f calvet-corpus.out; exit 1; }
+	@if ! diff -u examples/calvet-corpus/expected.txt calvet-corpus.out; then \
+		echo "calvet-corpus: diagnostics drifted from the golden (see examples/calvet-corpus/README.md)" >&2; \
+		rm -f calvet-corpus.out; exit 1; \
+	fi
+	@rm -f calvet-corpus.out
+	@echo "calvet-corpus: diagnostics match the golden"
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -86,14 +101,15 @@ bench-compare:
 		$(GO) run ./cmd/benchjson -compare BENCH_baseline.json -threshold 3 -
 	$(MAKE) bench-gate
 
-# Hard benchmark gate: the scheduling kernel, the warm materialized-calendar
-# cache, and the sweep join are run at a real benchtime and must stay within
-# 1.25x of BENCH_baseline.json ns/op, or the build fails.
+# Hard benchmark gate: the scheduling kernel (including the symbolic-calculus
+# ablation arm), the warm materialized-calendar cache, and the sweep join are
+# run at a real benchtime and must stay within 1.25x of BENCH_baseline.json
+# ns/op, or the build fails.
 bench-gate:
 	$(GO) test -bench 'NextAfter|CacheColdVsWarm|ForeachSweepVsGeneric' \
 		-benchtime=100x -benchmem . | \
 		$(GO) run ./cmd/benchjson -compare BENCH_baseline.json \
-			-gate 'BenchmarkNextAfter|BenchmarkCacheColdVsWarm/warm|BenchmarkForeachSweepVsGeneric/sweep' \
+			-gate 'BenchmarkNextAfter|BenchmarkNextAfterSymbolicAblation/symbolic|BenchmarkCacheColdVsWarm/warm|BenchmarkForeachSweepVsGeneric/sweep' \
 			-gate-threshold 1.25 -
 
 # CPU + heap profile of one probe-day over the 100k-rule fleet; inspect with

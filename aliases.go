@@ -59,6 +59,12 @@ type (
 	VetDiags = calvet.Diags
 	// VetSeverity grades a vet diagnostic (warning or error).
 	VetSeverity = calvet.Severity
+	// CalendarEquivClass is one group of catalog definitions the symbolic
+	// calculus proved to denote identical element lists.
+	CalendarEquivClass = calvet.EquivClass
+	// RuleMergeGroup is one group of temporal rules firing on identical
+	// instants (the fleet-wide dedup diagnostic).
+	RuleMergeGroup = rules.MergeGroup
 	// MatCacheStats snapshots the shared materialization cache's counters.
 	MatCacheStats = matcache.Stats
 

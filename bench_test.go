@@ -717,3 +717,41 @@ func BenchmarkNextAfter(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkNextAfterSymbolicAblation isolates the symbolic pattern
+// calculus on a composite expression (every day except Mondays) no basic
+// fast path covers, measuring a fresh rule's first scheduling decision —
+// the cost DBCRON pays per arriving rule. `symbolic` lowers the whole
+// expression to a closed-form pattern at scheduler construction and
+// answers by span arithmetic with zero window evaluations; `materialized`
+// sets Env.DisableSymbolic and pays the probe path, which must evaluate a
+// lookahead window before its cache can answer anything. (Steady-state
+// queries converge: the probe cache also reduces to arithmetic once
+// warmed. Compile time is exactly where the calculus wins.) The symbolic
+// sub-benchmark is CI-gated (see cmd/benchjson -gate).
+func BenchmarkNextAfterSymbolicAblation(b *testing.B) {
+	env, _ := benchEnv(b, DefaultEpoch)
+	ablated := *env
+	ablated.DisableSymbolic = true
+	start := env.Chron.EpochSecondsOf(MustDate(1993, 1, 1))
+	prepped, gran, err := plan.Prepare(env, benchExpr(b, "(DAYS:during:WEEKS) - ([1]/DAYS:during:WEEKS)"), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		env  *plan.Env
+	}{
+		{"symbolic", env},
+		{"materialized", &ablated},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := plan.NewScheduler(mode.env, prepped, gran)
+				if _, ok, err := s.NextAfter(start); err != nil || !ok {
+					b.Fatalf("NextAfter: ok=%v err=%v", ok, err)
+				}
+			}
+		})
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"calsys/internal/chronology"
 	"calsys/internal/core/calendar"
 	"calsys/internal/core/callang"
+	calvet "calsys/internal/core/callang/vet"
 	"calsys/internal/core/plan"
 	"calsys/internal/datearith"
 	"calsys/internal/postquel"
@@ -191,6 +192,18 @@ func (s *System) VetCalendar(name, derivation string) VetDiags { return s.cal.Ve
 // VetDefinedCalendar re-runs the static analyzer over an already-defined
 // calendar's derivation script.
 func (s *System) VetDefinedCalendar(name string) (VetDiags, error) { return s.cal.VetDefined(name) }
+
+// VetCatalog runs the fleet-level equivalence analysis over the whole
+// calendar catalog: every symbolically-lowerable definition is canonicalized
+// and definitions denoting identical element lists are grouped as merge
+// candidates.
+func (s *System) VetCatalog() []CalendarEquivClass {
+	return calvet.AnalyzeCatalog(s.cal, calvet.Options{Chron: s.chron})
+}
+
+// VetRuleFleet groups temporal rules that provably fire on identical
+// instants — candidates for merging into one rule.
+func (s *System) VetRuleFleet() []RuleMergeGroup { return s.rules.VetFleet() }
 
 // EvalCalendar parses and evaluates a calendar expression over a civil
 // window.

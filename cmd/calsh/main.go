@@ -30,7 +30,8 @@ run directly. Dot-commands:
   .tree <expr>                parse tree, initial and factorized
   .plan <expr> [<from> <to>]  compiled evaluation plan
   .fig1 <name>                CALENDARS catalog row (Figure 1)
-  .vet <name|expr|script>     static analysis (CV001-CV009 diagnostics)
+  .vet <name|expr|script>     static analysis (CV001-CV013 diagnostics)
+  .vetfleet                   catalog-wide dedup: equivalent calendars, rules firing identically
   .now                        current virtual date
   .advance <days>             advance the virtual clock, driving DBCRON
   .cron <seconds>             start DBCRON with probe period T
@@ -168,6 +169,8 @@ func (sh *shell) dispatch(line string) error {
 			return fmt.Errorf("usage: .vet <calendar-name | expression | script>")
 		}
 		return sh.vet(rest)
+	case ".vetfleet", ":vetfleet":
+		return sh.vetFleet()
 	case ".now":
 		fmt.Fprintln(sh.out, sh.sys.Today())
 		return nil
@@ -272,6 +275,23 @@ func (sh *shell) vet(rest string) error {
 	}
 	for _, d := range ds {
 		fmt.Fprintln(sh.out, d.String())
+	}
+	return nil
+}
+
+// vetFleet prints the catalog-wide equivalence classes and the temporal
+// rules that provably fire on identical instants.
+func (sh *shell) vetFleet() error {
+	classes := sh.sys.VetCatalog()
+	for _, c := range classes {
+		fmt.Fprintln(sh.out, "calendars:", c.String())
+	}
+	groups := sh.sys.VetRuleFleet()
+	for _, g := range groups {
+		fmt.Fprintln(sh.out, "rules:", g.String())
+	}
+	if len(classes) == 0 && len(groups) == 0 {
+		fmt.Fprintln(sh.out, "ok: no equivalent definitions")
 	}
 	return nil
 }

@@ -142,7 +142,7 @@ func TestShellVetCommand(t *testing.T) {
 	for _, want := range []string{
 		"ok: no diagnostics", // Tuesdays vets clean
 		`error CV001: undefined calendar reference "NOPE"`,
-		"warning CV005", // [8] out of range for days-per-week
+		"warning CV012", // [8] provably beyond the 7 days per week
 		"warning CV006", // x assigned but never used
 		"1:1:",          // positions are rendered
 	} {
@@ -203,5 +203,41 @@ func TestShellSaveLoad(t *testing.T) {
 	}
 	if err := sh.dispatch(`.load /nonexistent/nope`); err == nil {
 		t.Error(".load of missing file should fail")
+	}
+}
+
+func TestShellVetFleetCommand(t *testing.T) {
+	sh, out := newTestShell(t)
+	lines := []string{
+		`define calendar Mondays as "[1]/DAYS:during:WEEKS"`,
+		`define calendar WeekStarts as "[1]/DAYS.during.WEEKS"`,
+		`define temporal rule daily on "DAYS" do ( retrieve (s.k) )`,
+		`define temporal rule midnight on "[1]/HOURS:during:DAYS" do ( retrieve (s.k) )`,
+		`.vetfleet`,
+	}
+	for _, line := range lines {
+		if err := sh.dispatch(line); err != nil {
+			t.Fatalf("dispatch(%q): %v", line, err)
+		}
+	}
+	sh.out.Flush()
+	text := out.String()
+	for _, want := range []string{
+		"calendars: Mondays, WeekStarts denote identical calendars; keep one and alias the rest",
+		"rules: rules daily, midnight fire on identical instants — merge them",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("vetfleet output missing %q:\n%s", want, text)
+		}
+	}
+
+	// An empty catalog reports cleanly.
+	sh2, out2 := newTestShell(t)
+	if err := sh2.dispatch(".vetfleet"); err != nil {
+		t.Fatal(err)
+	}
+	sh2.out.Flush()
+	if !strings.Contains(out2.String(), "ok: no equivalent definitions") {
+		t.Errorf("empty vetfleet output: %s", out2.String())
 	}
 }

@@ -1,8 +1,9 @@
 // Command calvet statically analyzes calendar expression language sources
-// and reports positioned CV001-CV009 diagnostics, for use in CI pipelines
+// and reports positioned CV001-CV013 diagnostics, for use in CI pipelines
 // and editors:
 //
 //	calvet [-strict] [-k NAME=GRAN]... [-e SOURCE] [file.cal ...]
+//	calvet -fleet [-strict] [-k NAME=GRAN]... manifest ...
 //
 // Each file holds one derivation (a bare expression or a {...} script); the
 // file's base name (without extension) is taken as the calendar name being
@@ -10,8 +11,15 @@
 //
 //	path:line:col: severity CVnnn: message
 //
+// With -fleet each file is a catalog manifest — one `NAME = EXPRESSION`
+// definition per line, `#` comments — and calvet additionally runs the
+// fleet-wide equivalence analysis: every definition the symbolic calculus
+// can lower is canonicalized, and groups denoting identical calendars are
+// reported as merge candidates.
+//
 // calvet exits 1 when any error-severity diagnostic is reported (with
-// -strict, when any diagnostic at all is), 2 on usage or I/O problems.
+// -strict, when any diagnostic or equivalence group at all is), 2 on usage
+// or I/O problems.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"strings"
 
 	"calsys/internal/chronology"
+	"calsys/internal/core/callang"
 	calvet "calsys/internal/core/callang/vet"
 )
 
@@ -37,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		strict = fs.Bool("strict", false, "treat warnings as errors")
 		inline = fs.String("e", "", "vet this source instead of files")
 		name   = fs.String("name", "", "calendar name being defined (self-reference detection); for files the base name is used")
+		fleet  = fs.Bool("fleet", false, "files are fleet manifests (NAME = EXPRESSION lines); adds catalog-wide equivalence analysis")
 	)
 	kinds := map[string]chronology.Granularity{}
 	fs.Func("k", "declare a known calendar as NAME=GRANULARITY (repeatable)", func(s string) error {
@@ -55,8 +65,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if *inline == "" && fs.NArg() == 0 {
-		fmt.Fprintln(stderr, "usage: calvet [-strict] [-k NAME=GRAN]... [-e SOURCE] [file ...]")
+		fmt.Fprintln(stderr, "usage: calvet [-strict] [-fleet] [-k NAME=GRAN]... [-e SOURCE] [file ...]")
 		return 2
+	}
+	if *fleet {
+		if *inline != "" {
+			fmt.Fprintln(stderr, "calvet: -fleet takes manifest files, not -e")
+			return 2
+		}
+		exit := 0
+		for _, path := range fs.Args() {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintln(stderr, "calvet:", err)
+				return 2
+			}
+			if code := vetFleet(path, string(data), kinds, stdout, *strict); code > exit {
+				exit = code
+			}
+		}
+		return exit
 	}
 	cat := &calvet.MapCatalog{Kinds: kinds}
 
@@ -85,6 +113,86 @@ func run(args []string, stdout, stderr io.Writer) int {
 			self = strings.TrimSuffix(base, filepath.Ext(base))
 		}
 		vetOne(path, self, strings.TrimSpace(string(data)))
+	}
+	return exit
+}
+
+// fleetDefs exposes a manifest catalog for per-definition vetting without
+// the NameLister extension: per-definition equivalence (CV011) would re-key
+// the whole catalog for every definition — quadratic over a 10k-rule fleet —
+// so equivalence is reported once, linearly, by AnalyzeCatalog below.
+type fleetDefs struct{ m *calvet.MapCatalog }
+
+func (c fleetDefs) DerivationOf(name string) (*callang.Script, bool) { return c.m.DerivationOf(name) }
+func (c fleetDefs) ElemKindOf(name string) (chronology.Granularity, bool) {
+	return c.m.ElemKindOf(name)
+}
+
+// vetFleet analyzes one manifest: per-definition positioned diagnostics,
+// then the catalog-wide equivalence classes.
+func vetFleet(label, data string, base map[string]chronology.Granularity, stdout io.Writer, strict bool) int {
+	cat := &calvet.MapCatalog{
+		Scripts: map[string]*callang.Script{},
+		Kinds:   map[string]chronology.Granularity{},
+	}
+	for n, g := range base {
+		cat.Kinds[n] = g
+	}
+	type def struct {
+		name, src string
+		line      int
+		script    *callang.Script
+	}
+	var defs []def
+	exit := 0
+	for i, raw := range strings.Split(data, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, src, ok := strings.Cut(line, "=")
+		name, src = strings.TrimSpace(name), strings.TrimSpace(src)
+		if !ok || name == "" || src == "" {
+			fmt.Fprintf(stdout, "%s:%d: error MANIFEST: want NAME = EXPRESSION, got %q\n", label, i+1, line)
+			exit = 1
+			continue
+		}
+		if _, dup := cat.Scripts[name]; dup {
+			fmt.Fprintf(stdout, "%s:%d: error MANIFEST: duplicate definition of %q\n", label, i+1, name)
+			exit = 1
+			continue
+		}
+		s, err := callang.ParseDerivation(src)
+		if err != nil {
+			fmt.Fprintf(stdout, "%s:%d: error PARSE: %v\n", label, i+1, err)
+			exit = 1
+			continue
+		}
+		cat.Scripts[name] = s
+		defs = append(defs, def{name, src, i + 1, s})
+	}
+	// Element kinds are inferred from each definition's finest referenced
+	// unit; a few rounds propagate kinds through reference chains.
+	for round := 0; round < 5; round++ {
+		for _, d := range defs {
+			cat.Kinds[d.name] = callang.AnalyzeScript(d.script, cat).TickGran
+		}
+	}
+
+	for _, d := range defs {
+		ds := calvet.AnalyzeScript(d.script, fleetDefs{cat}, calvet.Options{SelfName: d.name})
+		for _, diag := range ds {
+			fmt.Fprintf(stdout, "%s:%d:%s: %s\n", label, d.line, d.name, diag.String())
+			if diag.Severity == calvet.Error || strict {
+				exit = 1
+			}
+		}
+	}
+	for _, class := range calvet.AnalyzeCatalog(cat, calvet.Options{}) {
+		fmt.Fprintf(stdout, "%s: %s\n", label, class.String())
+		if strict {
+			exit = 1
+		}
 	}
 	return exit
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -46,7 +47,7 @@ func TestKnownKindsFlag(t *testing.T) {
 
 func TestStrictTreatsWarningsAsErrors(t *testing.T) {
 	code, out, _ := runCapture(t, "-e", "[8]/DAYS:during:WEEKS")
-	if code != 0 || !strings.Contains(out, "warning CV005") {
+	if code != 0 || !strings.Contains(out, "warning CV012") {
 		t.Errorf("warnings alone should exit 0: code=%d\n%s", code, out)
 	}
 	code, _, _ = runCapture(t, "-strict", "-e", "[8]/DAYS:during:WEEKS")
@@ -97,5 +98,85 @@ func TestUsage(t *testing.T) {
 	code, _, errb := runCapture(t)
 	if code != 2 || !strings.Contains(errb, "usage") {
 		t.Errorf("no-args: code=%d err=%q", code, errb)
+	}
+}
+
+// A small fleet manifest: equivalent spellings group, diagnostics are
+// positioned per definition, comments and blank lines are skipped.
+func TestFleetManifest(t *testing.T) {
+	manifest := `# fleet manifest
+Mondays = [1]/DAYS:during:WEEKS
+WeekStarts = [1]/DAYS.during.WEEKS
+MondayAlias = Mondays
+Tuesdays = [2]/DAYS:during:WEEKS
+Never = DAYS - DAYS
+Broken = ][
+`
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fleet.rules")
+	if err := os.WriteFile(path, []byte(manifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runCapture(t, "-fleet", path)
+	if code != 1 {
+		t.Errorf("code = %d, want 1 (parse error in manifest):\n%s", code, out)
+	}
+	for _, want := range []string{
+		path + ":6:Never: 1:6: warning CV010: calendar expression is provably empty on every window",
+		path + ":7: error PARSE:",
+		path + ": MondayAlias, Mondays, WeekStarts denote identical calendars; keep one and alias the rest",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Tuesdays denote") {
+		t.Errorf("Tuesdays wrongly grouped:\n%s", out)
+	}
+}
+
+// The acceptance bar: a synthetic 10k-definition fleet with planted
+// duplicate groups reports exactly the planted groups — no misses, no
+// false merges — in one linear pass.
+func TestFleetTenThousandRules(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("# synthetic fleet\n")
+	// Planted duplicates: distinct spellings of the same element lists.
+	b.WriteString("eu_close_a = [18]/HOURS:during:DAYS\n")
+	b.WriteString("eu_close_b = [18]/HOURS.during.DAYS\n")
+	b.WriteString("us_open_a = [9,10]/HOURS:during:DAYS\n")
+	b.WriteString("us_open_b = [9,10]/HOURS.during.DAYS\n")
+	b.WriteString("us_open_c = us_open_a\n")
+	// Filler: pairwise-distinct hour subsets of size 3 and 4 — every one
+	// lowers symbolically, none equivalent to any other.
+	n := 5
+	for a := 1; a <= 24 && n < 10000; a++ {
+		for bb := a + 1; bb <= 24 && n < 10000; bb++ {
+			for c := bb + 1; c <= 24 && n < 10000; c++ {
+				fmt.Fprintf(&b, "r_%d = [%d,%d,%d]/HOURS:during:DAYS\n", n, a, bb, c)
+				n++
+				for d := c + 1; d <= 24 && n < 10000; d++ {
+					fmt.Fprintf(&b, "r_%d = [%d,%d,%d,%d]/HOURS:during:DAYS\n", n, a, bb, c, d)
+					n++
+				}
+			}
+		}
+	}
+	if n < 10000 {
+		t.Fatalf("generator exhausted at %d definitions", n)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fleet10k.rules")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errb := runCapture(t, "-fleet", path)
+	if code != 0 {
+		t.Fatalf("code = %d:\n%s%s", code, out, errb)
+	}
+	want := path + ": eu_close_a, eu_close_b denote identical calendars; keep one and alias the rest\n" +
+		path + ": us_open_a, us_open_b, us_open_c denote identical calendars; keep one and alias the rest\n"
+	if out != want {
+		t.Errorf("fleet output diverges from the planted groups.\nwant:\n%s\ngot:\n%s", want, out)
 	}
 }

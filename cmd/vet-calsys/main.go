@@ -1,6 +1,7 @@
 // Command vet-calsys is the repository's multichecker: it runs the
-// project-specific Go vet passes (currently tickzero, the no-zero tick
-// convention) over the packages matched by its arguments.
+// project-specific Go vet passes (tickzero, the no-zero tick convention;
+// errcode, the structured error-envelope convention for HTTP handlers) over
+// the packages matched by its arguments.
 //
 //	vet-calsys [-tests] [pattern ...]       (default pattern: ./...)
 //
@@ -15,11 +16,13 @@ import (
 	"os"
 
 	"calsys/internal/analysis"
+	"calsys/internal/analysis/errcode"
 	"calsys/internal/analysis/tickzero"
 )
 
 // analyzers is the multichecker's pass registry.
 var analyzers = []*analysis.Analyzer{
+	errcode.Analyzer,
 	tickzero.Analyzer,
 }
 

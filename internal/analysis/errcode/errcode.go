@@ -1,0 +1,164 @@
+// Package errcode is a vet pass enforcing the HTTP service's structured
+// error-envelope convention: every error a handler writes must carry a code
+// from the package's registered set (the top-level `Err*` string constants),
+// so clients and CI pipelines can filter on stable codes.
+//
+// The pass activates only in packages that declare such a registry. There it
+// flags:
+//
+//   - ErrorBody literals whose Code field is a hardcoded string — even one
+//     matching a registered value must spell the constant, or renames and
+//     typos silently fork the wire protocol;
+//   - ErrorBody Code fields naming an Err*-style constant that is not in the
+//     registry (a typo'd or deleted code);
+//   - assignments of string literals to a .Code field;
+//   - http.Error calls, which emit plain text and bypass the envelope
+//     entirely.
+//
+// Code fields holding variables or function results are accepted: tracing
+// them needs dataflow, and the registry consts are the only Err* sources in
+// practice.
+package errcode
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"calsys/internal/analysis"
+)
+
+// Analyzer is the errcode pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errcode",
+	Doc: "flag HTTP error responses whose code is not a registered Err* " +
+		"constant, and plain-text http.Error calls bypassing the envelope",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	registry := collectRegistry(pass.Files)
+	if len(registry) == 0 {
+		return nil // package has no error-code registry; convention not in force
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CompositeLit:
+				checkErrorBody(pass, registry, node)
+			case *ast.AssignStmt:
+				checkCodeAssign(pass, node)
+			case *ast.CallExpr:
+				checkHTTPError(pass, node)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectRegistry gathers the package's top-level `Err*` string constants —
+// the registered error codes.
+func collectRegistry(files []*ast.File) map[string]bool {
+	registry := map[string]bool{}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if !strings.HasPrefix(name.Name, "Err") || i >= len(vs.Values) {
+						continue
+					}
+					if lit, ok := ast.Unparen(vs.Values[i]).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+						registry[name.Name] = true
+					}
+				}
+			}
+		}
+	}
+	return registry
+}
+
+// checkErrorBody vets the Code field of an ErrorBody{...} literal, keyed or
+// positional (Code is the first field).
+func checkErrorBody(pass *analysis.Pass, registry map[string]bool, lit *ast.CompositeLit) {
+	if typeName(lit.Type) != "ErrorBody" || len(lit.Elts) == 0 {
+		return
+	}
+	var code ast.Expr
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			code = lit.Elts[0] // positional literal: field 0 is Code
+			break
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Code" {
+			code = kv.Value
+			break
+		}
+	}
+	if code == nil {
+		return
+	}
+	switch v := ast.Unparen(code).(type) {
+	case *ast.BasicLit:
+		if v.Kind == token.STRING {
+			pass.Report(v.Pos(),
+				"error code %s is a hardcoded string; use a registered Err* constant", v.Value)
+		}
+	case *ast.Ident:
+		if strings.HasPrefix(v.Name, "Err") && !registry[v.Name] {
+			pass.Report(v.Pos(),
+				"error code %s is not in the package's registered Err* constants", v.Name)
+		}
+	}
+}
+
+// checkCodeAssign flags `body.Code = "literal"` — the same hardcoded-string
+// hole as in the composite literal, spelled as an assignment.
+func checkCodeAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Code" || i >= len(as.Rhs) {
+			continue
+		}
+		if lit, ok := ast.Unparen(as.Rhs[i]).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			pass.Report(lit.Pos(),
+				"error code %s is a hardcoded string; use a registered Err* constant", lit.Value)
+		}
+	}
+}
+
+// checkHTTPError flags http.Error calls: they write text/plain bodies that
+// carry no code, so clients cannot filter them.
+func checkHTTPError(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return
+	}
+	if x, ok := sel.X.(*ast.Ident); ok && x.Name == "http" {
+		pass.Report(call.Pos(),
+			"http.Error writes a plain-text body; use the structured error envelope (writeError) instead")
+	}
+}
+
+// typeName returns the bare name of a (possibly qualified or pointered) type
+// expression: serve.ErrorBody → "ErrorBody".
+func typeName(t ast.Expr) string {
+	switch tt := t.(type) {
+	case *ast.Ident:
+		return tt.Name
+	case *ast.SelectorExpr:
+		return tt.Sel.Name
+	case *ast.StarExpr:
+		return typeName(tt.X)
+	}
+	return ""
+}

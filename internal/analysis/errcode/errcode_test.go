@@ -1,0 +1,146 @@
+package errcode_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"calsys/internal/analysis"
+	"calsys/internal/analysis/errcode"
+)
+
+const badSrc = `package bad
+
+import "net/http"
+
+const (
+	ErrNotFound = "not_found"
+	ErrInternal = "internal"
+)
+
+type ErrorBody struct {
+	Code, Message string
+}
+
+func writeError(w http.ResponseWriter, status int, body ErrorBody) {}
+
+func h(w http.ResponseWriter) {
+	writeError(w, 404, ErrorBody{Code: "not_found", Message: "x"}) // want hardcoded string flagged
+	writeError(w, 500, ErrorBody{"oops", "y"})                     // want positional literal flagged
+	writeError(w, 500, ErrorBody{Code: ErrNoSuchCode})             // want unregistered const flagged
+	var b ErrorBody
+	b.Code = "conflict" // want assignment flagged
+	http.Error(w, "boom", 500) // want plain-text bypass flagged
+}
+
+var ErrNoSuchCode = "zombie"
+`
+
+const goodSrc = `package good
+
+import "net/http"
+
+const (
+	ErrNotFound = "not_found"
+	ErrConflict = "conflict"
+)
+
+type ErrorBody struct {
+	Code, Message string
+}
+
+func writeError(w http.ResponseWriter, status int, body ErrorBody) {}
+
+func h(w http.ResponseWriter, werr error) {
+	writeError(w, 404, ErrorBody{Code: ErrNotFound, Message: "x"})
+	status, code := 404, ErrNotFound
+	if werr != nil {
+		status, code = 409, ErrConflict
+	}
+	writeError(w, status, ErrorBody{Code: code, Message: "y"}) // variable: fine
+}
+`
+
+// A package with no Err* registry is out of scope even if it calls
+// http.Error — the convention only binds where codes are declared.
+const unscopedSrc = `package other
+
+import "net/http"
+
+func h(w http.ResponseWriter) {
+	http.Error(w, "plain is fine here", 500)
+}
+`
+
+func writeFile(t *testing.T, dir, name, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrcodeFindings(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "bad.go", badSrc)
+	diags, err := analysis.Run([]string{dir}, []*analysis.Analyzer{errcode.Analyzer}, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 5 {
+		t.Fatalf("want 5 findings, got %d:\n%v", len(diags), diags)
+	}
+	wants := []string{
+		`code "not_found" is a hardcoded string`,
+		`code "oops" is a hardcoded string`,
+		"ErrNoSuchCode is not in the package's registered Err* constants",
+		`code "conflict" is a hardcoded string`,
+		"http.Error writes a plain-text body",
+	}
+	for i, want := range wants {
+		if !strings.Contains(diags[i].Message, want) {
+			t.Errorf("diag[%d] = %s, want %q", i, diags[i], want)
+		}
+	}
+	for _, d := range diags {
+		if d.Pos.Line == 0 || d.Analyzer != "errcode" {
+			t.Errorf("diagnostic missing position or analyzer: %+v", d)
+		}
+	}
+}
+
+func TestErrcodeCleanCode(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "good.go", goodSrc)
+	diags, err := analysis.Run([]string{dir}, []*analysis.Analyzer{errcode.Analyzer}, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("clean code flagged:\n%v", diags)
+	}
+}
+
+func TestErrcodeSkipsPackagesWithoutRegistry(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "other.go", unscopedSrc)
+	diags, err := analysis.Run([]string{dir}, []*analysis.Analyzer{errcode.Analyzer}, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("registry-free package should be out of scope:\n%v", diags)
+	}
+}
+
+// The service package this pass exists for must satisfy it — CI enforces
+// this via cmd/vet-calsys.
+func TestServePackageIsClean(t *testing.T) {
+	diags, err := analysis.Run([]string{"../../serve"}, []*analysis.Analyzer{errcode.Analyzer}, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("internal/serve has errcode findings:\n%v", diags)
+	}
+}

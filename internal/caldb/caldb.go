@@ -330,7 +330,7 @@ func (m *Manager) DefineDerived(name, derivation string, lifespan Lifespan, gran
 	// Static analysis before any plan work: undefined references, cycles and
 	// no-zero violations reject the definition with positioned diagnostics;
 	// warnings are recorded in the catalog row.
-	diags := calvet.AnalyzeScript(script, m, calvet.Options{SelfName: name})
+	diags := calvet.AnalyzeScript(script, m, calvet.Options{SelfName: name, Chron: m.chron})
 	if diags.HasErrors() {
 		return fmt.Errorf("caldb: %q does not vet:\n%s", name, diags.Errors())
 	}
@@ -367,7 +367,7 @@ func diagLines(ds calvet.Diags) []string {
 // under name (which may be empty for anonymous expressions), without
 // touching the catalog. Parse failures surface as diagnostics.
 func (m *Manager) Vet(name, derivation string) calvet.Diags {
-	return calvet.ParseAndAnalyze(derivation, m, calvet.Options{SelfName: name})
+	return calvet.ParseAndAnalyze(derivation, m, calvet.Options{SelfName: name, Chron: m.chron})
 }
 
 // VetDefined re-runs the static analyzer over an already-defined calendar's
@@ -380,7 +380,7 @@ func (m *Manager) VetDefined(name string) (calvet.Diags, error) {
 	if e.script == nil {
 		return nil, nil // stored-values calendars have nothing to vet
 	}
-	return calvet.AnalyzeScript(e.script, m, calvet.Options{SelfName: e.Name}), nil
+	return calvet.AnalyzeScript(e.script, m, calvet.Options{SelfName: e.Name, Chron: m.chron}), nil
 }
 
 // DefineStored records a calendar with explicit values (e.g. HOLIDAYS).
@@ -489,7 +489,7 @@ func (m *Manager) revetDependents(name string, g chronology.Granularity) (map[st
 	cat := granOverride{Manager: m, name: name, g: g}
 	out := map[string][]string{}
 	for _, dep := range deps {
-		diags := calvet.AnalyzeScript(dep.script, cat, calvet.Options{SelfName: dep.Name})
+		diags := calvet.AnalyzeScript(dep.script, cat, calvet.Options{SelfName: dep.Name, Chron: m.chron})
 		if diags.HasErrors() {
 			return nil, fmt.Errorf("caldb: replacing %q breaks %q:\n%s", name, dep.Name, diags.Errors())
 		}

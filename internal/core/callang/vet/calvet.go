@@ -63,6 +63,10 @@ const (
 	CodeLoopNoProgress = "CV007"
 	CodeVolatile       = "CV008"
 	CodeFactorBlocked  = "CV009"
+	CodeEmptyCalendar  = "CV010"
+	CodeEquivalentDef  = "CV011"
+	CodeSelectCard     = "CV012"
+	CodeSubsumedArm    = "CV013"
 )
 
 // Diag is one positioned diagnostic.
@@ -190,6 +194,9 @@ type Options struct {
 	// catalog) are reported as CV002 cycles instead of CV001 undefined
 	// references.
 	SelfName string
+	// Chron anchors the symbolic pattern calculus (CV010–CV013); nil uses
+	// the paper's default epoch.
+	Chron *chronology.Chronology
 }
 
 // builtins are the callable functions of the language (§3.2-§3.3).
@@ -214,6 +221,7 @@ func AnalyzeScript(s *callang.Script, cat Catalog, opts Options) Diags {
 	v.checkUnused(s.Stmts)
 	v.checkCycles(s)
 	v.checkVolatile(s)
+	v.checkSymbolic(s)
 	return v.diags.sorted()
 }
 
@@ -431,6 +439,22 @@ func (v *vetter) checkSelection(n *callang.SelectExpr) {
 		return
 	}
 	maxN, boundKnown := v.maxSelectable(n.X)
+	// The symbolic calculus upgrades the heuristic bound to the exact
+	// cardinality range when the subject's operands lower to patterns:
+	// out-of-range positions then become provable (CV012 instead of CV005).
+	exMin, exMax, exact := v.exactCards(n.X)
+	if exact {
+		maxN, boundKnown = exMax, true
+	}
+	outOfRange := func(pos callang.Pos, what string, hi int) {
+		if exact {
+			v.report(pos, Warning, CodeSelectCard,
+				"%s provably never selects: groups of the subject hold between %d and %d elements on every window", what, exMin, exMax)
+			return
+		}
+		v.report(pos, Warning, CodeBadSelection,
+			"%s is out of range: the subject holds at most %d elements per group", what, hi)
+	}
 	for _, it := range n.Pred.Items {
 		switch {
 		case it.Last:
@@ -445,8 +469,7 @@ func (v *vetter) checkSelection(n *callang.SelectExpr) {
 					"selection range %d-%d is statically empty", it.From, it.To)
 			}
 			if boundKnown && sameSign(it.From, it.To) && abs(it.From) > maxN && abs(it.To) > maxN {
-				v.report(n.Pos, Warning, CodeBadSelection,
-					"selection range %d-%d is out of range: the subject holds at most %d elements per group", it.From, it.To, maxN)
+				outOfRange(n.Pos, fmt.Sprintf("selection range %d-%d", it.From, it.To), maxN)
 			}
 		default:
 			if it.Pos == 0 {
@@ -455,8 +478,7 @@ func (v *vetter) checkSelection(n *callang.SelectExpr) {
 				continue
 			}
 			if boundKnown && abs(it.Pos) > maxN {
-				v.report(n.Pos, Warning, CodeBadSelection,
-					"selection index %d is out of range: the subject holds at most %d elements per group", it.Pos, maxN)
+				outOfRange(n.Pos, fmt.Sprintf("selection index %d", it.Pos), maxN)
 			}
 		}
 	}

@@ -199,14 +199,16 @@ func TestZeroTickInCalls(t *testing.T) {
 }
 
 func TestSelectionOutOfRange(t *testing.T) {
-	// A week holds at most 7 days: [8] can never select anything.
-	d := wantCode(t, vet(t, "[8]/DAYS:during:WEEKS", nil, calvet.Options{}), calvet.CodeBadSelection)
+	// A week holds at most 7 days: [8] can never select anything. The
+	// symbolic calculus proves the bound exactly, so the diagnostic is the
+	// CV012 proof rather than the CV005 heuristic.
+	d := wantCode(t, vet(t, "[8]/DAYS:during:WEEKS", nil, calvet.Options{}), calvet.CodeSelectCard)
 	if d.Severity != calvet.Warning {
 		t.Errorf("severity = %v, want warning", d.Severity)
 	}
-	wantCode(t, vet(t, "[-8]/DAYS:during:WEEKS", nil, calvet.Options{}), calvet.CodeBadSelection)
-	wantCode(t, vet(t, "[8-9]/DAYS:during:WEEKS", nil, calvet.Options{}), calvet.CodeBadSelection)
-	wantCode(t, vet(t, "[32]/DAYS:during:MONTHS", nil, calvet.Options{}), calvet.CodeBadSelection)
+	wantCode(t, vet(t, "[-8]/DAYS:during:WEEKS", nil, calvet.Options{}), calvet.CodeSelectCard)
+	wantCode(t, vet(t, "[8-9]/DAYS:during:WEEKS", nil, calvet.Options{}), calvet.CodeSelectCard)
+	wantCode(t, vet(t, "[32]/DAYS:during:MONTHS", nil, calvet.Options{}), calvet.CodeSelectCard)
 
 	// In-range, negative and n-indices are fine.
 	for _, src := range []string{
@@ -216,13 +218,17 @@ func TestSelectionOutOfRange(t *testing.T) {
 		"[31]/DAYS:during:MONTHS",
 		"[2]/DAYS:during:WEEKS",
 	} {
-		wantNoCode(t, vet(t, src, nil, calvet.Options{}), calvet.CodeBadSelection)
+		diags := vet(t, src, nil, calvet.Options{})
+		wantNoCode(t, diags, calvet.CodeBadSelection)
+		wantNoCode(t, diags, calvet.CodeSelectCard)
 	}
 
 	// Overlaps admits straddling units: a month overlaps up to 6 weeks,
 	// and ordering operators have no per-group bound at all.
 	wantNoCode(t, vet(t, "[6]/WEEKS:overlaps:MONTHS", nil, calvet.Options{}), calvet.CodeBadSelection)
+	wantNoCode(t, vet(t, "[6]/WEEKS:overlaps:MONTHS", nil, calvet.Options{}), calvet.CodeSelectCard)
 	wantNoCode(t, vet(t, "[50]/DAYS:<:MONTHS", nil, calvet.Options{}), calvet.CodeBadSelection)
+	wantNoCode(t, vet(t, "[50]/DAYS:<:MONTHS", nil, calvet.Options{}), calvet.CodeSelectCard)
 }
 
 func TestSelectionStaticallyEmptyRange(t *testing.T) {

@@ -121,3 +121,67 @@ func gregorianCycle(ch *chronology.Chronology, of, in chronology.Granularity, se
 func offsetAt(ch *chronology.Chronology, g chronology.Granularity, sec int64) int64 {
 	return chronology.OffsetFromTick(ch.TickAt(g, sec))
 }
+
+// InSeconds re-expresses the pattern — whose offsets count ticks of
+// granularity g — as the pattern over epoch-second offsets covering the same
+// instants, so patterns of different granularities become directly comparable
+// (the cross-granularity equivalence key behind CV011 and fleet-wide rule
+// dedup). Fine granularities (seconds…weeks) scale affinely; the month family
+// maps each element's tick span to its day span via the 400-year Gregorian
+// cycle first. nil (the empty list) stays nil; ok=false means the conversion
+// would overflow the span or cycle budget.
+func (p *Pattern) InSeconds(ch *chronology.Chronology, g chronology.Granularity) (*Pattern, bool) {
+	if p == nil {
+		return nil, true
+	}
+	if s, ok := secondsPer[g]; ok {
+		return p.scaled(s, ch.UnitStart(g, chronology.TickFromOffset(0)))
+	}
+	if _, ok := monthsPer[g]; !ok {
+		return nil, false
+	}
+	dayp, err := ForBasicPair(ch, g, chronology.Day)
+	if err != nil {
+		return nil, false
+	}
+	U := unitsPerCycle(g)
+	L := lcm(p.period, U, 1<<40)
+	if L == 0 {
+		return nil, false
+	}
+	n := L / p.period * int64(len(p.spans))
+	if n > setopMaxSpans {
+		return nil, false
+	}
+	days := make([]Span, 0, n)
+	for q := int64(0); q < n; q++ {
+		lo, hi := p.element(q)
+		dlo, _ := dayp.element(lo)
+		_, dhi := dayp.element(hi)
+		days = append(days, Span{Lo: dlo, Hi: dhi})
+	}
+	dp, ok := patternFromCycle(days, L/U*cycleDays)
+	if !ok || dp == nil {
+		return nil, false
+	}
+	return dp.scaled(chronology.SecondsPerDay, ch.UnitStart(chronology.Day, chronology.TickFromOffset(0)))
+}
+
+// scaled maps a pattern over unit ticks of length s seconds to epoch-second
+// offsets: tick offset o becomes the second span [base+o·s, base+(o+1)·s−1],
+// where base is the epoch second at which tick offset 0 starts.
+func (p *Pattern) scaled(s, base int64) (*Pattern, bool) {
+	if p.period > (1<<40)/s {
+		return nil, false
+	}
+	spans := make([]Span, len(p.spans))
+	for i, sp := range p.spans {
+		spans[i] = Span{Lo: sp.Lo * s, Hi: sp.Hi*s + s - 1}
+	}
+	q, err := New(p.period*s, base+p.phase*s, spans)
+	if err != nil {
+		// Affine scaling preserves every New invariant.
+		panic("periodic: scaled produced an invalid pattern: " + err.Error())
+	}
+	return q, true
+}

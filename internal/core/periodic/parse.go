@@ -1,0 +1,98 @@
+package periodic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParsePattern inverts Pattern.String: it parses
+//
+//	period=P phase=F spans=N{(lo,hi),(lo,hi),…}
+//
+// back into a validated Pattern. The declared span count must match the span
+// list; the result passes through New, so every invariant is re-checked.
+func ParsePattern(s string) (*Pattern, error) {
+	fail := func(why string) (*Pattern, error) {
+		return nil, fmt.Errorf("periodic: cannot parse pattern %q: %s", s, why)
+	}
+	rest := strings.TrimSpace(s)
+	period, rest, err := parseField(rest, "period=")
+	if err != nil {
+		return fail(err.Error())
+	}
+	phase, rest, err := parseField(rest, "phase=")
+	if err != nil {
+		return fail(err.Error())
+	}
+	count, rest, err := parseField(rest, "spans=")
+	if err != nil {
+		return fail(err.Error())
+	}
+	if !strings.HasPrefix(rest, "{") || !strings.HasSuffix(rest, "}") {
+		return fail("span list must be brace-enclosed")
+	}
+	body := rest[1 : len(rest)-1]
+	var spans []Span
+	for body != "" {
+		if !strings.HasPrefix(body, "(") {
+			return fail("span must start with '('")
+		}
+		close := strings.IndexByte(body, ')')
+		if close < 0 {
+			return fail("unterminated span")
+		}
+		lo, hi, ok := parseSpanBody(body[1:close])
+		if !ok {
+			return fail("span must be (lo,hi) with integer bounds")
+		}
+		spans = append(spans, Span{Lo: lo, Hi: hi})
+		body = body[close+1:]
+		if strings.HasPrefix(body, ",") {
+			body = body[1:]
+		} else if body != "" {
+			return fail("spans must be comma-separated")
+		}
+	}
+	if int64(len(spans)) != count {
+		return fail(fmt.Sprintf("declared %d spans but listed %d", count, len(spans)))
+	}
+	return New(period, phase, spans)
+}
+
+// MustParsePattern is ParsePattern for test tables; it panics on error.
+func MustParsePattern(s string) *Pattern {
+	p, err := ParsePattern(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// parseField consumes "key=<int>" plus one trailing space-or-nothing from the
+// front of s.
+func parseField(s, key string) (int64, string, error) {
+	if !strings.HasPrefix(s, key) {
+		return 0, "", fmt.Errorf("expected %q", key)
+	}
+	s = s[len(key):]
+	end := strings.IndexAny(s, " {")
+	if end < 0 {
+		end = len(s)
+	}
+	v, err := strconv.ParseInt(s[:end], 10, 64)
+	if err != nil {
+		return 0, "", fmt.Errorf("bad %s value", strings.TrimSuffix(key, "="))
+	}
+	return v, strings.TrimPrefix(s[end:], " "), nil
+}
+
+func parseSpanBody(s string) (lo, hi int64, ok bool) {
+	comma := strings.IndexByte(s, ',')
+	if comma < 0 {
+		return 0, 0, false
+	}
+	lo, err1 := strconv.ParseInt(s[:comma], 10, 64)
+	hi, err2 := strconv.ParseInt(s[comma+1:], 10, 64)
+	return lo, hi, err1 == nil && err2 == nil
+}

@@ -101,15 +101,13 @@ func (p *Pattern) NumSpans() int { return len(p.spans) }
 // Spans returns the cycle's spans. The slice is shared; do not modify it.
 func (p *Pattern) Spans() []Span { return p.spans }
 
-// String renders the pattern compactly, eliding long cycles.
+// String renders the pattern in full; ParsePattern inverts it, so canonical
+// forms can be asserted as literals in table-driven tests and used as
+// equivalence-class keys.
 func (p *Pattern) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "period=%d phase=%d spans=%d{", p.period, p.phase, len(p.spans))
 	for i, s := range p.spans {
-		if i == 4 && len(p.spans) > 5 {
-			fmt.Fprintf(&b, ",…")
-			break
-		}
 		if i > 0 {
 			b.WriteByte(',')
 		}

@@ -11,7 +11,11 @@ import (
 // lists — when the lcm cycle would be unreasonably large, or when an
 // operand's spans reach past its cycle end (overlapping boundary elements
 // have no clean single-cycle normal form).
-const setopMaxSpans = 1 << 16
+// setopMaxSpans bounds the candidate spans enumerated over one common cycle.
+// It is an intermediate budget: results are canonicalized and re-checked
+// against the smaller resultMaxSpans, so a Gregorian-cycle operand (146097
+// days) fits here while composed results stay compact.
+const setopMaxSpans = 1 << 18
 
 // setopCycle computes the common cycle length for a set operation, or
 // ok = false when the operands have no compact common cycle.
@@ -176,34 +180,8 @@ func straddles(p *Pattern, a int64) bool {
 // patterns cannot be merged compactly or the difference is empty (the null
 // calendar has no periodic form).
 func (p *Pattern) Diff(q *Pattern) (*Pattern, bool) {
-	L, ok := setopCycle(p, q)
-	if !ok {
-		return nil, false
-	}
-	a := p.rephased(p.phase, L) // anchored at its own phase: no splits
-	cov := normalizeSpans(q.rephased(p.phase, L))
-	var out []Span
-	j := 0
-	for _, iv := range a {
-		for j < len(cov) && cov[j].Hi < iv.Lo {
-			j++
-		}
-		lo, dead := iv.Lo, false
-		for k := j; k < len(cov) && cov[k].Lo <= iv.Hi; k++ {
-			if cov[k].Lo > lo {
-				out = append(out, Span{Lo: lo, Hi: cov[k].Lo - 1})
-			}
-			if cov[k].Hi >= iv.Hi {
-				dead = true
-				break
-			}
-			lo = cov[k].Hi + 1
-		}
-		if !dead && lo <= iv.Hi {
-			out = append(out, Span{Lo: lo, Hi: iv.Hi})
-		}
-	}
-	if len(out) == 0 {
+	out, L, ok := diffCycle(p, q)
+	if !ok || len(out) == 0 {
 		return nil, false
 	}
 	d, err := New(L, p.phase, out)

@@ -222,8 +222,13 @@ type Scheduler struct {
 	probes        int64 // windowed evaluations performed
 
 	// exact is the infinite-pattern fast path: the prepared expression is a
-	// single basic calendar, answered by arithmetic with no evaluation ever.
+	// single basic calendar — or a composition the symbolic calculus lowered
+	// to closed form — answered by arithmetic with no evaluation ever.
 	exact *periodic.Pattern
+
+	// dormant marks an expression the symbolic calculus proved empty on
+	// every window: NextAfter answers ok=false without ever evaluating.
+	dormant bool
 
 	// Anchor-free probe cache: the materialized horizon starting at anchor,
 	// compressed to a detected pattern valid on [qmin, qmax] when periodic,
@@ -252,6 +257,18 @@ func NewScheduler(env *Env, prepped callang.Expr, gran chronology.Granularity) *
 	if id, ok := prepped.(*callang.Ident); ok && !env.DisablePeriodic {
 		if g, err := chronology.ParseGranularity(id.Name); err == nil {
 			if p, perr := periodic.ForBasicPair(env.Chron, g, gran); perr == nil {
+				s.exact = p
+			}
+		}
+	}
+	if s.exact == nil && !env.DisablePeriodic && !env.DisableSymbolic {
+		// Whole-expression symbolic lowering: compositions (selections over
+		// groupings, unions, differences) get the same arithmetic-only path
+		// as basic calendars, and provably-empty expressions never probe.
+		if p, ok := SymbolicPattern(env, prepped, gran); ok {
+			if p == nil {
+				s.dormant = true
+			} else {
 				s.exact = p
 			}
 		}
@@ -314,6 +331,9 @@ func (s *Scheduler) NextAfter(after int64) (at int64, ok bool, err error) {
 	}
 	if s.forceWindowed {
 		return s.probeWindow(after, hwin)
+	}
+	if s.dormant {
+		return 0, false, nil
 	}
 	if s.exact != nil {
 		afterTick := ch.TickAt(s.gran, after)

@@ -28,6 +28,7 @@ var nextTestExprs = []string{
 	"[1,2,3,4,5]/DAYS:during:WEEKS",
 	"WEEKS:during:interval(2193, 2223)",
 	"([1]/DAYS:during:WEEKS) + ([2]/DAYS:during:WEEKS)",
+	"(DAYS:during:WEEKS) - ([1]/DAYS:during:WEEKS)",
 	"[2]/(DAYS:during:MONTHS)",
 	"Mondays",
 	"HOLS:during:YEARS",
@@ -229,5 +230,68 @@ func TestNextAfterAmortizesProbes(t *testing.T) {
 	}
 	if p := sd.Probes(); p != 0 {
 		t.Errorf("basic calendar walk ran %d probes, want 0", p)
+	}
+}
+
+// Compositions the symbolic calculus can lower get the same arithmetic-only
+// exact rung as basic calendars: zero probes, ever. DisableSymbolic restores
+// the probing paths with identical answers — the ablation the benchmarks
+// measure.
+func TestSchedulerSymbolicExactAndAblation(t *testing.T) {
+	env := nextPropEnv(t)
+	ch := env.Chron
+	prepped, gran := prepFor(t, env, "[1]/DAYS:during:WEEKS")
+	s := NewScheduler(env, prepped, gran)
+	if s.exact == nil {
+		t.Fatal("composition did not lower to an exact pattern")
+	}
+
+	abl := &Env{Chron: env.Chron, Cat: env.Cat, DisableSymbolic: true}
+	sa := NewScheduler(abl, prepped, gran)
+	if sa.exact != nil {
+		t.Fatal("DisableSymbolic left an exact pattern in place")
+	}
+
+	at := ch.EpochSecondsOf(d(1993, 1, 1))
+	for i := 0; i < 52; i++ {
+		next, ok, err := s.NextAfter(at)
+		if err != nil || !ok {
+			t.Fatalf("step %d: next=%v ok=%v err=%v", i, next, ok, err)
+		}
+		want, wok, err := sa.NextAfter(at)
+		if err != nil || !wok || want != next {
+			t.Fatalf("step %d: symbolic %d, ablated %d,%v err=%v", i, next, want, wok, err)
+		}
+		at = next
+	}
+	if p := s.Probes(); p != 0 {
+		t.Errorf("symbolic walk ran %d probes, want 0", p)
+	}
+	if p := sa.Probes(); p == 0 {
+		t.Error("ablated walk ran 0 probes; the knob did nothing")
+	}
+}
+
+// A provably-empty expression makes the scheduler dormant: NextAfter answers
+// ok=false without evaluating anything, and agrees with the seed path.
+func TestSchedulerDormantEmpty(t *testing.T) {
+	env := nextPropEnv(t)
+	ch := env.Chron
+	prepped, gran := prepFor(t, env, "DAYS - DAYS")
+	s := NewScheduler(env, prepped, gran)
+	if !s.dormant {
+		t.Fatal("empty expression not marked dormant")
+	}
+	after := ch.EpochSecondsOf(d(1993, 6, 1))
+	if _, ok, err := s.NextAfter(after); ok || err != nil {
+		t.Fatalf("dormant NextAfter = ok=%v err=%v, want false,nil", ok, err)
+	}
+	if p := s.Probes(); p != 0 {
+		t.Errorf("dormant scheduler ran %d probes, want 0", p)
+	}
+	ref := NewScheduler(env, prepped, gran)
+	ref.Configure(0, true)
+	if _, ok, err := ref.NextAfter(after); ok || err != nil {
+		t.Fatalf("windowed reference disagrees: ok=%v err=%v", ok, err)
 	}
 }

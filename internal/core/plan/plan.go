@@ -140,6 +140,11 @@ type Env struct {
 	// arithmetic, lazy windowed expansion), forcing full materialization;
 	// used by the ablation benchmarks.
 	DisablePeriodic bool
+	// DisableSymbolic turns off the whole-expression symbolic pattern
+	// calculus in the scheduler (compositions answered by closed-form
+	// arithmetic instead of windowed probes); used by the ablation
+	// benchmarks.
+	DisableSymbolic bool
 }
 
 func (e *Env) maxWhile() int {

@@ -1,0 +1,36 @@
+// symbolic.go adapts the symbolic pattern calculus
+// (internal/core/callang/symbolic) to the plan layer: whole prepared
+// expressions lower to closed-form periodic patterns that the Scheduler
+// answers with pure arithmetic, extending the basic-calendar exact path of
+// next.go to compositions (Mondays, first days of months, unions of
+// selections, …).
+package plan
+
+import (
+	"calsys/internal/chronology"
+	"calsys/internal/core/callang"
+	"calsys/internal/core/callang/symbolic"
+	"calsys/internal/core/periodic"
+)
+
+// SymbolicPattern lowers a prepared expression to the periodic pattern of its
+// infinite element list, in tick offsets of gran. ok=false means the
+// expression has no symbolic form (window-anchored constructs, stored
+// calendars, shapes with no compact periodic cycle) and the caller must fall
+// back to windowed evaluation. A nil pattern with ok=true proves the
+// expression empty on every window.
+//
+// Names whose lifespan is bounded stay opaque, mirroring the inliner's rule
+// in compile.go: their materialized value is clipped to the lifespan and is
+// therefore not the periodic list the derivation alone would denote.
+func SymbolicPattern(env *Env, prepped callang.Expr, gran chronology.Granularity) (*periodic.Pattern, bool) {
+	opaque := func(name string) bool {
+		if lc, ok := env.Cat.(LifespanCatalog); ok {
+			if _, hi, found := lc.LifespanOf(name); found && hi < UnboundedDayTick {
+				return true
+			}
+		}
+		return false
+	}
+	return symbolic.EvalOpaque(env.Chron, env.Cat, prepped, gran, opaque)
+}

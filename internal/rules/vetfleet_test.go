@@ -1,0 +1,65 @@
+package rules
+
+import (
+	"testing"
+
+	"calsys/internal/caldb"
+	"calsys/internal/store"
+)
+
+func nopAction(name string) Action {
+	return FuncAction{Name: name, Fn: func(tx *store.Txn, ev *store.Event, at int64) error { return nil }}
+}
+
+// VetFleet must group rules that provably fire at identical instants —
+// across different spellings, through catalog references, and across
+// granularities — and must not group rules that fire differently.
+func TestVetFleet(t *testing.T) {
+	eng, cal := newEngine(t)
+	ch := cal.Chron()
+	start := ch.EpochSecondsOf(d(1993, 1, 1))
+	ls := caldb.Lifespan{Lo: 1, Hi: caldb.MaxDayTick}
+	if err := cal.DefineDerived("Mondays", "[1]/DAYS:during:WEEKS;", ls, caldb.GranAuto); err != nil {
+		t.Fatal(err)
+	}
+
+	defs := []struct{ name, expr string }{
+		{"weekly_report", "[1]/DAYS:during:WEEKS"},
+		{"monday_sync", "[1]/DAYS.during.WEEKS"}, // relaxed spelling, same set
+		{"monday_alias", "Mondays"},              // catalog reference
+		{"daily_backup", "DAYS"},
+		{"midnight_job", "[1]/HOURS:during:DAYS"}, // fires with daily_backup
+		{"tuesday_audit", "[2]/DAYS:during:WEEKS"},
+	}
+	for _, def := range defs {
+		if err := eng.DefineTemporalRule(def.name, def.expr, nopAction(def.name), start); err != nil {
+			t.Fatalf("define %s: %v", def.name, err)
+		}
+	}
+
+	groups := eng.VetFleet()
+	if len(groups) != 2 {
+		t.Fatalf("got %d merge groups, want 2: %v", len(groups), groups)
+	}
+	wantRules := [][]string{
+		{"daily_backup", "midnight_job"},
+		{"monday_alias", "monday_sync", "weekly_report"},
+	}
+	for i, g := range groups {
+		if !g.Exact {
+			t.Errorf("group %d not proven exact: %+v", i, g)
+		}
+		if len(g.Rules) != len(wantRules[i]) {
+			t.Fatalf("group %d = %v, want %v", i, g.Rules, wantRules[i])
+		}
+		for j, name := range g.Rules {
+			if name != wantRules[i][j] {
+				t.Fatalf("group %d = %v, want %v", i, g.Rules, wantRules[i])
+			}
+		}
+	}
+	want := "rules daily_backup, midnight_job fire on identical instants — merge them"
+	if got := groups[0].String(); got != want {
+		t.Errorf("merge message = %q, want %q", got, want)
+	}
+}

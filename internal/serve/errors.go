@@ -26,10 +26,24 @@ const (
 
 // Diagnostic is one positioned calvet diagnostic rendered for the wire.
 type Diagnostic struct {
-	Code     string `json:"code"`               // CV001..CV009, or PARSE
+	Code     string `json:"code"`               // CV001..CV013, or PARSE
 	Severity string `json:"severity"`           // "error" | "warning"
 	Position string `json:"position,omitempty"` // "line:col" into the derivation source
 	Message  string `json:"message"`
+}
+
+// wireDiags renders calvet diagnostics for the wire, keeping each
+// diagnostic's stable CV-code and source position.
+func wireDiags(diags calvet.Diags) []Diagnostic {
+	out := make([]Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		jd := Diagnostic{Code: d.Code, Severity: d.Severity.String(), Message: d.Msg}
+		if p := d.Pos; p.Line != 0 || p.Col != 0 {
+			jd.Position = p.String()
+		}
+		out = append(out, jd)
+	}
+	return out
 }
 
 // ErrorBody is the structured JSON error envelope every non-2xx response
@@ -66,14 +80,11 @@ func writeError(w http.ResponseWriter, status int, body ErrorBody) {
 // each diagnostic's stable CV-code and source position.
 func writeVetError(w http.ResponseWriter, what string, diags calvet.Diags) {
 	body := ErrorBody{Code: ErrVetFailed, Message: what + " does not vet"}
-	for _, d := range diags {
-		jd := Diagnostic{Code: d.Code, Severity: d.Severity.String(), Message: d.Msg}
-		if p := d.Pos; p.Line != 0 || p.Col != 0 {
-			jd.Position = p.String()
-		}
-		body.Diagnostics = append(body.Diagnostics, jd)
-		if body.Position == "" && jd.Position != "" && d.Severity == calvet.Error {
-			body.Position = jd.Position
+	body.Diagnostics = wireDiags(diags)
+	for i, d := range diags {
+		if body.Diagnostics[i].Position != "" && d.Severity == calvet.Error {
+			body.Position = body.Diagnostics[i].Position
+			break
 		}
 	}
 	writeError(w, http.StatusBadRequest, body)

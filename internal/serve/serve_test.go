@@ -582,3 +582,40 @@ func TestConcurrentTenants(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// A provably-empty rule expression defines successfully (warnings never
+// reject a write) but the 201 envelope must carry the CV010 diagnostic so
+// clients learn the rule will never fire.
+func TestRulePutSurfacesSymbolicWarnings(t *testing.T) {
+	ts, _ := newTestServer(t)
+	tok := mkTenant(t, ts, "acme")
+	status, body := call(t, ts, "PUT", "/v1/tenants/acme/rules/never", tok,
+		map[string]any{"expr": "DAYS - DAYS"})
+	if status != http.StatusCreated {
+		t.Fatalf("create: %d %v", status, body)
+	}
+	diags, _ := body["diagnostics"].([]any)
+	if len(diags) == 0 {
+		t.Fatalf("no diagnostics in success envelope: %v", body)
+	}
+	found := false
+	for _, d := range diags {
+		m, _ := d.(map[string]any)
+		if m["code"] == "CV010" && m["severity"] == "warning" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no CV010 warning in %v", diags)
+	}
+
+	// A clean rule keeps a clean envelope.
+	status, body = call(t, ts, "PUT", "/v1/tenants/acme/rules/daily", tok,
+		map[string]any{"expr": "DAYS"})
+	if status != http.StatusCreated {
+		t.Fatalf("create daily: %d %v", status, body)
+	}
+	if _, present := body["diagnostics"]; present {
+		t.Fatalf("unexpected diagnostics on clean rule: %v", body)
+	}
+}

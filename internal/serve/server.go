@@ -487,6 +487,10 @@ type ruleJSON struct {
 	Expr  string `json:"expr"`
 	Fired int64  `json:"fired"`
 	Next  string `json:"next,omitempty"` // next firing date after the tenant clock
+	// Diagnostics carries the analyzer's warnings on a successful define
+	// (e.g. a CV010 provably-empty expression or a CV011 duplicate of an
+	// existing calendar) so clients see them without failing the write.
+	Diagnostics []Diagnostic `json:"diagnostics,omitempty"`
 }
 
 func (s *Server) handleRulePut(w http.ResponseWriter, r *http.Request, t *Tenant) {
@@ -513,7 +517,10 @@ func (s *Server) handleRulePut(w http.ResponseWriter, r *http.Request, t *Tenant
 	}
 	// Vet-on-write for rules too: an undefined or cyclic reference is
 	// rejected here with positioned diagnostics, not at probe time.
-	if diags := t.Manager().Vet("", src); diags.HasErrors() {
+	// Warnings (provably-empty expressions, duplicates of existing
+	// calendars) ride along in the success envelope below.
+	diags := t.Manager().Vet("", src)
+	if diags.HasErrors() {
 		writeVetError(w, fmt.Sprintf("rule %q", name), diags)
 		return
 	}
@@ -531,7 +538,11 @@ func (s *Server) handleRulePut(w http.ResponseWriter, r *http.Request, t *Tenant
 		return
 	}
 	t.rememberRule(name, src)
-	writeJSON(w, http.StatusCreated, s.ruleJSON(t, ruleInfo{Name: name, Expr: src}))
+	resp := s.ruleJSON(t, ruleInfo{Name: name, Expr: src})
+	if warns := diags.Warnings(); len(warns) > 0 {
+		resp.Diagnostics = wireDiags(warns)
+	}
+	writeJSON(w, http.StatusCreated, resp)
 }
 
 // ruleJSON renders a rule with its next firing instant.
