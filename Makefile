@@ -67,9 +67,12 @@ bench-smoke:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
-# Short fuzz run over the calendar-language front end (parser + calvet).
+# Short fuzz runs: the calendar-language front end (parser + calvet) and the
+# sweep kernels against the naive foreach/set-op oracles. `go test -fuzz`
+# takes one target per invocation, hence two commands.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseAndVet -fuzztime=15s -run '^$$' ./internal/core/callang/
+	$(GO) test -fuzz=FuzzSweepVsNaive -fuzztime=15s -run '^$$' ./internal/core/calendar/
 
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
@@ -102,15 +105,22 @@ bench-compare:
 	$(MAKE) bench-gate
 
 # Hard benchmark gate: the scheduling kernel (including the symbolic-calculus
-# ablation arm), the warm materialized-calendar cache, and the sweep join are
-# run at a real benchtime and must stay within 1.25x of BENCH_baseline.json
-# ns/op, or the build fails.
+# ablation arm), the warm materialized-calendar cache, the sweep join, and the
+# endpoint-index kernels are run at a real benchtime and must stay within
+# 1.25x of BENCH_baseline.json ns/op and allocs/op, or the build fails.
+# A full second of measurement per benchmark averages out scheduler spikes,
+# and -count=3 makes the gate best-of-three (benchjson keeps the fastest run
+# per benchmark), so a regression must reproduce in every repetition — one
+# noisy-neighbor episode cannot fail the build. The second command selects
+# only the sweep arms (the generic fallback arms take ~50ms/op and are not
+# gated). The two runs share one compare.
 bench-gate:
-	$(GO) test -bench 'NextAfter|CacheColdVsWarm|ForeachSweepVsGeneric' \
-		-benchtime=100x -benchmem . | \
+	( $(GO) test -bench 'NextAfter|CacheColdVsWarm|EndpointSweepVsLinear' \
+		-benchtime=1s -count=3 -benchmem . && \
+	  $(GO) test -bench 'ForeachSweepVsGeneric/sweep' -benchtime=1s -count=3 -benchmem . ) | \
 		$(GO) run ./cmd/benchjson -compare BENCH_baseline.json \
-			-gate 'BenchmarkNextAfter|BenchmarkNextAfterSymbolicAblation/symbolic|BenchmarkCacheColdVsWarm/warm|BenchmarkForeachSweepVsGeneric/sweep' \
-			-gate-threshold 1.25 -
+			-gate 'BenchmarkNextAfter|BenchmarkNextAfterSymbolicAblation/symbolic|BenchmarkCacheColdVsWarm/warm|BenchmarkForeachSweepVsGeneric/sweep|BenchmarkEndpointSweepVsLinear/endpoint' \
+			-gate-threshold 1.25 -gate-allocs-threshold 1.25 -
 
 # CPU + heap profile of one probe-day over the 100k-rule fleet; inspect with
 # `go tool pprof cpu.prof` (or mem.prof). The live daemon exposes the same

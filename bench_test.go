@@ -672,6 +672,59 @@ func BenchmarkForeachSweepVsGeneric(b *testing.B) {
 	}
 }
 
+// The endpoint-index sweep kernels against the linear-merge kernels they
+// replaced, over ten years of DAYS/WEEKS at day ticks — the paper's standard
+// workload shape. foreach runs During strict (the most common grouping),
+// the set ops run DAYS-vs-WEEKS both ways. Union has no arm here: the
+// disjoint union is a straight output-writing merge in both kernels and the
+// endpoint index cannot shrink it. The endpoint sub-benchmarks are CI-gated
+// on both ns/op and allocs/op (see cmd/benchjson -gate).
+func BenchmarkEndpointSweepVsLinear(b *testing.B) {
+	ch := chronology.MustNew(DefaultEpoch)
+	days, err := calendar.GenerateFull(ch, Day, Day, 1, 3650)
+	if err != nil {
+		b.Fatal(err)
+	}
+	weeks, err := calendar.GenerateFull(ch, Week, Day, 1, 3650)
+	if err != nil {
+		b.Fatal(err)
+	}
+	days.PrimeIndex()
+	weeks.PrimeIndex()
+	type kernel struct {
+		name string
+		run  func() error
+	}
+	foreach := func(f func(*calendar.Calendar, ListOp, bool, *calendar.Calendar) (*calendar.Calendar, error)) func() error {
+		return func() error { _, err := f(days, During, true, weeks); return err }
+	}
+	setop := func(f func(a, b *calendar.Calendar) (*calendar.Calendar, error)) func() error {
+		return func() error {
+			if _, err := f(days, weeks); err != nil {
+				return err
+			}
+			_, err := f(weeks, days)
+			return err
+		}
+	}
+	for _, k := range []kernel{
+		{"endpoint/foreach", foreach(calendar.ForeachSweepEndpoint)},
+		{"linear/foreach", foreach(calendar.ForeachSweepLinear)},
+		{"endpoint/diff", setop(calendar.Diff)},
+		{"linear/diff", setop(calendar.DiffLinear)},
+		{"endpoint/intersect", setop(calendar.Intersect)},
+		{"linear/intersect", setop(calendar.IntersectLinear)},
+	} {
+		b.Run(k.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := k.run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- next-instant kernel (DBCRON scheduling at scale) ----------------------
 
 // BenchmarkNextAfter measures one next-trigger query through the plan

@@ -18,6 +18,12 @@
 //	go test -bench 'NextAfter' -benchtime=100x ./... | \
 //	    go run ./cmd/benchjson -compare BENCH_baseline.json \
 //	        -gate 'BenchmarkNextAfter' -gate-threshold 1.25
+//
+// -gate-allocs-threshold (0 = off) additionally fails gated benchmarks whose
+// allocs/op grows beyond that factor of the baseline — allocation counts are
+// deterministic per build, so a tighter factor than ns/op is safe. A
+// baseline of 0 allocs/op tolerates up to 2 allocs/op of measurement slack
+// before failing (a steady-state zero-allocation loop must stay one).
 package main
 
 import (
@@ -55,6 +61,7 @@ func main() {
 	threshold := flag.Float64("threshold", 2.0, "warn when a metric grows beyond this factor of the baseline")
 	gate := flag.String("gate", "", "regexp of benchmark names whose ns/op regressions fail the compare")
 	gateThreshold := flag.Float64("gate-threshold", 1.25, "fail when a gated benchmark's ns/op grows beyond this factor")
+	gateAllocs := flag.Float64("gate-allocs-threshold", 0, "also fail when a gated benchmark's allocs/op grows beyond this factor (0 disables)")
 	flag.Parse()
 
 	if *baseline != "" {
@@ -67,7 +74,7 @@ func main() {
 			}
 			gateRe = re
 		}
-		if err := compare(*baseline, flag.Arg(0), *threshold, gateRe, *gateThreshold); err != nil {
+		if err := compare(*baseline, flag.Arg(0), *threshold, gateRe, *gateThreshold, *gateAllocs); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -107,8 +114,12 @@ func main() {
 
 // parse reads `go test -bench` output. Non-benchmark lines (test results,
 // package headers, PASS/ok) are skipped; goos/goarch/cpu headers are kept.
+// A benchmark appearing more than once (a `-count=N` run) keeps its fastest
+// instance — best-of-N is the stable statistic on shared hardware, and it
+// means a gated regression must reproduce in every repetition to fail.
 func parse(r io.Reader) (*Report, error) {
 	rep := &Report{}
+	byName := map[string]int{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -125,6 +136,13 @@ func parse(r io.Reader) (*Report, error) {
 			if !ok {
 				continue
 			}
+			if j, seen := byName[b.Name]; seen {
+				if b.Metrics["ns/op"] < rep.Benchmarks[j].Metrics["ns/op"] {
+					rep.Benchmarks[j] = b
+				}
+				continue
+			}
+			byName[b.Name] = len(rep.Benchmarks)
 			rep.Benchmarks = append(rep.Benchmarks, b)
 		}
 	}
@@ -184,12 +202,18 @@ func load(path string) (*Report, error) {
 	return &rep, nil
 }
 
+// zeroAllocsSlack is the absolute allocs/op a gated benchmark with a
+// zero-alloc baseline may grow to before the allocs gate fails it: a ratio
+// gate cannot catch 0 -> N regressions.
+const zeroAllocsSlack = 2
+
 // compare prints drift between a baseline JSON and a current run (a JSON
 // file when the argument ends in .json, otherwise bench text — "-" or empty
 // reads text from stdin). Metric growth beyond `threshold` warns; for
 // benchmarks matching gateRe, ns/op growth beyond gateThreshold fails the
-// compare with a non-nil error.
-func compare(basePath, curPath string, threshold float64, gateRe *regexp.Regexp, gateThreshold float64) error {
+// compare with a non-nil error, as does allocs/op growth beyond
+// allocsThreshold when that is non-zero.
+func compare(basePath, curPath string, threshold float64, gateRe *regexp.Regexp, gateThreshold, allocsThreshold float64) error {
 	base, err := load(basePath)
 	if err != nil {
 		return err
@@ -231,6 +255,20 @@ func compare(basePath, curPath string, threshold float64, gateRe *regexp.Regexp,
 					b.Name, pv, v, v/pv, gateThreshold)
 				failed++
 			}
+			if allocsThreshold > 0 {
+				pa, paok := prev.Metrics["allocs/op"]
+				if a, aok := b.Metrics["allocs/op"]; paok && aok {
+					limit := pa * allocsThreshold
+					if pa == 0 {
+						limit = zeroAllocsSlack
+					}
+					if a > limit {
+						fmt.Printf("FAIL %s: allocs/op %.6g -> %.6g (limit %.6g, allocs gate %.2fx)\n",
+							b.Name, pa, a, limit, allocsThreshold)
+						failed++
+					}
+				}
+			}
 		}
 		for unit, v := range b.Metrics {
 			pv, ok := prev.Metrics[unit]
@@ -247,7 +285,7 @@ func compare(basePath, curPath string, threshold float64, gateRe *regexp.Regexp,
 	fmt.Printf("benchjson: compared %d benchmarks against %s: %d warning(s), %d gated, %d gate failure(s)\n",
 		len(cur.Benchmarks), basePath, warned, gated, failed)
 	if failed > 0 {
-		return fmt.Errorf("%d gated benchmark(s) regressed beyond %.2fx", failed, gateThreshold)
+		return fmt.Errorf("%d gated benchmark regression(s)", failed)
 	}
 	return nil
 }

@@ -60,6 +60,23 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestParseBestOfN(t *testing.T) {
+	rep, err := parse(strings.NewReader(`BenchmarkX 100 200 ns/op 9 allocs/op
+BenchmarkX 100 150 ns/op 4 allocs/op
+BenchmarkX 100 180 ns/op 5 allocs/op
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 {
+		t.Fatalf("got %d benchmarks, want 1: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	// The fastest instance wins, as a whole (its allocs/op come along).
+	if m := rep.Benchmarks[0].Metrics; m["ns/op"] != 150 || m["allocs/op"] != 4 {
+		t.Errorf("best-of-N metrics = %v, want ns/op 150 allocs/op 4", m)
+	}
+}
+
 func TestParseLineRejectsGarbage(t *testing.T) {
 	for _, line := range []string{
 		"BenchmarkX",
@@ -94,7 +111,7 @@ func TestCompareGate(t *testing.T) {
 		{"name": "BenchmarkNextAfter/weekly/kernel", "iterations": 100, "metrics": {"ns/op": 120}},
 		{"name": "BenchmarkOther", "iterations": 100, "metrics": {"ns/op": 900}}
 	]}`)
-	if err := compare(base, cur, 2.0, gate, 1.25); err != nil {
+	if err := compare(base, cur, 2.0, gate, 1.25, 0); err != nil {
 		t.Fatalf("compare within gate: %v", err)
 	}
 
@@ -102,11 +119,11 @@ func TestCompareGate(t *testing.T) {
 	bad := write("bad.json", `{"benchmarks": [
 		{"name": "BenchmarkNextAfter/weekly/kernel", "iterations": 100, "metrics": {"ns/op": 130}}
 	]}`)
-	if err := compare(base, bad, 2.0, gate, 1.25); err == nil {
+	if err := compare(base, bad, 2.0, gate, 1.25, 0); err == nil {
 		t.Fatal("compare accepted a gated regression")
 	}
 	// The same regression without a gate stays warn-only.
-	if err := compare(base, bad, 2.0, nil, 1.25); err != nil {
+	if err := compare(base, bad, 2.0, nil, 1.25, 0); err != nil {
 		t.Fatalf("ungated compare errored: %v", err)
 	}
 	// A gated benchmark absent from the baseline is not a failure (new
@@ -114,7 +131,53 @@ func TestCompareGate(t *testing.T) {
 	fresh := write("fresh.json", `{"benchmarks": [
 		{"name": "BenchmarkNextAfter/brand/new", "iterations": 100, "metrics": {"ns/op": 500}}
 	]}`)
-	if err := compare(base, fresh, 2.0, gate, 1.25); err != nil {
+	if err := compare(base, fresh, 2.0, gate, 1.25, 0); err != nil {
 		t.Fatalf("compare failed on a benchmark missing from baseline: %v", err)
+	}
+}
+
+func TestCompareGateAllocs(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	base := write("base.json", `{"benchmarks": [
+		{"name": "BenchmarkSweep/endpoint", "iterations": 100, "metrics": {"ns/op": 100, "allocs/op": 4}},
+		{"name": "BenchmarkSweep/zero", "iterations": 100, "metrics": {"ns/op": 100, "allocs/op": 0}}
+	]}`)
+	gate := regexp.MustCompile("BenchmarkSweep")
+
+	// Within both gates: no error.
+	ok := write("ok.json", `{"benchmarks": [
+		{"name": "BenchmarkSweep/endpoint", "iterations": 100, "metrics": {"ns/op": 110, "allocs/op": 5}},
+		{"name": "BenchmarkSweep/zero", "iterations": 100, "metrics": {"ns/op": 100, "allocs/op": 2}}
+	]}`)
+	if err := compare(base, ok, 2.0, gate, 1.25, 1.25); err != nil {
+		t.Fatalf("compare within allocs gate: %v", err)
+	}
+
+	// allocs/op beyond the factor fails even with ns/op flat.
+	bad := write("bad.json", `{"benchmarks": [
+		{"name": "BenchmarkSweep/endpoint", "iterations": 100, "metrics": {"ns/op": 100, "allocs/op": 9}}
+	]}`)
+	if err := compare(base, bad, 2.0, gate, 1.25, 1.25); err == nil {
+		t.Fatal("compare accepted a gated allocs/op regression")
+	}
+	// The same run passes with the allocs gate disabled (0).
+	if err := compare(base, bad, 2.0, gate, 1.25, 0); err != nil {
+		t.Fatalf("disabled allocs gate errored: %v", err)
+	}
+
+	// A zero-alloc baseline: a ratio can't catch 0 -> N, the absolute slack
+	// does.
+	grown := write("grown.json", `{"benchmarks": [
+		{"name": "BenchmarkSweep/zero", "iterations": 100, "metrics": {"ns/op": 100, "allocs/op": 3}}
+	]}`)
+	if err := compare(base, grown, 2.0, gate, 1.25, 1.25); err == nil {
+		t.Fatal("compare accepted allocs growth from a zero-alloc baseline")
 	}
 }

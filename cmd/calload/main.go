@@ -1,10 +1,16 @@
-// Command calload drives a mixed CRUD/expand/next-instant workload against
-// a running calserved and reports latency percentiles and throughput. The
-// summary is printed as a human table plus Benchmark-formatted lines that
-// cmd/benchjson parses into machine-readable artifacts:
+// Command calload drives a workload against a running calserved and reports
+// latency percentiles and throughput. The summary is printed as a human
+// table plus Benchmark-formatted lines that cmd/benchjson parses into
+// machine-readable artifacts:
 //
 //	calload -addr 127.0.0.1:8437 -admin-token secret | tee calload.txt
 //	go run ./cmd/benchjson -o BENCH_serve.json calload.txt
+//
+// -mix picks the preset: "mixed" (default) interleaves CRUD, expand, and
+// next-instant the way an interactive tenant would; "expand" is
+// expansion-heavy over multi-year windows of grouping and set-op
+// expressions — the requests that run the engine's sweep kernels — so the
+// serve smoke exercises those kernels end to end.
 //
 // Any failed request makes the run exit nonzero — the CI smoke gate treats
 // one failure as a broken server.
@@ -51,6 +57,8 @@ func run() error {
 		clients    = flag.Int("clients", 8, "concurrent clients")
 		requests   = flag.Int("requests", 50, "workload requests per client")
 		seed       = flag.Int64("seed", 1, "workload mix seed")
+		mix        = flag.String("mix", "mixed", "workload preset: mixed | expand")
+		prefix     = flag.String("tenant-prefix", "load", "tenant name prefix (runs against one server need distinct prefixes)")
 	)
 	flag.Parse()
 	if *adminToken == "" {
@@ -59,6 +67,9 @@ func run() error {
 	if *tenants < 1 || *clients < 1 || *requests < 1 {
 		return fmt.Errorf("-tenants, -clients and -requests must be positive")
 	}
+	if *mix != "mixed" && *mix != "expand" {
+		return fmt.Errorf("-mix must be mixed or expand, got %q", *mix)
+	}
 
 	lg := &loadgen{base: "http://" + *addr, client: &http.Client{Timeout: 30 * time.Second}}
 
@@ -66,7 +77,7 @@ func run() error {
 	// temporal rule, so the workload exercises the catalog too.
 	tokens := make([]string, *tenants)
 	for i := range tokens {
-		name := fmt.Sprintf("load%d", i)
+		name := fmt.Sprintf("%s%d", *prefix, i)
 		status, body, err := lg.do("POST", "/v1/tenants", *adminToken,
 			map[string]any{"name": name})
 		if err != nil {
@@ -126,8 +137,8 @@ func run() error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			tenant := fmt.Sprintf("load%d", c%*tenants)
-			lg.client2(results, tenant, tokens[c%*tenants], c, *requests, rand.New(rand.NewSource(*seed+int64(c))))
+			tenant := fmt.Sprintf("%s%d", *prefix, c%*tenants)
+			lg.client2(results, tenant, tokens[c%*tenants], c, *requests, *mix, rand.New(rand.NewSource(*seed+int64(c))))
 		}()
 	}
 	wg.Wait()
@@ -135,7 +146,7 @@ func run() error {
 	close(results)
 	<-collected
 
-	report(stats, all, elapsed)
+	report(*mix, stats, all, elapsed)
 	if failed > 0 {
 		return fmt.Errorf("%d of %d requests failed", failed, len(all)+failed)
 	}
@@ -174,8 +185,21 @@ func (lg *loadgen) do(method, path, token string, body any) (int, []byte, error)
 	return resp.StatusCode, buf.Bytes(), nil
 }
 
+// expandExprs are the expression bodies the expand-heavy preset cycles
+// through: groupings, end-relative selections, and set ops — each one runs
+// the engine's sweep kernels over the multi-year request window.
+var expandExprs = []string{
+	"DAYS:during:WEEKS",
+	"DAYS:during:MONTHS",
+	"[n]/DAYS:during:MONTHS",
+	"WEEKS:overlaps:MONTHS",
+	"[n]/DAYS:<:MONTHS",
+	"(DAYS:during:WEEKS) - holidays",
+	"([1]/DAYS:during:WEEKS):intersects:(DAYS:during:MONTHS)",
+}
+
 // client2 runs one client's request loop, posting results.
-func (lg *loadgen) client2(results chan<- result, tenant, token string, id, requests int, rng *rand.Rand) {
+func (lg *loadgen) client2(results chan<- result, tenant, token string, id, requests int, mix string, rng *rand.Rand) {
 	base := "/v1/tenants/" + tenant
 	scratch := fmt.Sprintf("scratch-c%d", id)
 	one := func(op, method, path string, body any, wantStatus int) {
@@ -191,6 +215,21 @@ func (lg *loadgen) client2(results chan<- result, tenant, token string, id, requ
 			return
 		}
 		results <- result{op: op, dur: dur, ok: true}
+	}
+	if mix == "expand" {
+		for i := 0; i < requests; i++ {
+			if rng.Intn(8) == 0 { // a trickle of next-instant keeps the scheduler warm
+				one("next", "POST", base+"/next", map[string]any{
+					"rule": "board", "after": "1993-06-01",
+				}, http.StatusOK)
+				continue
+			}
+			one("expand", "POST", base+"/expand", map[string]any{
+				"expr": expandExprs[rng.Intn(len(expandExprs))],
+				"from": "1993-01-01", "to": "1996-12-31",
+			}, http.StatusOK)
+		}
+		return
 	}
 	for i := 0; i < requests; i++ {
 		switch rng.Intn(6) {
@@ -247,7 +286,9 @@ func percentile(durs []time.Duration, p float64) time.Duration {
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 // report prints the human table and the Benchmark lines benchjson parses.
-func report(stats map[string]*opStat, all []time.Duration, elapsed time.Duration) {
+// The summary line carries the preset name so the mixed and expand artifacts
+// stay distinct benchmarks.
+func report(mix string, stats map[string]*opStat, all []time.Duration, elapsed time.Duration) {
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	ops := make([]string, 0, len(stats))
 	for op := range stats {
@@ -276,8 +317,12 @@ func report(stats map[string]*opStat, all []time.Duration, elapsed time.Duration
 		}
 		mean = sum / time.Duration(len(all))
 	}
-	fmt.Printf("BenchmarkServeMixed %d %d ns/op %.3f p50-ms %.3f p95-ms %.3f p99-ms %.1f req/s\n",
-		len(all), mean.Nanoseconds(), ms(percentile(all, 50)), ms(percentile(all, 95)), ms(percentile(all, 99)), rps)
+	summary := "BenchmarkServeMixed"
+	if mix == "expand" {
+		summary = "BenchmarkServeExpand"
+	}
+	fmt.Printf("%s %d %d ns/op %.3f p50-ms %.3f p95-ms %.3f p99-ms %.1f req/s\n",
+		summary, len(all), mean.Nanoseconds(), ms(percentile(all, 50)), ms(percentile(all, 95)), ms(percentile(all, 99)), rps)
 	for _, op := range ops {
 		st := stats[op]
 		if len(st.durs) == 0 {

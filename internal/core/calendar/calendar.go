@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"calsys/internal/chronology"
 	"calsys/internal/core/interval"
@@ -30,6 +31,12 @@ type Calendar struct {
 	// construction so per-call operators never re-scan; conservative (true
 	// implies the property, false only means it was not established).
 	sortedDisjoint bool
+
+	// idx lazily caches the flat endpoint index (and, inside it, the fused
+	// point-set coverage) the sweep kernels run over; see endpointidx.go.
+	// Built at most once per calendar — cached materializations keep it for
+	// as long as they live, so repeated queries never re-lower the list.
+	idx atomic.Pointer[epIndex]
 }
 
 // newLeaf builds an order-1 calendar around ivs (not copied), classifying its

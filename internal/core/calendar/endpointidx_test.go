@@ -1,0 +1,303 @@
+package calendar
+
+import (
+	"math/rand"
+	"testing"
+
+	"calsys/internal/chronology"
+	"calsys/internal/core/interval"
+)
+
+// TestEndpointSweepMatchesLinearAndNaive cross-checks the three foreach
+// evaluators — endpoint-index kernel, retained linear kernel, O(n·m) naive —
+// over randomized sorted disjoint operands for every listop, strict and
+// relaxed.
+func TestEndpointSweepMatchesLinearAndNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 300; trial++ {
+		c, err := FromIntervals(chronology.Day, randDisjointSorted(rng, rng.Intn(14)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		arg, err := FromIntervals(chronology.Day, randDisjointSorted(rng, rng.Intn(10)+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, op := range allListOps {
+			for _, strict := range []bool{false, true} {
+				want := naiveForeach(c, op, strict, arg)
+				ep, err := ForeachSweepEndpoint(c, op, strict, arg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lin, err := ForeachSweepLinear(c, op, strict, arg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ep.Equal(want) {
+					t.Fatalf("trial %d op %v strict %v:\nc   = %v\narg = %v\nendpoint %v\nwant     %v",
+						trial, op, strict, c, arg, ep, want)
+				}
+				if !lin.Equal(want) {
+					t.Fatalf("trial %d op %v strict %v: linear kernel diverges:\ngot  %v\nwant %v",
+						trial, op, strict, lin, want)
+				}
+			}
+		}
+	}
+}
+
+// TestForeachSelfJoin checks the diagonal fast path — both when the operands
+// are the same *Calendar and when they are distinct views over one backing
+// array — against the naive reference.
+func TestForeachSelfJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 200; trial++ {
+		c, err := FromIntervals(chronology.Day, randDisjointSorted(rng, rng.Intn(12)+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		view := &Calendar{gran: c.gran, ivs: c.ivs, sortedDisjoint: true}
+		if !sameBacking(c, c) || !sameBacking(c, view) {
+			t.Fatal("sameBacking failed to recognize shared backing")
+		}
+		for _, op := range allListOps {
+			for _, strict := range []bool{false, true} {
+				want := naiveForeach(c, op, strict, c)
+				got := foreachSweep(c, op, strict, c)
+				if !got.Equal(want) {
+					t.Fatalf("trial %d op %v strict %v self-join:\nc = %v\ngot  %v\nwant %v",
+						trial, op, strict, c, got, want)
+				}
+				if gotView := foreachSweep(c, op, strict, view); !gotView.Equal(want) {
+					t.Fatalf("trial %d op %v strict %v shared-backing view diverges", trial, op, strict)
+				}
+				// The closed form must agree with the generic endpoint kernel
+				// run on the same operands without the fast path.
+				if ep := foreachSweepEndpoint(c, op, strict, view); !ep.Equal(want) {
+					t.Fatalf("trial %d op %v strict %v: endpoint kernel disagrees on self-join operands", trial, op, strict)
+				}
+			}
+		}
+	}
+}
+
+// TestSweepExtentsZeroAllocs pins the steady-state merge loop at exactly
+// zero allocations per sweep for every listop, strict and relaxed.
+func TestSweepExtentsZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	c, err := FromIntervals(chronology.Day, randDisjointSorted(rng, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arg, err := FromIntervals(chronology.Day, randDisjointSorted(rng, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := c.epindex()
+	ext := make([]runExtent, len(arg.ivs))
+	for _, op := range allListOps {
+		for _, strict := range []bool{false, true} {
+			allocs := testing.AllocsPerRun(100, func() {
+				sweepExtents(ix.lo, ix.hi, op, strict, arg.ivs, ext)
+			})
+			if allocs != 0 {
+				t.Errorf("op %v strict %v: merge loop allocates %.1f/op, want 0", op, strict, allocs)
+			}
+		}
+	}
+}
+
+// TestForeachSweepAllocBound pins the whole endpoint sweep (index built,
+// arena warm) to its small constant allocation profile: slab + leaf block +
+// sub list + result, with slack for an occasional pool refill.
+func TestForeachSweepAllocBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	c, err := FromIntervals(chronology.Day, randDisjointSorted(rng, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arg, err := FromIntervals(chronology.Day, randDisjointSorted(rng, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.PrimeIndex()
+	for _, op := range allListOps {
+		for _, strict := range []bool{false, true} {
+			foreachSweepEndpoint(c, op, strict, arg) // warm the arena pool
+			allocs := testing.AllocsPerRun(50, func() {
+				foreachSweepEndpoint(c, op, strict, arg)
+			})
+			if allocs > 5 {
+				t.Errorf("op %v strict %v: endpoint sweep allocates %.1f/op, want ≤ 5", op, strict, allocs)
+			}
+		}
+	}
+	// The self-join closed form shares everything: leaf block + sub list +
+	// result only.
+	for _, op := range allListOps {
+		allocs := testing.AllocsPerRun(50, func() {
+			foreachSelfJoin(c, op, true)
+		})
+		if allocs > 3 {
+			t.Errorf("op %v: self-join allocates %.1f/op, want ≤ 3", op, allocs)
+		}
+	}
+}
+
+// TestCovIndexFusesAdjacent checks that the cached coverage fuses elements
+// adjacent in tick space (the WEEKS-in-day-ticks shape) into single spans,
+// and that the index is built exactly once.
+func TestCovIndexFusesAdjacent(t *testing.T) {
+	c := MustFromIntervals(chronology.Day,
+		interval.Interval{Lo: 1, Hi: 7},
+		interval.Interval{Lo: 8, Hi: 14},
+		interval.Interval{Lo: 15, Hi: 21},
+		interval.Interval{Lo: 30, Hi: 33},
+	)
+	cv := c.covindex()
+	if len(cv.lo) != 2 || cv.lo[0] != 1 || cv.hi[0] != 21 || cv.lo[1] != 30 || cv.hi[1] != 33 {
+		t.Fatalf("fused coverage = lo %v hi %v, want [1 30] [21 33]", cv.lo, cv.hi)
+	}
+	if again := c.covindex(); again != cv {
+		t.Fatal("covindex rebuilt on second call")
+	}
+	if ix := c.epindex(); c.epindex() != ix {
+		t.Fatal("epindex rebuilt on second call")
+	}
+
+	// Messy (overlapping) operands fall back to the normalized point set.
+	m := MustFromIntervals(chronology.Day,
+		interval.Interval{Lo: 1, Hi: 5},
+		interval.Interval{Lo: 3, Hi: 9},
+		interval.Interval{Lo: 11, Hi: 12},
+	)
+	cv = m.covindex()
+	if len(cv.lo) != 2 || cv.lo[0] != 1 || cv.hi[0] != 9 || cv.lo[1] != 11 || cv.hi[1] != 12 {
+		t.Fatalf("messy coverage = lo %v hi %v, want [1 11] [9 12]", cv.lo, cv.hi)
+	}
+}
+
+// TestSetOpsMatchLinearOnAdjacentShapes pins Diff/Intersect/Union over the
+// fused cached coverage against the retained linear baselines on
+// adjacent-element operands, where fusing actually changes the merge input.
+func TestSetOpsMatchLinearOnAdjacentShapes(t *testing.T) {
+	days := make([]interval.Interval, 0, 90)
+	for d := int64(1); d <= 90; d++ {
+		days = append(days, interval.Interval{Lo: d, Hi: d})
+	}
+	weeks := make([]interval.Interval, 0, 13)
+	for w := int64(0); w < 13; w++ {
+		weeks = append(weeks, interval.Interval{Lo: 1 + 7*w, Hi: 7 + 7*w})
+	}
+	a := MustFromIntervals(chronology.Day, days...)
+	b := MustFromIntervals(chronology.Day, weeks...)
+	for _, pair := range [][2]*Calendar{{a, b}, {b, a}} {
+		x, y := pair[0], pair[1]
+		gotD, err := Diff(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantD, err := DiffLinear(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !gotD.Equal(wantD) {
+			t.Fatalf("Diff diverges from linear: got %v want %v", gotD, wantD)
+		}
+		gotI, err := Intersect(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantI, err := IntersectLinear(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !gotI.Equal(wantI) {
+			t.Fatalf("Intersect diverges from linear: got %v want %v", gotI, wantI)
+		}
+		gotU, err := Union(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantU, err := UnionLinear(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !gotU.Equal(wantU) {
+			t.Fatalf("Union diverges from linear: got %v want %v", gotU, wantU)
+		}
+	}
+}
+
+// TestSliceOverlappingInheritsIndex checks that slicing a primed calendar
+// (the matcache subset-window path) carries the matching sub-range of the
+// endpoint index instead of dropping it, and that sweeps over the slice
+// agree with a freshly built index.
+func TestSliceOverlappingInheritsIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	c, err := FromIntervals(chronology.Day, randDisjointSorted(rng, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.PrimeIndex()
+	hull := c.ivs[40].Lo
+	win := interval.Interval{Lo: hull, Hi: c.ivs[160].Hi}
+	s := SliceOverlapping(c, win)
+	ix := s.idx.Load()
+	if ix == nil {
+		t.Fatal("slice of a primed calendar lost its endpoint index")
+	}
+	if len(ix.lo) != len(s.ivs) {
+		t.Fatalf("inherited index has %d bounds for %d elements", len(ix.lo), len(s.ivs))
+	}
+	for i, iv := range s.ivs {
+		if ix.lo[i] != iv.Lo || ix.hi[i] != iv.Hi {
+			t.Fatalf("inherited index misaligned at %d: (%d,%d) vs %v", i, ix.lo[i], ix.hi[i], iv)
+		}
+	}
+	arg, err := FromIntervals(chronology.Day, randDisjointSorted(rng, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range allListOps {
+		got := foreachSweepEndpoint(s, op, true, arg)
+		want := naiveForeach(s, op, true, arg)
+		if !got.Equal(want) {
+			t.Fatalf("op %v over inherited-index slice diverges from naive", op)
+		}
+	}
+}
+
+// TestEndpointIndexConcurrentBuild hammers the lazy builders from many
+// goroutines; under -race this proves the benign-CAS publication is clean,
+// and every caller must observe the same index.
+func TestEndpointIndexConcurrentBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	c, err := FromIntervals(chronology.Day, randDisjointSorted(rng, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	got := make([]*epIndex, workers)
+	cov := make([]*covIndex, workers)
+	done := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			got[w] = c.epindex()
+			cov[w] = c.covindex()
+			done <- w
+		}(w)
+	}
+	for i := 0; i < workers; i++ {
+		<-done
+	}
+	for w := 1; w < workers; w++ {
+		if got[w] != got[0] {
+			t.Fatal("concurrent epindex builds published different indexes")
+		}
+		if cov[w] != cov[0] {
+			t.Fatal("concurrent covindex builds published different coverage")
+		}
+	}
+}

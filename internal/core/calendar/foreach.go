@@ -109,11 +109,26 @@ func disjointSorted(ivs []interval.Interval) bool {
 	return true
 }
 
-// foreachSweep evaluates foreach over two disjoint sorted interval lists with
-// one merge-sweep kernel per listop. In a disjoint sorted list both bounds
-// strictly increase, so for each arg element y the matching c elements are a
-// contiguous run whose boundaries only move forward as y advances; every
-// kernel is O(n + m + output) with no per-element rescans:
+// foreachSweep evaluates foreach over two disjoint sorted interval lists.
+// Both bounds of such a list strictly increase, so for each arg element y the
+// matching c elements are a contiguous run whose boundaries only move forward
+// as y advances — O(n + m + output) total. The work happens in the
+// endpoint-index kernels of endpointidx.go: a zero-allocation merge loop over
+// flat []Tick bound arrays cached on c, a fill pass that shares untrimmed
+// runs, and a closed-form diagonal fast path when both operands are views
+// over the same backing array.
+func foreachSweep(c *Calendar, op interval.ListOp, strict bool, arg *Calendar) *Calendar {
+	if sameBacking(c, arg) {
+		return foreachSelfJoin(c, op, strict)
+	}
+	return foreachSweepEndpoint(c, op, strict, arg)
+}
+
+// foreachSweepLinear is the pre-endpoint-index sweep: the same monotone
+// cursor walk, but over the 16-byte interval structs with a per-group append
+// loop. Kept as the measured baseline for BenchmarkEndpointSweepVsLinear and
+// as an independent oracle in the sweep property tests; Foreach never routes
+// here.
 //
 //   - overlaps/during: the run [first Hi ≥ y.Lo, last Lo ≤ y.Hi], filtered for
 //     containment when during;
@@ -123,7 +138,7 @@ func disjointSorted(ivs []interval.Interval) bool {
 //     the result (capacity-clamped) instead of copied — strict trimming
 //     affects at most the final prefix element, the only one that can reach
 //     into y.
-func foreachSweep(c *Calendar, op interval.ListOp, strict bool, arg *Calendar) *Calendar {
+func foreachSweepLinear(c *Calendar, op interval.ListOp, strict bool, arg *Calendar) *Calendar {
 	subs := make([]*Calendar, 0, len(arg.ivs))
 	switch op {
 	case interval.Overlaps, interval.During:

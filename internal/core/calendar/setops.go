@@ -30,8 +30,59 @@ func checkSetOperands(opName string, a, b *Calendar) error {
 
 // Union implements the calendar "+" operator: the merged, ordered element
 // list of both calendars, with exact duplicates kept once (see the EMP-DAYS
-// script of §3.3).
+// script of §3.3). When both operands are sorted disjoint — the common case
+// for generated calendars — duplicates can only meet head-to-head, so the
+// merge needs no look-back dup check and classifies the result's shape as it
+// goes instead of rescanning.
 func Union(a, b *Calendar) (*Calendar, error) {
+	if err := checkSetOperands("+", a, b); err != nil {
+		return nil, err
+	}
+	if a.sortedDisjoint && b.sortedDisjoint {
+		return unionDisjoint(a, b), nil
+	}
+	return UnionLinear(a, b)
+}
+
+func unionDisjoint(a, b *Calendar) *Calendar {
+	out := make([]interval.Interval, 0, len(a.ivs)+len(b.ivs))
+	i, j := 0, 0
+	sd := true
+	var prevHi chronology.Tick
+	for i < len(a.ivs) || j < len(b.ivs) {
+		var iv interval.Interval
+		switch {
+		case i >= len(a.ivs):
+			iv = b.ivs[j]
+			j++
+		case j >= len(b.ivs):
+			iv = a.ivs[i]
+			i++
+		case a.ivs[i] == b.ivs[j]:
+			iv = a.ivs[i]
+			i++
+			j++
+		case less(a.ivs[i], b.ivs[j]):
+			iv = a.ivs[i]
+			i++
+		default:
+			iv = b.ivs[j]
+			j++
+		}
+		if len(out) > 0 && iv.Lo <= prevHi {
+			sd = false
+		}
+		prevHi = iv.Hi
+		out = append(out, iv)
+	}
+	return &Calendar{gran: a.gran, ivs: out, sortedDisjoint: sd}
+}
+
+// UnionLinear is the general element merge with the look-back duplicate
+// check, used when either operand lacks the sorted disjoint shape. Exported
+// so BenchmarkEndpointSweepVsLinear can hold it against the specialized
+// merge.
+func UnionLinear(a, b *Calendar) (*Calendar, error) {
 	if err := checkSetOperands("+", a, b); err != nil {
 		return nil, err
 	}
@@ -74,11 +125,13 @@ func appendUnlessDup(out []interval.Interval, iv interval.Interval) []interval.I
 	return append(out, iv)
 }
 
-// coverage returns b's covered ticks as a sorted disjoint interval list.
-// When b already has that shape its element list serves directly (adjacent
-// elements stay unmerged — callers that need point-set normalization merge
-// adjacency on the fly); otherwise the normalized point set is built once.
-func coverage(b *Calendar) []interval.Interval {
+// coverageLinear is the pre-index coverage: b's covered ticks as a sorted
+// disjoint interval list, rebuilt (and, for messy operands, reallocated) on
+// every call. The production operators instead read the fused coverage
+// cached on b's endpoint index (covindex, endpointidx.go), which is built at
+// most once per calendar and collapses adjacent elements — a WEEKS operand
+// in day ticks becomes a single span. Kept only under the *Linear baselines.
+func coverageLinear(b *Calendar) []interval.Interval {
 	if b.sortedDisjoint {
 		return b.ivs
 	}
@@ -87,14 +140,47 @@ func coverage(b *Calendar) []interval.Interval {
 
 // Diff implements the calendar "-" operator: each element of a has b's
 // covered ticks removed, splitting where necessary; surviving pieces stay
-// separate elements. One linear merge over b's coverage: a's elements have
-// non-decreasing lower bounds, so the first coverage interval that can cut an
-// element only moves forward.
+// separate elements. One linear merge of a's elements (non-decreasing lower
+// bounds, so the first coverage span that can cut an element only moves
+// forward) against b's cached fused coverage.
 func Diff(a, b *Calendar) (*Calendar, error) {
 	if err := checkSetOperands("-", a, b); err != nil {
 		return nil, err
 	}
-	cov := coverage(b)
+	cv := b.covindex()
+	covLo, covHi := cv.lo, cv.hi
+	out := make([]interval.Interval, 0, len(a.ivs))
+	j := 0
+	for _, iv := range a.ivs {
+		for j < len(covLo) && covHi[j] < iv.Lo {
+			j++
+		}
+		lo, dead := iv.Lo, false
+		for k := j; k < len(covLo) && covLo[k] <= iv.Hi; k++ {
+			if covLo[k] > lo {
+				out = append(out, interval.Interval{Lo: lo, Hi: chronology.PrevTick(covLo[k])})
+			}
+			if covHi[k] >= iv.Hi {
+				dead = true
+				break
+			}
+			lo = chronology.NextTick(covHi[k])
+		}
+		if !dead && lo <= iv.Hi {
+			out = append(out, interval.Interval{Lo: lo, Hi: iv.Hi})
+		}
+	}
+	return newLeaf(a.gran, out), nil
+}
+
+// DiffLinear is Diff over the per-call coverageLinear scan, retained as the
+// baseline arm of BenchmarkEndpointSweepVsLinear and as a property-test
+// oracle.
+func DiffLinear(a, b *Calendar) (*Calendar, error) {
+	if err := checkSetOperands("-", a, b); err != nil {
+		return nil, err
+	}
+	cov := coverageLinear(b)
 	out := make([]interval.Interval, 0, len(a.ivs))
 	j := 0
 	for _, iv := range a.ivs {
@@ -120,16 +206,50 @@ func Diff(a, b *Calendar) (*Calendar, error) {
 }
 
 // Intersect implements the "intersects" operator of the calendar scripts:
-// the pieces of each element of a covered by b, via the same linear merge as
-// Diff. Note this is distinct from the overlaps listop —
-// {LDOM:intersects:HOLIDAYS} in §3.3 yields the order-1 calendar of days
-// that are both. Coverage pieces adjacent in tick space fuse (the operator
-// has point-set semantics), so cuts of one element merge when they touch.
+// the pieces of each element of a covered by b, via the same merge as Diff
+// against b's cached fused coverage. Note this is distinct from the overlaps
+// listop — {LDOM:intersects:HOLIDAYS} in §3.3 yields the order-1 calendar of
+// days that are both. The operator has point-set semantics, so cuts of one
+// element that touch must merge; with the coverage already fused, distinct
+// spans are separated by uncovered ticks and cuts can never touch, so no
+// fuse check is needed in the loop (the same invariant periodic.SetIntersect
+// relies on).
 func Intersect(a, b *Calendar) (*Calendar, error) {
 	if err := checkSetOperands("intersects", a, b); err != nil {
 		return nil, err
 	}
-	cov := coverage(b)
+	cv := b.covindex()
+	covLo, covHi := cv.lo, cv.hi
+	out := make([]interval.Interval, 0, len(a.ivs))
+	j := 0
+	for _, iv := range a.ivs {
+		for j < len(covLo) && covHi[j] < iv.Lo {
+			j++
+		}
+		for k := j; k < len(covLo) && covLo[k] <= iv.Hi; k++ {
+			cut := iv
+			if covLo[k] > cut.Lo {
+				cut.Lo = covLo[k]
+			}
+			if covHi[k] < cut.Hi {
+				cut.Hi = covHi[k]
+			}
+			if cut.Lo <= cut.Hi {
+				out = append(out, cut)
+			}
+		}
+	}
+	return newLeaf(a.gran, out), nil
+}
+
+// IntersectLinear is Intersect over the per-call coverageLinear scan with
+// the on-the-fly adjacent-cut fuse the unfused coverage requires; the
+// baseline arm of BenchmarkEndpointSweepVsLinear and a property-test oracle.
+func IntersectLinear(a, b *Calendar) (*Calendar, error) {
+	if err := checkSetOperands("intersects", a, b); err != nil {
+		return nil, err
+	}
+	cov := coverageLinear(b)
 	var out []interval.Interval
 	j := 0
 	for _, iv := range a.ivs {
@@ -176,5 +296,14 @@ func SliceOverlapping(c *Calendar, win interval.Interval) *Calendar {
 	if hi < lo {
 		hi = lo
 	}
-	return &Calendar{gran: c.gran, ivs: ivs[lo:hi], sortedDisjoint: c.sortedDisjoint}
+	out := &Calendar{gran: c.gran, ivs: ivs[lo:hi], sortedDisjoint: c.sortedDisjoint}
+	// A cached materialization keeps its endpoint index (matcache primes it
+	// at Put time); the sliced view inherits the matching sub-range of the
+	// flat bound arrays so subset-window hits never re-lower the list. The
+	// fused coverage is not sliceable (spans fuse across the cut points) and
+	// is left to rebuild lazily if a set op needs it.
+	if ix := c.idx.Load(); ix != nil && ix.lo != nil && hi > lo {
+		out.idx.Store(&epIndex{lo: ix.lo[lo:hi:hi], hi: ix.hi[lo:hi:hi]})
+	}
+	return out
 }

@@ -1,0 +1,121 @@
+package calendar
+
+import (
+	"testing"
+
+	"calsys/internal/chronology"
+	"calsys/internal/core/interval"
+)
+
+// fuzzDecodeIntervals turns fuzz bytes into an interval list: each byte pair
+// is a (gap, width) delta. With forceDisjoint the gap is at least one tick,
+// yielding the sorted disjoint shape the sweep kernels require; without it,
+// zero gaps and generous widths produce the overlapping general shape the
+// set operators must also handle.
+func fuzzDecodeIntervals(b []byte, forceDisjoint bool) []interval.Interval {
+	out := make([]interval.Interval, 0, len(b)/2)
+	off := int64(-20)
+	for i := 0; i+1 < len(b); i += 2 {
+		gap := int64(b[i] % 4)
+		width := int64(b[i+1] % 6)
+		if forceDisjoint {
+			gap++
+			out = append(out, interval.Interval{
+				Lo: chronology.TickFromOffset(off + gap),
+				Hi: chronology.TickFromOffset(off + gap + width),
+			})
+			off += gap + width
+		} else {
+			// Lower bounds stay non-decreasing (the order-1 calendar
+			// invariant); widths freely overlap successors.
+			off += gap
+			out = append(out, interval.Interval{
+				Lo: chronology.TickFromOffset(off),
+				Hi: chronology.TickFromOffset(off + width),
+			})
+		}
+	}
+	return out
+}
+
+// FuzzSweepVsNaive drives the endpoint-index kernels, the retained linear
+// kernels, and the set operators from fuzz-shaped interval lists, checking
+// all five listops in both strict and relaxed form against the naive
+// references. Run by the CI fuzz-smoke job.
+func FuzzSweepVsNaive(f *testing.F) {
+	f.Add([]byte{}, []byte{}, false)
+	f.Add([]byte{1, 2, 3, 4, 5, 6}, []byte{2, 2, 0, 5}, false)
+	f.Add([]byte{0, 0, 0, 0, 3, 1}, []byte{0, 4, 0, 4, 0, 4}, true)
+	f.Add([]byte{7, 5, 1, 0, 2, 2, 9, 9}, []byte{1, 1, 1, 1}, true)
+	f.Fuzz(func(t *testing.T, cb, ab []byte, messy bool) {
+		if len(cb) > 64 || len(ab) > 64 {
+			return // keep each execution cheap; shape variety needs no scale
+		}
+		c, err := FromIntervals(chronology.Day, fuzzDecodeIntervals(cb, true))
+		if err != nil {
+			t.Fatalf("disjoint decode produced invalid calendar: %v", err)
+		}
+		arg, err := FromIntervals(chronology.Day, fuzzDecodeIntervals(ab, true))
+		if err != nil {
+			t.Fatalf("disjoint decode produced invalid calendar: %v", err)
+		}
+		for _, op := range allListOps {
+			for _, strict := range []bool{false, true} {
+				want := naiveForeach(c, op, strict, arg)
+				if arg.IsEmpty() {
+					want = Empty(c.Granularity())
+				}
+				ep, err := ForeachSweepEndpoint(c, op, strict, arg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ep.Equal(want) {
+					t.Fatalf("op %v strict %v: endpoint kernel diverges\nc   = %v\narg = %v\ngot  %v\nwant %v",
+						op, strict, c, arg, ep, want)
+				}
+				lin, err := ForeachSweepLinear(c, op, strict, arg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !lin.Equal(want) {
+					t.Fatalf("op %v strict %v: linear kernel diverges", op, strict)
+				}
+			}
+		}
+
+		// Set operators: optionally re-decode b without the disjoint
+		// constraint so the fused-coverage fallback (ToSet) is exercised.
+		b := arg
+		if messy {
+			b, err = FromIntervals(chronology.Day, fuzzDecodeIntervals(ab, false))
+			if err != nil {
+				t.Fatalf("messy decode produced invalid calendar: %v", err)
+			}
+		}
+		gotD, err := Diff(c, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := naiveSetOp(c, b, true); !gotD.Equal(want) {
+			t.Fatalf("Diff(%v, %v) = %v, want %v", c, b, gotD, want)
+		}
+		gotI, err := Intersect(c, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := naiveSetOp(c, b, false); !gotI.Equal(want) {
+			t.Fatalf("Intersect(%v, %v) = %v, want %v", c, b, gotI, want)
+		}
+		gotU, err := Union(c, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantU, err := UnionLinear(c, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !gotU.Equal(wantU) {
+			t.Fatalf("Union(%v, %v) = %v, want %v", c, b, gotU, wantU)
+		}
+	})
+}

@@ -13,16 +13,22 @@
 // before any evaluation runs.
 //
 // The calculus is deliberately partial. Window-anchored constructs (`today`,
-// order-1 selections, before/before-equals groupings, label selections,
-// stored calendars, multi-statement derivations) have no window-independent
-// element list, and some compositions have no compact periodic form; Eval
-// reports ok=false for these and callers fall back to materialization. A nil
-// pattern with ok=true is a proof that the expression is empty everywhere.
+// order-1 selections, flattened before/before-equals groupings, label
+// selections, stored calendars, multi-statement derivations) have no
+// window-independent element list, and some compositions have no compact
+// periodic form; Eval reports ok=false for these and callers fall back to
+// materialization. A nil pattern with ok=true is a proof that the expression
+// is empty everywhere. End-relative selections over before/before-equals
+// groupings ([n]/(X:<:Y), negative positions, all-negative ranges) are the
+// exception: counting from the end of an unbounded prefix is
+// window-independent, so they lower (ForeachSelectEnd).
 package symbolic
 
 import (
 	"calsys/internal/chronology"
+	"calsys/internal/core/calendar"
 	"calsys/internal/core/callang"
+	"calsys/internal/core/interval"
 	"calsys/internal/core/periodic"
 )
 
@@ -139,11 +145,53 @@ func (l *lowerer) lower(e callang.Expr, depth int) (*periodic.Pattern, bool) {
 		if !ok {
 			return nil, false
 		}
+		if fe.Op == interval.Before || fe.Op == interval.BeforeEquals {
+			// A before/before-equals grouping collects an unbounded prefix —
+			// its flattened value is window-anchored — but a selection that
+			// counts only from the end of each group ([n], negative
+			// positions, all-negative ranges) is window-independent: the
+			// k-th-from-last element before each y is fixed index arithmetic
+			// on x. The paper's [n]/AM_BUS_DAYS:<:LDOM_HOL idiom lands here.
+			ends, ok := endOffsets(n.Pred)
+			if !ok {
+				return nil, false
+			}
+			return periodic.ForeachSelectEnd(x, y, fe.Op, fe.Strict, ends)
+		}
 		return periodic.ForeachSelect(x, y, fe.Op, fe.Strict, n.Pred.Indices)
 	}
 	// today, numbers, strings, label selections, generate()/caloperate()
 	// calls: window-anchored or non-calendar — no symbolic form.
 	return nil, false
+}
+
+// endOffsets translates a selection predicate into negative end-relative
+// member offsets (−1 the last member, −2 the one before it, …) when every
+// term counts from the end of the group: [n] → −1, a negative position → the
+// position, an all-negative range → its offsets in ascending order. Any term
+// anchored to the front of the group — a positive position or a range with a
+// positive endpoint — reports ok=false: over an unbounded-prefix grouping
+// such a selection is window-anchored and must materialize.
+func endOffsets(s calendar.Selection) ([]int, bool) {
+	out := make([]int, 0, len(s.Items))
+	for _, it := range s.Items {
+		switch {
+		case it.Last:
+			out = append(out, -1)
+		case it.Range:
+			if it.From >= 0 || it.To >= 0 {
+				return nil, false
+			}
+			for o := it.From; o <= it.To; o++ {
+				out = append(out, o)
+			}
+		case it.Pos < 0:
+			out = append(out, it.Pos)
+		default:
+			return nil, false
+		}
+	}
+	return out, true
 }
 
 // resolveForeach peels single-expression derivation names off e until a

@@ -95,6 +95,19 @@ func TestSymbolicMatchesMaterialized(t *testing.T) {
 		"[1]/MONTHS:during:YEARS",
 		"Tuesdays",
 		"[1]/Workweek",
+		// End-relative selections over before/before-equals groupings:
+		// counting from the end of the unbounded prefix is
+		// window-independent (ForeachSelectEnd), unlike the flattened
+		// groupings themselves. The paper's [n]/X:<:Y idiom.
+		"[n]/DAYS:<:WEEKS",
+		"[n]/DAYS:<=:WEEKS",
+		"[-1]/DAYS:<:MONTHS",
+		"[-2]/DAYS:<=:MONTHS",
+		"[n]/DAYS.<.WEEKS",
+		"[n]/WEEKS:<:MONTHS",
+		"[n]/WEEKS:<=:MONTHS",
+		"[n]/Tuesdays:<:MONTHS",
+		"[n]/(([1]/DAYS:during:WEEKS):<=:MONTHS)",
 	}
 	env, cat := testEnv(t)
 	define(t, cat, "Tuesdays", "[2]/DAYS:during:WEEKS;", chronology.Day)
@@ -186,6 +199,10 @@ func TestSymbolicFallsBack(t *testing.T) {
 		"HOLIDAYS",                    // stored calendar (not in catalog scripts)
 		"interval(1, 7)",              // literal calendar
 		"generate(DAYS, WEEKS, 1, 4)", // truncating surface call
+		"DAYS:<:WEEKS",                // flattened before grouping: window-anchored prefix
+		"DAYS.<=.MONTHS",              // same, relaxed
+		"[1]/DAYS:<:WEEKS",            // front-anchored selection over an unbounded prefix
+		"[2-4]/DAYS:<=:WEEKS",         // range with positive endpoints: front-anchored
 	} {
 		e := expr(t, src)
 		if _, ok := symbolic.Eval(env.Chron, cat, e, chronology.Day); ok {

@@ -212,6 +212,12 @@ func (c *Cache) Put(k Key, win interval.Interval, cal *calendar.Calendar, slicea
 				return
 			}
 		}
+		// Lower the endpoint index once at insert time (outside the lock —
+		// the build is pure): a cached calendar keeps its flat bound arrays
+		// alongside the interval slice for as long as it lives, and
+		// SliceOverlapping hands subset windows an index view, so no query
+		// against this entry ever re-lowers the list.
+		cal.PrimeIndex()
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()

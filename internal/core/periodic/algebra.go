@@ -344,6 +344,77 @@ func ForeachSelect(x, y *Pattern, op interval.ListOp, strict bool, pick func(n i
 	return compacted(patternFromCycle(all, L))
 }
 
+// ForeachSelectEnd is the flattened value of an end-relative selection over
+// a before/before-equals grouping, [ends]/(x :<: y): ends lists negative
+// member offsets in predicate order (−1 the group's last member, −2 the one
+// before it, …). Unlike during/overlaps/meets, the `<` and `<=` groupings
+// collect an unbounded prefix of x — their flattened value is anchored to
+// the evaluation window and has no symbolic form — but counting from the END
+// of a group is window-independent: the k-th-from-last element before y is
+// fixed index arithmetic on x's bi-infinite element sequence. The group's
+// last member index is
+//
+//	<:  lastWithHiLE(y.Lo)                                (x.Hi ≤ y.Lo)
+//	<=: min(lastWithLoLE(y.Lo), lastWithHiLE(y.Hi))       (x.Lo ≤ y.Lo ∧ x.Hi ≤ y.Hi)
+//
+// exact for any pattern because both bound sequences are monotone in the
+// element index. Strict trims clamp each selected member to its y exactly as
+// the materialized kernels do (keeping the member untrimmed when it does not
+// intersect y). Selections whose members come out unordered — e.g. [-1,-2],
+// or offsets interleaving across adjacent groups — fail pattern construction
+// and report ok=false, falling back to materialization.
+func ForeachSelectEnd(x, y *Pattern, op interval.ListOp, strict bool, ends []int) (*Pattern, bool) {
+	if op != interval.Before && op != interval.BeforeEquals {
+		return nil, false
+	}
+	for _, o := range ends {
+		if o >= 0 {
+			return nil, false
+		}
+	}
+	if x == nil || y == nil || len(ends) == 0 {
+		return nil, true
+	}
+	L := lcm(x.period, y.period, 1<<40)
+	if L == 0 {
+		return nil, false
+	}
+	nY := L / y.period * int64(len(y.spans))
+	if nY > setopMaxSpans || nY*int64(len(ends)) > setopMaxSpans {
+		return nil, false
+	}
+	all := make([]Span, 0, nY*int64(len(ends)))
+	for qy := int64(0); qy < nY; qy++ {
+		a, b := y.element(qy)
+		var last int64
+		if op == interval.Before {
+			last = x.lastWithHiLE(a)
+		} else {
+			last = x.lastWithLoLE(a)
+			if lhi := x.lastWithHiLE(b); lhi < last {
+				last = lhi
+			}
+		}
+		for _, o := range ends {
+			lo, hi := x.element(last + 1 + int64(o))
+			if strict {
+				clo, chi := lo, hi
+				if clo < a {
+					clo = a
+				}
+				if chi > b {
+					chi = b
+				}
+				if clo <= chi {
+					lo, hi = clo, chi
+				}
+			}
+			all = append(all, Span{Lo: lo, Hi: hi})
+		}
+	}
+	return compacted(patternFromCycle(all, L))
+}
+
 // ForeachCards returns the exact minimum and maximum group cardinality of the
 // foreach grouping {x : op : y} across one full common cycle — every group
 // the infinite grouping ever produces. A selection index beyond max can

@@ -269,6 +269,11 @@ func (p *Plan) execOp(env *Env, vars map[string]*calendar.Calendar, st *execStat
 		}
 		out, err := calendar.ConvertGran(env.Chron, v.Cal, p.Gran)
 		if err == nil && cacheable {
+			// Derived materializations are served back verbatim (not
+			// sliced), so prime the endpoint index now: every later foreach
+			// or set op against the cached value sweeps the flat bound
+			// arrays instead of re-lowering the interval list.
+			out.PrimeIndex()
 			env.Mat.Put(dkey, win, out, false)
 		}
 		return out, err

@@ -3,13 +3,17 @@
 #
 # Builds calserved and calload, boots the server on an ephemeral port,
 # drives the mixed workload (tenant create -> recurrence rule -> expand ->
-# next-instant -> CRUD), converts the latency report to a benchjson
-# artifact, then SIGTERMs the server and asserts a graceful exit.
+# next-instant -> CRUD) and then the expand-heavy workload (multi-year
+# grouping/set-op expansions through the engine's sweep kernels), converts
+# both latency reports to benchjson artifacts, then SIGTERMs the server and
+# asserts a graceful exit.
 #
 # Artifacts (in $SMOKE_OUT, default ./smoke-out):
-#   calload.txt       human latency table + Benchmark lines
-#   BENCH_serve.json  benchjson rendering of the Benchmark lines
-#   calserved.log     server log
+#   calload.txt              mixed-workload latency table + Benchmark lines
+#   BENCH_serve.json         benchjson rendering of the mixed run
+#   calload_expand.txt       expand-heavy latency table + Benchmark lines
+#   BENCH_serve_expand.json  benchjson rendering of the expand-heavy run
+#   calserved.log            server log
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -52,12 +56,18 @@ if [ -z "$ADDR" ]; then
 fi
 echo "serve-smoke: server at $ADDR"
 
-echo "serve-smoke: running calload"
+echo "serve-smoke: running calload (mixed)"
 "$BIN/calload" -addr "$ADDR" -admin-token "$ADMIN_TOKEN" \
     -tenants 4 -clients 8 -requests 40 | tee "$OUT/calload.txt"
 
-echo "serve-smoke: rendering benchjson artifact"
+echo "serve-smoke: running calload (expand-heavy)"
+"$BIN/calload" -addr "$ADDR" -admin-token "$ADMIN_TOKEN" \
+    -tenants 4 -clients 8 -requests 25 -mix expand -tenant-prefix exp \
+    | tee "$OUT/calload_expand.txt"
+
+echo "serve-smoke: rendering benchjson artifacts"
 go run ./cmd/benchjson -o "$OUT/BENCH_serve.json" "$OUT/calload.txt"
+go run ./cmd/benchjson -o "$OUT/BENCH_serve_expand.json" "$OUT/calload_expand.txt"
 
 echo "serve-smoke: draining server (SIGTERM)"
 kill -TERM "$SERVER_PID"
