@@ -4,11 +4,11 @@
 
 GO ?= go
 
-.PHONY: check build vet vet-calsys fmt-check test race chaos bench-smoke bench \
+.PHONY: check build vet vet-calsys fmt-check test race chaos chaos-fleet bench-smoke bench \
 	bench-json bench-compare bench-gate profile fuzz-smoke staticcheck govulncheck \
 	serve-smoke calvet-corpus
 
-check: build vet vet-calsys fmt-check test race chaos bench-smoke fuzz-smoke \
+check: build vet vet-calsys fmt-check test race chaos chaos-fleet bench-smoke fuzz-smoke \
 	serve-smoke calvet-corpus staticcheck govulncheck
 
 build:
@@ -55,7 +55,17 @@ race:
 # three times under the race detector. Set CHAOS_ARTIFACTS to a directory to
 # keep the journals of failed runs (CI uploads them).
 chaos:
-	$(GO) test -race -count=3 ./internal/rules/... ./internal/faultinject/ ./internal/store/
+	$(GO) test -race -count=3 ./internal/rules/ ./internal/rules/journal/ \
+		./internal/faultinject/ ./internal/store/
+
+# Sharded-fleet chaos: the multi-worker kill/steal matrix — every run
+# SIGKILLs a shard owner and arms one seeded crash site across the lease,
+# handoff, probe, fire, ack and journal layers, then proves fleet-wide
+# exactly-once under FireAll (at-most-once under SkipMissed). Three
+# repetitions under the race detector. Set CHAOS_ARTIFACTS to keep the
+# per-shard journals of failed runs (CI uploads them).
+chaos-fleet:
+	$(GO) test -race -count=3 ./internal/rules/shard/
 
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem ./... | tee bench-smoke.txt
@@ -117,9 +127,10 @@ bench-compare:
 bench-gate:
 	( $(GO) test -bench 'NextAfter|CacheColdVsWarm|EndpointSweepVsLinear' \
 		-benchtime=1s -count=3 -benchmem . && \
-	  $(GO) test -bench 'ForeachSweepVsGeneric/sweep' -benchtime=1s -count=3 -benchmem . ) | \
+	  $(GO) test -bench 'ForeachSweepVsGeneric/sweep' -benchtime=1s -count=3 -benchmem . && \
+	  $(GO) test -run '^$$' -bench 'TimingWheelVsHeap' -benchtime=1s -count=3 -benchmem ./internal/rules ) | \
 		$(GO) run ./cmd/benchjson -compare BENCH_baseline.json \
-			-gate 'BenchmarkNextAfter|BenchmarkNextAfterSymbolicAblation/symbolic|BenchmarkCacheColdVsWarm/warm|BenchmarkForeachSweepVsGeneric/sweep|BenchmarkEndpointSweepVsLinear/endpoint' \
+			-gate 'BenchmarkNextAfter|BenchmarkNextAfterSymbolicAblation/symbolic|BenchmarkCacheColdVsWarm/warm|BenchmarkForeachSweepVsGeneric/sweep|BenchmarkEndpointSweepVsLinear/endpoint|BenchmarkTimingWheelVsHeap/wheel' \
 			-gate-threshold 1.25 -gate-allocs-threshold 1.25 -
 
 # CPU + heap profile of one probe-day over the 100k-rule fleet; inspect with

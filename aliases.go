@@ -13,6 +13,7 @@ import (
 	"calsys/internal/postquel"
 	"calsys/internal/rules"
 	"calsys/internal/rules/journal"
+	"calsys/internal/rules/shard"
 	"calsys/internal/store"
 	"calsys/internal/timeseries"
 )
@@ -124,6 +125,17 @@ type (
 	JournalOption = journal.Option
 	// FaultInjector is the deterministic fault-injection harness (tests).
 	FaultInjector = faultinject.Injector
+
+	// ShardCoordinator is the lease table of a sharded DBCRON fleet.
+	ShardCoordinator = shard.Coordinator
+	// ShardWorker is one dbcrond process of a sharded fleet.
+	ShardWorker = shard.Worker
+	// ShardWorkerOptions configures a fleet worker's per-shard daemons.
+	ShardWorkerOptions = shard.Options
+	// ShardWorkerStats is a fleet worker's lifetime counter snapshot.
+	ShardWorkerStats = shard.WorkerStats
+	// ShardLease is one shard's epoch-fenced ownership record.
+	ShardLease = shard.Lease
 
 	// QueryEngine executes Postquel statements.
 	QueryEngine = postquel.Engine
@@ -305,6 +317,17 @@ var (
 	NewFaultInjector = faultinject.New
 	// IsInjectedCrash reports whether an error is an injected kill point.
 	IsInjectedCrash = faultinject.IsCrash
+
+	// NewShardCoordinator creates the lease table for a sharded fleet.
+	NewShardCoordinator = shard.NewCoordinator
+	// NewShardWorker creates one fleet worker over a shared rule engine.
+	NewShardWorker = shard.New
+	// ShardOf maps a rule name to its shard (FNV-1a over the lowercased
+	// name), the partition every fleet worker agrees on.
+	ShardOf = rules.ShardOf
+	// ErrFiringFenced marks a firing aborted by the lease fence: the
+	// worker's epoch was stale, so the commit was refused.
+	ErrFiringFenced = rules.ErrFenced
 )
 
 // Fault-injection sites: the daemon sites arm through CronOptions.Faults,

@@ -69,3 +69,42 @@ func TestRunCrashAndRecover(t *testing.T) {
 		t.Fatalf("recovery run: %v", err)
 	}
 }
+
+// The sharded-fleet demo end to end: 3 workers split 8 shards, one is
+// SIGKILLed mid-run, the survivors steal its leases and catch up, and the
+// run's own exactly-once verification (sentinel instants, steal traffic,
+// mix-rule progress) must come back clean.
+func TestRunFleetShardedKillSteal(t *testing.T) {
+	cfg := config{
+		days: 20, T: 86400, start: "1993-01-01", quiet: true,
+		policy:     "fireall",
+		rules:      300,
+		distinct:   20,
+		workers:    3,
+		shards:     8,
+		leaseTTL:   86400 * 3 / 2,
+		killAfter:  5,
+		journalDir: t.TempDir(),
+	}
+	if err := runFleetSharded(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A fleet with no kill rebalances by voluntary release only and still
+// passes verification.
+func TestRunFleetShardedClean(t *testing.T) {
+	cfg := config{
+		days: 10, T: 86400, start: "1993-01-01", quiet: true,
+		policy:     "fireall",
+		rules:      100,
+		distinct:   10,
+		workers:    2,
+		shards:     4,
+		leaseTTL:   86400 * 3 / 2,
+		journalDir: t.TempDir(),
+	}
+	if err := runFleetSharded(cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,7 +1,7 @@
 package rules
 
 import (
-	"container/heap"
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -12,6 +12,34 @@ import (
 	"calsys/internal/faultinject"
 	"calsys/internal/rules/journal"
 )
+
+// ErrFenced is returned (wrapped) by a CronOptions.Fence check when the
+// daemon's shard lease is no longer valid: the firing transaction aborts and
+// the daemon must stop processing the shard — a newer owner holds it.
+var ErrFenced = errors.New("rules: firing fenced: shard lease lost")
+
+// ShardOf assigns a rule to one of `shards` partitions by an FNV-1a hash of
+// its lower-cased name. It is the single sharding function of the system:
+// probe windows, recovery and per-shard journals all agree on it.
+func ShardOf(name string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		h ^= uint32(c)
+		h *= prime32
+	}
+	return int(h % uint32(shards))
+}
 
 // Fault-injection sites in the daemon.
 const (
@@ -120,6 +148,19 @@ type CronOptions struct {
 	Seed int64
 	// Faults threads the fault-injection harness through the daemon.
 	Faults *faultinject.Injector
+	// Shard/Shards restrict the daemon to rules with ShardOf(name, Shards)
+	// == Shard. Shards <= 0 (the default) probes the whole fleet.
+	Shard  int
+	Shards int
+	// Fence, when set, is called inside every firing transaction before any
+	// effect, with the daemon's current instant. Returning an error (by
+	// convention wrapping ErrFenced) aborts the firing: a worker whose shard
+	// lease was stolen cannot commit stale firings.
+	Fence func(now int64) error
+	// DisableWheel falls back to the seed min-heap container with its
+	// per-probe schedule rescan — the ablation arm of
+	// BenchmarkTimingWheelVsHeap.
+	DisableWheel bool
 }
 
 // DBCron is the daemon of Figure 4, modeled on the UNIX cron utility: every
@@ -148,9 +189,18 @@ type DBCron struct {
 	// next probe runs a mass next-trigger recompute before scheduling.
 	catalogChanged atomic.Bool
 
+	// closed marks a daemon whose shard was handed off; its catalog
+	// listener goes quiet and its engine drop listener is unhooked.
+	closed atomic.Bool
+	dropID int
+	// kick wakes a blocked Run immediately after the schedule gains entries
+	// out of band (Recover / AdoptState on a stolen or granted shard), so
+	// the daemon never sleeps through newly-acquired due instants.
+	kick chan struct{}
+
 	mu         sync.Mutex
-	pending    firingHeap
-	scheduled  map[string]bool // rules (lower-cased) currently in the heap
+	queue      firingQueue
+	scheduled  map[string]bool // rules (lower-cased) currently armed
 	nextProbe  int64
 	recovering bool  // Recover in progress: it chains catch-up itself
 	fired      int64 // lifetime firing count
@@ -166,10 +216,29 @@ func NewDBCron(eng *Engine, T int64, startAt int64) (*DBCron, error) {
 	if T <= 0 {
 		return nil, fmt.Errorf("rules: probe period must be positive")
 	}
-	c := &DBCron{eng: eng, T: T, scheduled: map[string]bool{}, nextProbe: startAt}
-	eng.addDropListener(c.ruleDropped)
-	eng.Cal().AddChangeListener(func() { c.catalogChanged.Store(true) })
+	c := &DBCron{
+		eng: eng, T: T,
+		queue:     newTimingWheel(startAt),
+		scheduled: map[string]bool{},
+		nextProbe: startAt,
+		kick:      make(chan struct{}, 1),
+	}
+	c.dropID = eng.addDropListener(c.ruleDropped)
+	eng.Cal().AddChangeListener(func() {
+		if !c.closed.Load() {
+			c.catalogChanged.Store(true)
+		}
+	})
 	return c, nil
+}
+
+// Close detaches the daemon from its engine: the drop listener is removed
+// and the catalog listener goes quiet. A worker calls it when a shard is
+// handed off so repeated handoffs do not accumulate listeners.
+func (c *DBCron) Close() {
+	if c.closed.CompareAndSwap(false, true) {
+		c.eng.removeDropListener(c.dropID)
+	}
 }
 
 // NewDBCronWith creates a durable daemon: journaled firings, retry with
@@ -188,6 +257,9 @@ func NewDBCronWith(eng *Engine, T int64, startAt int64, opts CronOptions) (*DBCr
 	c.durable = true
 	c.opts = opts
 	c.rng = rand.New(rand.NewSource(opts.Seed))
+	if opts.DisableWheel {
+		c.queue = &heapQueue{}
+	}
 	return c, nil
 }
 
@@ -246,17 +318,22 @@ func (c *DBCron) probe(now int64) error {
 	if err != nil {
 		return err
 	}
-	// Rebuild the scheduled set from the heap on every window rollover:
-	// entries are otherwise only cleared on fire, so a rule deleted or
-	// re-planned mid-window could leave a stale entry that suppresses its
-	// next firing.
-	sched := make(map[string]bool, len(c.pending))
-	for _, pf := range c.pending {
-		sched[strings.ToLower(pf.Rule)] = true
+	if c.opts.DisableWheel {
+		// Seed behavior: rebuild the scheduled set by scanning every armed
+		// entry on each window rollover — O(pending) per probe. The wheel
+		// path maintains the set incrementally instead (every pop site
+		// clears its key), which is what makes a probe tick O(due).
+		sched := make(map[string]bool, c.queue.size())
+		c.queue.each(func(pf pendingFiring) {
+			sched[strings.ToLower(pf.Rule)] = true
+		})
+		c.scheduled = sched
 	}
-	c.scheduled = sched
 	journaled := false
 	for _, f := range due {
+		if !c.inShard(f.Rule) {
+			continue
+		}
 		key := strings.ToLower(f.Rule)
 		if c.scheduled[key] {
 			continue
@@ -267,7 +344,7 @@ func (c *DBCron) probe(now int64) error {
 		}
 		journaled = journaled || pf.seq != 0
 		c.scheduled[key] = true
-		heap.Push(&c.pending, pf)
+		c.queue.add(pf)
 	}
 	if journaled {
 		if err := c.opts.Journal.Sync(); err != nil {
@@ -278,11 +355,16 @@ func (c *DBCron) probe(now int64) error {
 	return nil
 }
 
+// inShard reports whether the daemon owns the rule under its shard filter.
+func (c *DBCron) inShard(name string) bool {
+	return c.opts.Shards <= 0 || ShardOf(name, c.opts.Shards) == c.opts.Shard
+}
+
 // execute runs one attempt of a pending firing (c.mu held). It reports
 // whether the firing committed; a non-nil error means processing must stop
-// (legacy-mode action failure, injected crash, or journal I/O error) —
-// durable-mode action failures are absorbed into retries or the dead-letter
-// table instead.
+// (legacy-mode action failure, injected crash, lost shard lease, or journal
+// I/O error) — durable-mode action failures are absorbed into retries or the
+// dead-letter table instead.
 func (c *DBCron) execute(pf *pendingFiring, now int64) (bool, error) {
 	key := strings.ToLower(pf.Rule)
 	j := c.opts.Journal
@@ -291,7 +373,11 @@ func (c *DBCron) execute(pf *pendingFiring, now int64) (bool, error) {
 			return false, err
 		}
 	}
-	err := c.eng.fireChecked(pf.Rule, pf.At, c.opts.ActionTimeout)
+	var fence func() error
+	if c.opts.Fence != nil {
+		fence = func() error { return c.opts.Fence(now) }
+	}
+	err := c.eng.fireChecked(pf.Rule, pf.At, c.opts.ActionTimeout, fence)
 	pf.attempt++
 	if err == nil {
 		if err := faultinject.Hit(c.opts.Faults, SiteAck); err != nil {
@@ -316,9 +402,15 @@ func (c *DBCron) execute(pf *pendingFiring, now int64) (bool, error) {
 				return true, err
 			}
 			c.scheduled[key] = true
-			heap.Push(&c.pending, npf)
+			c.queue.add(npf)
 		}
 		return true, nil
+	}
+	if errors.Is(err, ErrFenced) {
+		// The shard lease was lost mid-window: stop without retrying or
+		// dead-lettering (either would advance RULE-TIME under the new
+		// owner's feet). The new owner recovers and fires this instant.
+		return false, err
 	}
 	if faultinject.IsCrash(err) {
 		return false, err
@@ -344,7 +436,7 @@ func (c *DBCron) execute(pf *pendingFiring, now int64) (bool, error) {
 	c.retries++
 	pf.runAt = now + c.opts.Retry.backoff(pf.attempt, c.rng)
 	c.scheduled[key] = true
-	heap.Push(&c.pending, *pf)
+	c.queue.add(*pf)
 	return false, nil
 }
 
@@ -357,20 +449,15 @@ func (c *DBCron) AdvanceTo(now int64) ([]Firing, error) {
 	defer c.mu.Unlock()
 	var fired []Firing
 	for {
-		// Next event is either a probe or the earliest pending attempt.
-		nextAt := c.nextProbe
-		isFiring := false
-		if len(c.pending) > 0 && c.pending[0].runAt <= nextAt {
-			nextAt = c.pending[0].runAt
-			isFiring = true
+		// Next event is either a probe or the earliest pending attempt;
+		// firings at the probe instant run before the probe (seed order).
+		limit := c.nextProbe
+		if now < limit {
+			limit = now
 		}
-		if nextAt > now {
-			return fired, nil
-		}
-		if isFiring {
-			pf := heap.Pop(&c.pending).(pendingFiring)
-			ok, err := c.execute(&pf, now)
-			if ok {
+		if pf, ok := c.queue.popDue(limit); ok {
+			done, err := c.execute(&pf, now)
+			if done {
 				fired = append(fired, pf.Firing)
 			}
 			if err != nil {
@@ -378,7 +465,10 @@ func (c *DBCron) AdvanceTo(now int64) ([]Firing, error) {
 			}
 			continue
 		}
-		if err := c.probe(nextAt); err != nil {
+		if c.nextProbe > now {
+			return fired, nil
+		}
+		if err := c.probe(c.nextProbe); err != nil {
 			return fired, err
 		}
 	}
@@ -391,28 +481,24 @@ func (c *DBCron) ruleDropped(key string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	delete(c.scheduled, key)
-	kept := c.pending[:0]
-	for _, pf := range c.pending {
-		if strings.ToLower(pf.Rule) != key {
-			kept = append(kept, pf)
-			continue
-		}
+	for _, pf := range c.queue.removeRule(key) {
 		if j := c.opts.Journal; j != nil && pf.seq != 0 {
 			_ = j.Skip(pf.seq) // best-effort; recovery also skips unknown rules
 		}
 	}
-	c.pending = kept
-	heap.Init(&c.pending)
 }
 
 // NextWakeup returns the next instant the daemon must act (probe, firing or
-// retry).
+// retry). With the timing wheel the firing bound is conservative: it is
+// never later than the true next instant, so a wake can be early but never
+// sleeps through due work. It is re-derived from the wheel on every call,
+// so schedule changes from Recover/AdoptState are reflected immediately.
 func (c *DBCron) NextWakeup() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	next := c.nextProbe
-	if len(c.pending) > 0 && c.pending[0].runAt < next {
-		next = c.pending[0].runAt
+	if q := c.queue.next(); q < next {
+		next = q
 	}
 	return next
 }
@@ -437,7 +523,7 @@ type CronStats struct {
 func (c *DBCron) FullStats() CronStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CronStats{Fired: c.fired, LateSum: c.lateSum, Retries: c.retries, Dead: c.dead, Pending: len(c.pending)}
+	return CronStats{Fired: c.fired, LateSum: c.lateSum, Retries: c.retries, Dead: c.dead, Pending: c.queue.size()}
 }
 
 // Run drives the daemon against a real (or virtual) clock until stop is
@@ -480,7 +566,18 @@ func (c *DBCron) Run(clock Clock, stop <-chan struct{}, errs chan<- error) {
 		case <-stop:
 			drain()
 			return
+		case <-c.kick:
+			// The schedule changed out of band (a shard was granted or
+			// recovered): loop to re-derive the wakeup from the wheel.
 		case <-time.After(time.Duration(sleep) * time.Second):
 		}
+	}
+}
+
+// poke wakes a blocked Run so it re-derives its next wakeup.
+func (c *DBCron) poke() {
+	select {
+	case c.kick <- struct{}{}:
+	default:
 	}
 }

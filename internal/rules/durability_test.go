@@ -196,12 +196,12 @@ func TestActionDeadline(t *testing.T) {
 		t.Fatal(err)
 	}
 	at := start + chronology.SecondsPerDay
-	if err := eng.fireChecked("slow", at, 10*time.Millisecond); !errors.Is(err, ErrActionTimeout) {
+	if err := eng.fireChecked("slow", at, 10*time.Millisecond, nil); !errors.Is(err, ErrActionTimeout) {
 		t.Fatalf("err = %v, want deadline", err)
 	}
 	// Let the straggler commit, then retry: it must dedup, not re-execute.
 	time.Sleep(200 * time.Millisecond)
-	if err := eng.fireChecked("slow", at, 10*time.Millisecond); err != nil {
+	if err := eng.fireChecked("slow", at, 10*time.Millisecond, nil); err != nil {
 		t.Fatalf("retry after straggler commit: %v", err)
 	}
 	if n := calls.Load(); n != 1 {
@@ -227,8 +227,8 @@ func TestScheduledBookkeepingOnDropAndRedefine(t *testing.T) {
 	if _, err := cron.AdvanceTo(start + 3600); err != nil {
 		t.Fatal(err)
 	}
-	if len(cron.pending) != 1 {
-		t.Fatalf("pending = %d, want the daily rule scheduled", len(cron.pending))
+	if n := cron.queue.size(); n != 1 {
+		t.Fatalf("pending = %d, want the daily rule scheduled", n)
 	}
 	// Drop and redefine before the firing instant.
 	if err := eng.DropRule("daily"); err != nil {
@@ -255,8 +255,11 @@ func TestScheduledBookkeepingOnDropAndRedefine(t *testing.T) {
 	}
 }
 
-// Satellite: probe must rebuild the scheduled set from the heap each window
-// so entries cannot leak across rollovers.
+// Satellite: the seed heap container rebuilds the scheduled set by scanning
+// the heap each window, so entries cannot leak across rollovers. (The
+// timing-wheel container instead maintains the set incrementally at every
+// queue boundary — covered by TestScheduledBookkeepingOnDropAndRedefine and
+// the wheel property tests.)
 func TestScheduledSetRebuiltOnRollover(t *testing.T) {
 	eng, cal := newEngine(t)
 	start := cal.Chron().EpochSecondsOf(d(1993, 1, 1))
@@ -264,7 +267,7 @@ func TestScheduledSetRebuiltOnRollover(t *testing.T) {
 	if err := eng.DefineTemporalRule("daily", "DAYS", countingAction("n", &hits), start); err != nil {
 		t.Fatal(err)
 	}
-	cron, err := NewDBCron(eng, chronology.SecondsPerDay, start)
+	cron, err := NewDBCronWith(eng, chronology.SecondsPerDay, start, CronOptions{DisableWheel: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -144,8 +144,10 @@ type Engine struct {
 	// action while preserving the persisted trigger state.
 	orphans map[string]bool
 	// onDrop listeners let daemons discard in-memory schedule state for a
-	// dropped rule (lower-cased name).
-	onDrop []func(name string)
+	// dropped rule (lower-cased name). Keyed by registration id so a
+	// per-shard daemon can unhook itself on handoff (DBCron.Close).
+	onDrop     map[int]func(name string)
+	nextDropID int
 	// faults is the optional fault-injection harness (nil in production).
 	faults *faultinject.Injector
 }
@@ -165,11 +167,24 @@ func (e *Engine) injector() *faultinject.Injector {
 }
 
 // addDropListener registers a callback invoked (outside the engine lock)
-// after a rule is dropped.
-func (e *Engine) addDropListener(fn func(name string)) {
+// after a rule is dropped, and returns an id for removeDropListener.
+func (e *Engine) addDropListener(fn func(name string)) int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.onDrop = append(e.onDrop, fn)
+	if e.onDrop == nil {
+		e.onDrop = map[int]func(name string){}
+	}
+	id := e.nextDropID
+	e.nextDropID++
+	e.onDrop[id] = fn
+	return id
+}
+
+// removeDropListener unhooks a listener registered with addDropListener.
+func (e *Engine) removeDropListener(id int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.onDrop, id)
 }
 
 // NewEngine creates the rule catalogs and registers the event dispatcher.
@@ -659,7 +674,10 @@ func (e *Engine) DropRule(name string) error {
 	_, isE := e.events[key]
 	delete(e.temporal, key)
 	delete(e.events, key)
-	listeners := append([]func(string){}, e.onDrop...)
+	listeners := make([]func(string), 0, len(e.onDrop))
+	for _, fn := range e.onDrop {
+		listeners = append(listeners, fn)
+	}
 	e.mu.Unlock()
 	if !isT && !isE {
 		return fmt.Errorf("rules: no rule %q", name)
@@ -845,7 +863,7 @@ type Firing struct {
 
 // fire executes a temporal rule's action and advances its next trigger.
 func (e *Engine) fire(name string, at int64) error {
-	return e.fireChecked(name, at, 0)
+	return e.fireChecked(name, at, 0, nil)
 }
 
 // safeExecute runs an action with panic isolation: a panicking action is
@@ -866,7 +884,12 @@ func safeExecute(a Action, tx *store.Txn, ev *store.Event, at int64) (err error)
 // of an earlier attempt that committed before a crash or after a timeout —
 // and in that case reports success without re-executing (exactly-once).
 // A positive timeout bounds the attempt; see ErrActionTimeout.
-func (e *Engine) fireChecked(name string, at int64, timeout time.Duration) error {
+//
+// A non-nil fence is evaluated inside the transaction before any effect: a
+// daemon whose shard lease was stolen aborts here (ErrFenced) instead of
+// committing a stale firing — the epoch-fencing invariant of the sharded
+// fleet.
+func (e *Engine) fireChecked(name string, at int64, timeout time.Duration, fence func() error) error {
 	e.mu.Lock()
 	r, ok := e.temporal[strings.ToLower(name)]
 	e.mu.Unlock()
@@ -879,6 +902,11 @@ func (e *Engine) fireChecked(name string, at int64, timeout time.Duration) error
 	}
 	run := func() error {
 		return e.db.RunTxn(func(tx *store.Txn) error {
+			if fence != nil {
+				if err := fence(); err != nil {
+					return err
+				}
+			}
 			tab, ok := e.db.Table(RuleTimeTable)
 			if !ok {
 				return fmt.Errorf("rules: RULE_TIME missing")
@@ -1117,6 +1145,19 @@ func (e *Engine) hasTemporal(name string) bool {
 	defer e.mu.Unlock()
 	_, ok := e.temporal[strings.ToLower(name)]
 	return ok
+}
+
+// canonicalName resolves a rule's defined (original-case) name from any
+// casing — journal high-water keys are lower-cased, RULE-TIME stores the
+// defined casing.
+func (e *Engine) canonicalName(name string) (string, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, ok := e.temporal[strings.ToLower(name)]
+	if !ok {
+		return "", false
+	}
+	return r.name, true
 }
 
 // temporalNames lists the live temporal rules (sorted, original casing).

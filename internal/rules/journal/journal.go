@@ -365,6 +365,20 @@ func (j *Journal) Skip(seq uint64) error {
 	return j.appendLine(fmt.Sprintf("K %d", seq), true)
 }
 
+// HighWater records an acked high-water mark for a rule (a T record, the
+// same form Compact writes) without syncing; call Sync after a batch. A new
+// per-shard epoch journal is seeded with the merged high-waters of the
+// prior epochs' files before those are deleted (shard handoff).
+func (j *Journal) HighWater(rule string, at int64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	key := strings.ToLower(rule)
+	if at > j.state.AckedThrough[key] {
+		j.state.AckedThrough[key] = at
+	}
+	return j.appendLine(fmt.Sprintf("T %d %s", at, strconv.Quote(rule)), false)
+}
+
 // Sync flushes and fsyncs the journal.
 func (j *Journal) Sync() error {
 	j.mu.Lock()
@@ -442,6 +456,8 @@ func (j *Journal) Compact() error {
 	j.state = *st
 	return nil
 }
+
+func lowerKey(rule string) string { return strings.ToLower(rule) }
 
 func sortedKeys(m map[string]int64) []string {
 	out := make([]string, 0, len(m))

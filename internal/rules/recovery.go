@@ -1,9 +1,10 @@
 package rules
 
 import (
-	"container/heap"
 	"fmt"
 	"strings"
+
+	"calsys/internal/rules/journal"
 )
 
 // RecoveryReport summarizes what Recover did with the journal and the
@@ -20,13 +21,38 @@ type RecoveryReport struct {
 	CaughtUp int
 	// Skipped counts missed instants dropped per the catch-up policy.
 	Skipped int
-	// Orphaned counts journal entries for rules that no longer exist.
+	// Orphaned counts journal entries for rules that no longer exist (or
+	// moved out of the daemon's shard after a resharding).
 	Orphaned int
 }
 
 func (r RecoveryReport) String() string {
 	return fmt.Sprintf("replayed=%d refired=%d deduped=%d caughtup=%d skipped=%d orphaned=%d",
 		r.ReplayedPending, r.Refired, r.Deduped, r.CaughtUp, r.Skipped, r.Orphaned)
+}
+
+// ackedHigh pairs a rule (original casing) with a journal acked-through
+// high-water instant.
+type ackedHigh struct {
+	name string
+	hi   int64
+}
+
+// recoverySrc abstracts where recovery's journal evidence comes from and how
+// resolved in-flight firings are recorded. Recover reads the daemon's own
+// journal and resolves against the original sequence numbers; AdoptState
+// reads the merged state of a prior owner's journals and re-journals into
+// the daemon's fresh epoch journal.
+type recoverySrc struct {
+	highs   []ackedHigh
+	pending []journal.PendingFiring
+	// skip drops an intent (orphaned rule or SkipMissed policy).
+	skip func(p journal.PendingFiring) error
+	// dedup records that the intent's transaction had already committed.
+	dedup func(p journal.PendingFiring) error
+	// entry builds the schedule entry (with the right journal seq) for an
+	// intent that must be re-queued or re-executed.
+	entry func(p journal.PendingFiring) (pendingFiring, error)
 }
 
 // Recover brings a durable daemon back to a consistent state after a crash:
@@ -48,86 +74,160 @@ func (r RecoveryReport) String() string {
 func (c *DBCron) Recover(now int64) (RecoveryReport, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	var rep RecoveryReport
 	if !c.durable {
-		return rep, fmt.Errorf("rules: Recover requires a durable daemon (NewDBCronWith)")
+		return RecoveryReport{}, fmt.Errorf("rules: Recover requires a durable daemon (NewDBCronWith)")
 	}
+	j := c.opts.Journal
+	src := recoverySrc{
+		skip:  func(p journal.PendingFiring) error { return j.Skip(p.Seq) },
+		dedup: func(p journal.PendingFiring) error { return j.Ack(p.Seq) },
+		entry: func(p journal.PendingFiring) (pendingFiring, error) {
+			return pendingFiring{Firing: Firing{Rule: p.Rule, At: p.At}, runAt: p.At, attempt: p.Attempts, seq: p.Seq}, nil
+		},
+	}
+	if j != nil {
+		src.pending = j.Pending()
+		for _, name := range c.eng.temporalNames() {
+			if hi := j.AckedThrough(name); hi > 0 {
+				src.highs = append(src.highs, ackedHigh{name, hi})
+			}
+		}
+	}
+	rep, err := c.recoverLocked(now, src)
+	c.poke()
+	return rep, err
+}
+
+// AdoptState performs recovery over the merged journal state of a shard's
+// previous owner(s) — the shard-handoff path. The daemon's own journal must
+// be a fresh epoch file: high-waters are seeded as T records and surviving
+// intents are re-journaled under new sequence numbers, so once AdoptState
+// returns the prior epochs' files are fully superseded and can be deleted.
+func (c *DBCron) AdoptState(now int64, st *journal.State) (RecoveryReport, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.durable || c.opts.Journal == nil {
+		return RecoveryReport{}, fmt.Errorf("rules: AdoptState requires a journaled daemon")
+	}
+	j := c.opts.Journal
+	src := recoverySrc{
+		// The intent lives in a superseded epoch file; nothing to write.
+		skip: func(p journal.PendingFiring) error { return nil },
+		// The instant committed under a prior epoch: carry the evidence
+		// into the new journal so later recoveries keep the stale-snapshot
+		// protection after the old files are gone.
+		dedup: func(p journal.PendingFiring) error { return j.HighWater(p.Rule, p.At) },
+		// Re-journal the intent under a fresh sequence number.
+		entry: func(p journal.PendingFiring) (pendingFiring, error) {
+			pf, err := c.newPending(p.Rule, p.At)
+			if err != nil {
+				return pf, err
+			}
+			pf.attempt = p.Attempts
+			return pf, nil
+		},
+	}
+	if st != nil {
+		src.pending = st.Pending
+		for key, hi := range st.AckedThrough {
+			name, ok := c.eng.canonicalName(key)
+			if !ok {
+				continue
+			}
+			if err := j.HighWater(name, hi); err != nil {
+				return RecoveryReport{}, err
+			}
+			src.highs = append(src.highs, ackedHigh{name, hi})
+		}
+		if err := j.Sync(); err != nil {
+			return RecoveryReport{}, err
+		}
+	}
+	rep, err := c.recoverLocked(now, src)
+	c.poke()
+	return rep, err
+}
+
+// recoverLocked is the four-phase recovery core shared by Recover and
+// AdoptState (c.mu held).
+func (c *DBCron) recoverLocked(now int64, src recoverySrc) (RecoveryReport, error) {
+	var rep RecoveryReport
 	c.recovering = true
 	defer func() { c.recovering = false }()
-	j := c.opts.Journal
 
 	// Phase 1: stale-snapshot protection. A restored RULE-TIME row may
 	// predate firings the journal acked; trust the journal's high-water.
-	if j != nil {
-		for _, name := range c.eng.temporalNames() {
-			hi := j.AckedThrough(name)
-			if hi == 0 {
-				continue
-			}
-			if next, ok := c.eng.storedNext(name); ok && next <= hi {
-				if _, err := c.eng.skipPast(name, hi); err != nil {
-					return rep, err
-				}
+	for _, h := range src.highs {
+		if !c.inShard(h.name) {
+			continue
+		}
+		if next, ok := c.eng.storedNext(h.name); ok && next <= h.hi {
+			if _, err := c.eng.skipPast(h.name, h.hi); err != nil {
+				return rep, err
 			}
 		}
 	}
 
 	// Phase 2: resolve in-flight firings recorded in the journal.
-	if j != nil {
-		for _, p := range j.Pending() {
-			rep.ReplayedPending++
-			if !c.eng.hasTemporal(p.Rule) {
-				rep.Orphaned++
-				if err := j.Skip(p.Seq); err != nil {
-					return rep, err
-				}
-				continue
-			}
-			if c.opts.CatchUp == SkipMissed {
-				rep.Skipped++
-				if err := j.Skip(p.Seq); err != nil {
-					return rep, err
-				}
-				continue
-			}
-			if next, ok := c.eng.storedNext(p.Rule); ok && next > p.At {
-				// The firing's transaction committed before the crash; only
-				// its ack was lost.
-				rep.Deduped++
-				if err := j.Ack(p.Seq); err != nil {
-					return rep, err
-				}
-				continue
-			}
-			pf := pendingFiring{Firing: Firing{Rule: p.Rule, At: p.At}, runAt: p.At, attempt: p.Attempts, seq: p.Seq}
-			if p.At > now {
-				// Scheduled in a probe window that had not elapsed yet —
-				// re-queue it for its due time instead of firing early.
-				key := strings.ToLower(p.Rule)
-				if !c.scheduled[key] {
-					c.scheduled[key] = true
-					heap.Push(&c.pending, pf)
-				}
-				continue
-			}
-			ok, err := c.execute(&pf, now)
-			if err != nil {
+	for _, p := range src.pending {
+		rep.ReplayedPending++
+		if !c.eng.hasTemporal(p.Rule) || !c.inShard(p.Rule) {
+			rep.Orphaned++
+			if err := src.skip(p); err != nil {
 				return rep, err
 			}
-			if ok {
-				rep.Refired++
+			continue
+		}
+		if c.opts.CatchUp == SkipMissed {
+			rep.Skipped++
+			if err := src.skip(p); err != nil {
+				return rep, err
 			}
+			continue
+		}
+		if next, ok := c.eng.storedNext(p.Rule); ok && next > p.At {
+			// The firing's transaction committed before the crash; only
+			// its ack was lost.
+			rep.Deduped++
+			if err := src.dedup(p); err != nil {
+				return rep, err
+			}
+			continue
+		}
+		pf, err := src.entry(p)
+		if err != nil {
+			return rep, err
+		}
+		if p.At > now {
+			// Scheduled in a probe window that had not elapsed yet —
+			// re-queue it for its due time instead of firing early.
+			key := strings.ToLower(p.Rule)
+			if !c.scheduled[key] {
+				c.scheduled[key] = true
+				c.queue.add(pf)
+			}
+			continue
+		}
+		ok, err := c.execute(&pf, now)
+		if err != nil {
+			return rep, err
+		}
+		if ok {
+			rep.Refired++
 		}
 	}
 
 	// Phase 3: catch up triggers missed while down. DueWithin(now, 0)
 	// returns every overdue rule; entries already re-queued by phase 2
-	// retries are left to the heap.
+	// retries are left to the queue.
 	due, err := c.eng.DueWithin(now, 0)
 	if err != nil {
 		return rep, err
 	}
 	for _, f := range due {
+		if !c.inShard(f.Rule) {
+			continue
+		}
 		key := strings.ToLower(f.Rule)
 		if c.scheduled[key] {
 			continue
@@ -184,6 +284,5 @@ func (c *DBCron) Recover(now int64) (RecoveryReport, error) {
 
 	// Phase 4: resume probing immediately.
 	c.nextProbe = now
-	heap.Init(&c.pending)
 	return rep, nil
 }

@@ -1,0 +1,269 @@
+package shard
+
+// Fleet chaos harness: a multi-worker fleet splits a rule population across
+// shards under TTL'd leases. Every run hard-kills one shard-owning worker at
+// a seeded time (guaranteeing lease expiry and steal traffic) and arms ONE
+// seeded crash site across the coordination and firing layers — crash before
+// the journal commit, after it, during a heartbeat, mid-steal, mid-handoff.
+// A replacement worker joins after the kill. Invariant under FireAll: every
+// (rule, instant) executes EXACTLY once across all workers and epochs.
+// Under SkipMissed: at most once.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"calsys/internal/caldb"
+	"calsys/internal/chronology"
+	"calsys/internal/faultinject"
+	"calsys/internal/rules"
+	"calsys/internal/rules/journal"
+	"calsys/internal/store"
+)
+
+// fleetSites is the kill matrix: the PR 4 daemon sites plus the lease and
+// handoff sites introduced here.
+var fleetSites = []string{
+	SiteAcquire, SiteRenew, SiteSteal, SiteRelease, SiteHandoff,
+	rules.SiteProbe, rules.SiteFire, rules.SiteAck, journal.SiteAppend,
+}
+
+const (
+	fleetShards = 6
+	fleetRules  = 12
+	fleetDays   = 16
+	fleetTTL    = int64(chronology.SecondsPerDay * 3 / 2) // 1.5 days
+	quarter     = int64(chronology.SecondsPerDay / 4)
+)
+
+// armFleetSite arms one crash at a seed-chosen occurrence of the site,
+// scaled to how often each site is hit so the crash (when it fires at all)
+// lands early enough for the fleet to recover inside the run.
+func armFleetSite(inj *faultinject.Injector, rng *rand.Rand, site string) {
+	switch site {
+	case SiteSteal:
+		inj.CrashAt(site, 1+rng.Intn(2))
+	case SiteRelease, SiteAcquire, SiteHandoff:
+		inj.CrashAt(site, 1+rng.Intn(5))
+	case SiteRenew:
+		inj.CrashAt(site, 1+rng.Intn(25))
+	case journal.SiteAppend:
+		// Skip occurrence 1: the very first append is Open's magic line
+		// during the first adoption; dying there is legal but proves less.
+		inj.CrashAt(site, 2+rng.Intn(60))
+	default: // probe / fire / ack
+		inj.CrashAt(site, 1+rng.Intn(40))
+	}
+}
+
+// chaosFleetRun drives one seeded fleet scenario. It returns per-rule
+// per-instant execution counts, the expected instants, how many workers
+// died (hard kill + injected), and the coordinator for stats.
+func chaosFleetRun(t *testing.T, seed int64, site string, policy rules.CatchUpPolicy) (map[string]map[int64]int, []int64, int, *Coordinator, string) {
+	t.Helper()
+	db := store.NewDB()
+	cal, err := caldb.New(db, chronology.MustNew(chronology.DefaultEpoch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := rules.NewEngine(cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.LookaheadDays = 60
+	start := cal.Chron().EpochSecondsOf(chronology.Civil{Year: 1993, Month: 1, Day: 1})
+	end := start + fleetDays*day
+
+	counts := map[string]map[int64]int{}
+	var defs []rules.TemporalRuleDef
+	for i := 0; i < fleetRules; i++ {
+		name := fmt.Sprintf("fleet-%d", i)
+		counts[name] = map[int64]int{}
+		m := counts[name]
+		defs = append(defs, rules.TemporalRuleDef{
+			Name:    name,
+			CalExpr: "DAYS",
+			Action: rules.FuncAction{Name: name, Fn: func(_ *store.Txn, _ *store.Event, at int64) error {
+				m[at]++
+				return nil
+			}},
+		})
+	}
+	if err := eng.DefineTemporalRules(start, defs); err != nil {
+		t.Fatal(err)
+	}
+	var expected []int64
+	for i := int64(1); i <= fleetDays; i++ {
+		expected = append(expected, start+i*day)
+	}
+
+	inj := faultinject.New(seed)
+	rng := rand.New(rand.NewSource(seed))
+	armFleetSite(inj, rng, site)
+	eng.SetFaults(inj)
+
+	coord := NewCoordinator(fleetShards, fleetTTL)
+	coord.SetFaults(inj)
+	dir := t.TempDir()
+	opts := Options{
+		Retry:   rules.RetryPolicy{MaxAttempts: 3, BaseDelay: 1, MaxDelay: 2},
+		CatchUp: policy,
+		Seed:    seed,
+		Faults:  inj,
+	}
+	mk := func(name string) *Worker { return New(name, coord, eng, day, dir, opts) }
+
+	// Staggered joins; w0 is hard-killed at a seeded time; a replacement
+	// joins a day later.
+	joinAt := map[string]int64{
+		"w0": start,
+		"w1": start + quarter,
+		"w2": start + 2*quarter,
+	}
+	killAt := start + (1+rng.Int63n(3))*day + rng.Int63n(4)*quarter
+	joinAt["w3"] = killAt + day
+	workers := map[string]*Worker{"w0": mk("w0"), "w1": mk("w1"), "w2": mk("w2"), "w3": mk("w3")}
+	order := []string{"w0", "w1", "w2", "w3"}
+	dead := map[string]bool{}
+	kills, hardKilled := 0, false
+
+	for now := start; now <= end; now += quarter {
+		// SIGKILL: the first live, shard-owning worker stops dead — no
+		// release, no drain. Its journal files stay on disk (every record
+		// is flushed on write); its leases lapse into the steal window.
+		if !hardKilled && now >= killAt {
+			for _, name := range order {
+				if !dead[name] && now > joinAt[name] && len(workers[name].Owned()) > 0 {
+					dead[name] = true
+					kills++
+					hardKilled = true
+					break
+				}
+			}
+		}
+		for _, name := range order {
+			if dead[name] || now < joinAt[name] {
+				continue
+			}
+			if err := workers[name].Tick(now); err != nil {
+				if faultinject.IsCrash(err) {
+					dead[name] = true
+					kills++
+					continue
+				}
+				t.Fatalf("seed %d site %s: %s tick at +%dd: %v",
+					seed, site, name, (now-start)/day, err)
+			}
+		}
+	}
+	return counts, expected, kills, coord, dir
+}
+
+// saveFleetArtifacts copies a failing run's shard journals for CI upload.
+func saveFleetArtifacts(t *testing.T, dir, tag string) {
+	out := os.Getenv("CHAOS_ARTIFACTS")
+	if out == "" {
+		return
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.journal"))
+	for _, f := range files {
+		src, err := os.Open(f)
+		if err != nil {
+			continue
+		}
+		dst, err := os.Create(filepath.Join(out, tag+"-"+filepath.Base(f)))
+		if err != nil {
+			src.Close()
+			continue
+		}
+		io.Copy(dst, src)
+		dst.Close()
+		src.Close()
+	}
+	t.Logf("%d journal artifacts saved for %s", len(files), tag)
+}
+
+// TestChaosFleetExactlyOnceFireAll kills workers at every matrix site across
+// many seeds and proves the fleet-wide FireAll invariant: each (rule,
+// instant) executes exactly once — across worker kills, lease steals, shard
+// handoffs and zombie fencing — none lost, none doubled.
+func TestChaosFleetExactlyOnceFireAll(t *testing.T) {
+	const seedsPerSite = 8
+	for _, site := range fleetSites {
+		site := site
+		t.Run(site, func(t *testing.T) {
+			totalKills, totalSteals := 0, int64(0)
+			for seed := int64(1); seed <= seedsPerSite; seed++ {
+				counts, expected, kills, coord, dir := chaosFleetRun(t, seed, site, rules.FireAll)
+				totalKills += kills
+				totalSteals += coord.Stats().Steals
+				for name, m := range counts {
+					for _, at := range expected {
+						if m[at] != 1 {
+							t.Errorf("seed %d: %s at +%dd executed %d times, want exactly 1",
+								seed, name, (at-expected[0])/day+1, m[at])
+						}
+					}
+					for at, n := range m {
+						if at < expected[0] || at > expected[len(expected)-1] || at%day != expected[0]%day {
+							t.Errorf("seed %d: %s unexpected execution at %d (%d times)", seed, name, at, n)
+						}
+					}
+				}
+				if t.Failed() {
+					saveFleetArtifacts(t, dir, fmt.Sprintf("fleet-fireall-%s-seed%d", site, seed))
+					return
+				}
+			}
+			// Every run hard-kills a shard owner, so a matrix arm with no
+			// kills or no steals is a broken harness, not a pass.
+			if totalKills < seedsPerSite {
+				t.Errorf("site %s: only %d kills across %d seeds", site, totalKills, seedsPerSite)
+			}
+			if totalSteals == 0 {
+				t.Errorf("site %s: no lease steals across %d seeds", site, seedsPerSite)
+			}
+		})
+	}
+}
+
+// TestChaosFleetAtMostOnceSkip replays the matrix under SkipMissed: a
+// stolen shard's missed instants may be skipped, but nothing ever fires
+// twice and nothing fires off-schedule.
+func TestChaosFleetAtMostOnceSkip(t *testing.T) {
+	const seedsPerSite = 8
+	for _, site := range fleetSites {
+		site := site
+		t.Run(site, func(t *testing.T) {
+			totalKills := 0
+			for seed := int64(1); seed <= seedsPerSite; seed++ {
+				counts, expected, kills, _, dir := chaosFleetRun(t, seed, site, rules.SkipMissed)
+				totalKills += kills
+				for name, m := range counts {
+					for at, n := range m {
+						if n > 1 {
+							t.Errorf("seed %d: %s at %d executed %d times, want at most 1", seed, name, at, n)
+						}
+						if at < expected[0] || at > expected[len(expected)-1] || at%day != expected[0]%day {
+							t.Errorf("seed %d: %s unexpected execution at %d", seed, name, at)
+						}
+					}
+				}
+				if t.Failed() {
+					saveFleetArtifacts(t, dir, fmt.Sprintf("fleet-skip-%s-seed%d", site, seed))
+					return
+				}
+			}
+			if totalKills < seedsPerSite {
+				t.Errorf("site %s: only %d kills across %d seeds", site, totalKills, seedsPerSite)
+			}
+		})
+	}
+}

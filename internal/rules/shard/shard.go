@@ -1,0 +1,34 @@
+// Package shard partitions a temporal-rule fleet across multiple dbcrond
+// workers. Rules are hash-partitioned by name (rules.ShardOf) into N shards;
+// a lease Coordinator hands each shard to exactly one worker at a time under
+// a TTL'd, heartbeat-renewed, epoch-fenced lease. Each owned shard runs its
+// own DBCron over its own per-epoch firing journal; when a worker crashes
+// its leases expire and peers steal them, merging the dead worker's journal
+// files and recovering with the PR 4 machinery — exactly-once firings under
+// the FireAll policy survive any worker kill.
+//
+// Epoch fencing is the safety invariant: every lease grant increments a
+// coordinator-wide epoch, the epoch is checked inside every firing
+// transaction (CronOptions.Fence), and a zombie worker holding a stale
+// epoch aborts with rules.ErrFenced before committing anything.
+package shard
+
+// Fault-injection sites in the coordination layer. The chaos matrix crashes
+// workers at each of these (on top of the PR 4 probe/fire/ack/journal sites)
+// to prove the invariant across kills during lease traffic and handoff.
+const (
+	// SiteAcquire is hit before a free shard is granted.
+	SiteAcquire = "lease.acquire"
+	// SiteRenew is hit at the top of a heartbeat renewal — a crash here
+	// lets every lease of the worker lapse into the steal window.
+	SiteRenew = "lease.renew"
+	// SiteSteal is hit before an expired lease is re-granted to a new
+	// owner — a crash here kills the stealing worker mid-takeover.
+	SiteSteal = "lease.steal"
+	// SiteRelease is hit before a voluntary release (rebalance or graceful
+	// shutdown) — a crash here leaves the lease to expire instead.
+	SiteRelease = "lease.release"
+	// SiteHandoff is hit at the start of shard adoption, before the new
+	// owner merges the prior epochs' journals.
+	SiteHandoff = "shard.handoff"
+)

@@ -1,0 +1,380 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"calsys/internal/faultinject"
+	"calsys/internal/rules"
+	"calsys/internal/rules/journal"
+)
+
+// Options configures a Worker's per-shard daemons.
+type Options struct {
+	// Retry/CatchUp/ActionTimeout/MaxCatchUp/Seed are the per-shard
+	// CronOptions template (see rules.CronOptions).
+	Retry         rules.RetryPolicy
+	CatchUp       rules.CatchUpPolicy
+	ActionTimeout time.Duration
+	MaxCatchUp    int
+	Seed          int64
+	// Faults threads the chaos injector through handoff and the per-shard
+	// daemons/journals (the coordinator carries its own via SetFaults).
+	Faults *faultinject.Injector
+	// SyncJournals enables fsync-on-commit on the per-shard journals
+	// (production on, virtual-time tests off for speed).
+	SyncJournals bool
+	// HeartbeatEvery is the wall seconds between Run's ticks (default
+	// TTL/3, min 1). Step-driven tests call Tick directly instead.
+	HeartbeatEvery int64
+}
+
+// WorkerStats is a worker's lifetime counter snapshot.
+type WorkerStats struct {
+	Owned    int   // shards currently owned
+	Adopted  int64 // shards adopted (initial grant, rebalance or steal)
+	Released int64 // shards released voluntarily (rebalance/shutdown)
+	Lost     int64 // leases that expired or were rejected under us
+	Fenced   int64 // shards dropped after a fenced firing attempt
+	Fired    int64 // firings committed across all epochs owned
+}
+
+// ownedShard is one shard a worker holds: its lease, its per-epoch journal
+// and the per-shard daemon probing only that shard's rules.
+type ownedShard struct {
+	lease Lease
+	cron  *rules.DBCron
+	jnl   *journal.Journal
+}
+
+// Worker is one dbcrond process of a sharded fleet. It heartbeats the
+// Coordinator, acquires shards up to its fair share (stealing expired
+// leases of crashed peers), releases down to it when peers join, and drives
+// one DBCron per owned shard. Tick is the step-driven core (virtual-time
+// tests and the demo); Run wraps it for wall-clock operation.
+type Worker struct {
+	name  string
+	coord *Coordinator
+	eng   *rules.Engine
+	T     int64
+	dir   string
+	opts  Options
+
+	mu    sync.Mutex
+	owned map[int]*ownedShard
+	stats WorkerStats
+}
+
+// New creates a worker named `name` over the shared engine. Per-shard
+// journals are created under dir; T is the probe period in seconds.
+func New(name string, coord *Coordinator, eng *rules.Engine, T int64, dir string, opts Options) *Worker {
+	if opts.Retry.MaxAttempts <= 0 {
+		opts.Retry = rules.DefaultRetryPolicy
+	}
+	if opts.HeartbeatEvery <= 0 {
+		opts.HeartbeatEvery = coord.TTL() / 3
+	}
+	if opts.HeartbeatEvery < 1 {
+		opts.HeartbeatEvery = 1
+	}
+	return &Worker{name: name, coord: coord, eng: eng, T: T, dir: dir, opts: opts, owned: map[int]*ownedShard{}}
+}
+
+// Name returns the worker's fleet-unique name.
+func (w *Worker) Name() string { return w.name }
+
+// Tick is one scheduling round at `now`: renew leases (dropping any lost to
+// expiry), rebalance down to the fair share, acquire free or expired shards
+// up to it (adopting each one's journal state), then advance every owned
+// daemon to now. A returned injected-crash error means the worker died at a
+// chaos site; the harness must abandon it without cleanup, exactly like a
+// SIGKILL.
+func (w *Worker) Tick(now int64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	kept, lost, err := w.coord.Renew(w.name, now)
+	if err != nil {
+		return err
+	}
+	for _, l := range kept {
+		if os, ok := w.owned[l.Shard]; ok {
+			os.lease = l
+		}
+	}
+	for _, sh := range lost {
+		w.dropLocked(sh)
+		w.stats.Lost++
+	}
+
+	fair := w.coord.FairShare(now)
+	for len(w.owned) > fair {
+		// Shed the highest shard id: deterministic, and symmetric with
+		// Acquire scanning from 0.
+		sh := -1
+		for id := range w.owned {
+			if id > sh {
+				sh = id
+			}
+		}
+		if err := w.releaseLocked(sh, now); err != nil {
+			return err
+		}
+	}
+
+	if len(w.owned) < fair {
+		leases, aerr := w.coord.Acquire(w.name, now, fair-len(w.owned))
+		for _, l := range leases {
+			if err := w.adoptLocked(l, now); err != nil {
+				return err
+			}
+		}
+		if aerr != nil {
+			return aerr
+		}
+	}
+
+	for _, sh := range w.ownedIDsLocked() {
+		os, ok := w.owned[sh]
+		if !ok {
+			continue
+		}
+		if _, err := os.cron.AdvanceTo(now); err != nil {
+			if errors.Is(err, rules.ErrFenced) {
+				// We are a zombie for this shard: the fence already
+				// blocked the commit; drop our state and move on.
+				w.stats.Fenced++
+				w.dropLocked(sh)
+				continue
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// adoptLocked takes ownership of a freshly granted shard: merge every
+// journal file prior epochs left behind, open this epoch's journal, seed it
+// with the merged high-waters, recover (re-firing or deduplicating the dead
+// owner's in-flight work per the catch-up policy), then delete the
+// superseded files. Idempotent under crashes at any point: files are only
+// deleted after the new epoch journal holds everything they proved.
+func (w *Worker) adoptLocked(l Lease, now int64) error {
+	if err := faultinject.Hit(w.opts.Faults, SiteHandoff); err != nil {
+		return err
+	}
+	newPath := journal.ShardFile(w.dir, l.Shard, l.Epoch)
+	old, err := journal.ShardFiles(w.dir, l.Shard)
+	if err != nil {
+		return err
+	}
+	var states []*journal.State
+	for _, p := range old {
+		if p == newPath {
+			continue
+		}
+		st, err := journal.ReplayFile(p)
+		if err != nil {
+			return err
+		}
+		states = append(states, st)
+	}
+	merged := journal.MergeStates(states...)
+	jnl, err := journal.Open(newPath, journal.WithSync(w.opts.SyncJournals), journal.WithFaults(w.opts.Faults))
+	if err != nil {
+		return err
+	}
+	sh, epoch := l.Shard, l.Epoch
+	cron, err := rules.NewDBCronWith(w.eng, w.T, now, rules.CronOptions{
+		Journal:       jnl,
+		Retry:         w.opts.Retry,
+		CatchUp:       w.opts.CatchUp,
+		ActionTimeout: w.opts.ActionTimeout,
+		MaxCatchUp:    w.opts.MaxCatchUp,
+		Seed:          w.opts.Seed + int64(epoch),
+		Faults:        w.opts.Faults,
+		Shard:         sh,
+		Shards:        w.coord.Shards(),
+		Fence:         func(at int64) error { return w.coord.Validate(sh, epoch, at) },
+	})
+	if err != nil {
+		jnl.Close()
+		return err
+	}
+	if _, err := cron.AdoptState(now, merged); err != nil {
+		if errors.Is(err, rules.ErrFenced) {
+			// Lease lost while adopting (e.g. the clock jumped past the
+			// TTL mid-recovery): walk away, the next owner re-merges.
+			cron.Close()
+			jnl.Close()
+			w.stats.Fenced++
+			return nil
+		}
+		cron.Close()
+		return err
+	}
+	for _, p := range old {
+		if p != newPath {
+			os.Remove(p)
+		}
+	}
+	w.owned[sh] = &ownedShard{lease: l, cron: cron, jnl: jnl}
+	w.stats.Adopted++
+	return nil
+}
+
+// releaseLocked gracefully hands a shard back: drain due work, compact the
+// journal so the next owner merges a minimal file, release the lease, close.
+// No steal window opens — the lease is immediately free.
+func (w *Worker) releaseLocked(sh int, now int64) error {
+	os, ok := w.owned[sh]
+	if !ok {
+		return fmt.Errorf("shard: worker %s does not own shard %d", w.name, sh)
+	}
+	if _, err := os.cron.AdvanceTo(now); err != nil {
+		if errors.Is(err, rules.ErrFenced) {
+			w.stats.Fenced++
+			w.dropLocked(sh)
+			return nil
+		}
+		return err
+	}
+	if err := os.jnl.Compact(); err != nil {
+		return err
+	}
+	if err := w.coord.Release(w.name, sh, os.lease.Epoch); err != nil {
+		if errors.Is(err, ErrNotOwner) {
+			w.stats.Lost++
+			w.dropLocked(sh)
+			return nil
+		}
+		return err
+	}
+	w.stats.Released++
+	w.stats.Fired += os.cron.FullStats().Fired
+	os.cron.Close()
+	os.jnl.Close()
+	delete(w.owned, sh)
+	return nil
+}
+
+// dropLocked abandons a shard without touching the lease (expired under us,
+// or fenced): close our handles, keep the journal file for the next owner.
+func (w *Worker) dropLocked(sh int) {
+	os, ok := w.owned[sh]
+	if !ok {
+		return
+	}
+	w.stats.Fired += os.cron.FullStats().Fired
+	os.cron.Close()
+	os.jnl.Close()
+	delete(w.owned, sh)
+}
+
+func (w *Worker) ownedIDsLocked() []int {
+	ids := make([]int, 0, len(w.owned))
+	for sh := range w.owned {
+		ids = append(ids, sh)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Owned lists the worker's shard ids, sorted.
+func (w *Worker) Owned() []int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.ownedIDsLocked()
+}
+
+// Stats returns the worker's counters (Fired includes live shards).
+func (w *Worker) Stats() WorkerStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := w.stats
+	st.Owned = len(w.owned)
+	for _, os := range w.owned {
+		st.Fired += os.cron.FullStats().Fired
+	}
+	return st
+}
+
+// NextWakeup returns the next instant the worker must act: the earliest
+// per-shard daemon wakeup (re-derived from each timing wheel, so a shard
+// granted or stolen since the last tick is reflected immediately) capped by
+// the heartbeat deadline.
+func (w *Worker) NextWakeup(now int64) int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	next := now + w.opts.HeartbeatEvery
+	for _, os := range w.owned {
+		if wk := os.cron.NextWakeup(); wk < next {
+			next = wk
+		}
+	}
+	return next
+}
+
+// Shutdown is the graceful exit (SIGTERM): every shard is drained,
+// compacted and released, so a clean shutdown never opens a steal window —
+// peers can re-acquire the shards immediately.
+func (w *Worker) Shutdown(now int64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var firstErr error
+	for _, sh := range w.ownedIDsLocked() {
+		if err := w.releaseLocked(sh, now); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	w.coord.Depart(w.name)
+	return firstErr
+}
+
+// Run drives the worker against a real (or virtual) clock until stop is
+// closed, then shuts down gracefully. Errors are delivered to errs (dropped
+// when full); an injected crash stops the worker dead — no release, no
+// drain — so its leases expire and peers steal them.
+func (w *Worker) Run(clock rules.Clock, stop <-chan struct{}, errs chan<- error) {
+	report := func(err error) {
+		if err != nil && errs != nil {
+			select {
+			case errs <- err:
+			default:
+			}
+		}
+	}
+	for {
+		select {
+		case <-stop:
+			report(w.Shutdown(clock.Now()))
+			return
+		default:
+		}
+		now := clock.Now()
+		if err := w.Tick(now); err != nil {
+			report(err)
+			if faultinject.IsCrash(err) {
+				return
+			}
+		}
+		wake := w.NextWakeup(clock.Now())
+		sleep := wake - clock.Now()
+		if sleep < 1 {
+			sleep = 1
+		}
+		if sleep > w.opts.HeartbeatEvery {
+			sleep = w.opts.HeartbeatEvery
+		}
+		select {
+		case <-stop:
+			report(w.Shutdown(clock.Now()))
+			return
+		case <-time.After(time.Duration(sleep) * time.Second):
+		}
+	}
+}

@@ -1,0 +1,330 @@
+package rules
+
+import (
+	"container/heap"
+	"math/bits"
+	"strings"
+)
+
+// firingQueue is the container of armed firing attempts inside DBCron. Two
+// implementations exist: the seed min-heap (heapQueue, kept as the
+// DisableWheel ablation and benchmark oracle) and the hierarchical timing
+// wheel (timingWheel), which makes a probe tick O(due) instead of
+// O(pending·log pending) at million-rule scale.
+type firingQueue interface {
+	// add arms one attempt.
+	add(pf pendingFiring)
+	// popDue removes and returns the earliest attempt with runAt <= limit.
+	popDue(limit int64) (pendingFiring, bool)
+	// next returns a lower bound on the earliest armed runAt (noTrigger when
+	// empty). The bound is exact for the heap; the wheel may return the start
+	// of an occupied slot, which is never later than the true next instant —
+	// waking early is safe, the wake just re-derives a tighter bound.
+	next() int64
+	// removeRule unarms every attempt of the rule (lower-cased key) and
+	// returns the removed entries so the caller can journal skips.
+	removeRule(key string) []pendingFiring
+	// each visits every armed attempt in unspecified order.
+	each(fn func(pendingFiring))
+	// size is the number of armed attempts.
+	size() int
+}
+
+// heapQueue is the seed container: a binary min-heap ordered by runAt.
+type heapQueue struct {
+	h firingHeap
+}
+
+func (q *heapQueue) add(pf pendingFiring) { heap.Push(&q.h, pf) }
+
+func (q *heapQueue) popDue(limit int64) (pendingFiring, bool) {
+	if len(q.h) == 0 || q.h[0].runAt > limit {
+		return pendingFiring{}, false
+	}
+	return heap.Pop(&q.h).(pendingFiring), true
+}
+
+func (q *heapQueue) next() int64 {
+	if len(q.h) == 0 {
+		return noTrigger
+	}
+	return q.h[0].runAt
+}
+
+func (q *heapQueue) removeRule(key string) []pendingFiring {
+	var removed []pendingFiring
+	kept := q.h[:0]
+	for _, pf := range q.h {
+		if strings.ToLower(pf.Rule) == key {
+			removed = append(removed, pf)
+			continue
+		}
+		kept = append(kept, pf)
+	}
+	q.h = kept
+	heap.Init(&q.h)
+	return removed
+}
+
+func (q *heapQueue) each(fn func(pendingFiring)) {
+	for _, pf := range q.h {
+		fn(pf)
+	}
+}
+
+func (q *heapQueue) size() int { return len(q.h) }
+
+// Timing-wheel geometry: 64 slots per level, 6 bits of the instant per
+// level. Level l buckets instants by runAt >> (6·l); eleven levels cover the
+// full 2^62 instant space (noTrigger is never armed).
+const (
+	wheelBits   = 6
+	wheelSlots  = 1 << wheelBits
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 11
+)
+
+type wheelLevel struct {
+	// occ has bit i set iff slot[i] is non-empty; next-slot scans are a
+	// rotate plus TrailingZeros64 instead of a walk.
+	occ  uint64
+	slot [wheelSlots][]pendingFiring
+}
+
+// timingWheel is a hierarchical timing wheel over armed firing attempts,
+// after the classic kernel-timer design: an entry lives at the lowest level
+// whose 64-slot window around the current base covers its instant, and is
+// cascaded toward level 0 as the base advances. add is O(1); advancing the
+// base by any distance moves each entry at most wheelLevels times over its
+// whole residence, so a probe tick costs O(due), not O(pending).
+//
+// Entries at or before the base live in a small exact min-heap (due): the
+// wheel only ever bounds *future* instants, while overdue work (retry
+// backlog, catch-up) needs exact pop ordering.
+type timingWheel struct {
+	base  int64 // every wheel-resident entry has runAt > base
+	count int
+	due   firingHeap
+	level [wheelLevels]wheelLevel
+	// scratch is the cascade's reusable move buffer.
+	scratch []pendingFiring
+}
+
+// duePush and duePop are container/heap push/pop specialized to firingHeap's
+// runAt ordering: going through heap.Interface boxes every pendingFiring in
+// an any, which at million-entry scale is an allocation per armed firing.
+func duePush(h *firingHeap, pf pendingFiring) {
+	*h = append(*h, pf)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].runAt <= s[i].runAt {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func duePop(h *firingHeap) pendingFiring {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = pendingFiring{}
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && s[c+1].runAt < s[c].runAt {
+			c++
+		}
+		if s[i].runAt <= s[c].runAt {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+	return top
+}
+
+func newTimingWheel(base int64) *timingWheel {
+	return &timingWheel{base: base}
+}
+
+func (w *timingWheel) add(pf pendingFiring) {
+	w.count++
+	if pf.runAt <= w.base {
+		duePush(&w.due, pf)
+		return
+	}
+	l := w.levelFor(pf.runAt)
+	shift := uint(wheelBits * l)
+	i := (pf.runAt >> shift) & wheelMask
+	w.level[l].slot[i] = append(w.level[l].slot[i], pf)
+	w.level[l].occ |= 1 << uint(i)
+}
+
+// levelFor picks the lowest level whose window around base covers runAt
+// (precondition: runAt > base). The top level's window spans the whole
+// instant space, so the scan always terminates.
+func (w *timingWheel) levelFor(runAt int64) int {
+	for l := 0; l < wheelLevels-1; l++ {
+		shift := uint(wheelBits * l)
+		if (runAt>>shift)-(w.base>>shift) < wheelSlots {
+			return l
+		}
+	}
+	return wheelLevels - 1
+}
+
+// cascade advances the base to limit, draining every slot whose window the
+// base crossed: entries now due join the exact heap, the rest re-bucket at a
+// finer level relative to the new base.
+func (w *timingWheel) cascade(limit int64) {
+	if limit <= w.base {
+		return
+	}
+	old := w.base
+	w.base = limit
+	moved := w.scratch[:0]
+	for l := 0; l < wheelLevels; l++ {
+		lv := &w.level[l]
+		if lv.occ == 0 {
+			continue
+		}
+		shift := uint(wheelBits * l)
+		startSlot := old >> shift
+		endSlot := limit >> shift
+		var mask uint64
+		if endSlot-startSlot >= wheelSlots-1 {
+			mask = ^uint64(0)
+		} else {
+			a := uint(startSlot) & wheelMask
+			b := uint(endSlot) & wheelMask
+			if b >= a {
+				mask = (^uint64(0) >> (63 - b)) & (^uint64(0) << a)
+			} else {
+				mask = (^uint64(0) << a) | (^uint64(0) >> (63 - b))
+			}
+		}
+		hits := lv.occ & mask
+		for hits != 0 {
+			i := bits.TrailingZeros64(hits)
+			hits &^= 1 << uint(i)
+			// append copies the entries out, so resetting the slot's length
+			// while keeping its capacity is safe — and saves reallocating
+			// the slot every time the circular window comes around again.
+			moved = append(moved, lv.slot[i]...)
+			lv.slot[i] = lv.slot[i][:0]
+			lv.occ &^= 1 << uint(i)
+		}
+	}
+	for _, pf := range moved {
+		w.count--
+		w.add(pf)
+	}
+	w.scratch = moved[:0]
+}
+
+func (w *timingWheel) popDue(limit int64) (pendingFiring, bool) {
+	w.cascade(limit)
+	if len(w.due) > 0 && w.due[0].runAt <= limit {
+		w.count--
+		return duePop(&w.due), true
+	}
+	return pendingFiring{}, false
+}
+
+func (w *timingWheel) next() int64 {
+	if len(w.due) > 0 {
+		return w.due[0].runAt
+	}
+	// Each level's earliest occupied slot starts at or before every entry in
+	// that level, so the minimum of the per-level slot starts bounds the
+	// global minimum from below. (A single-level scan is not enough: an
+	// entry placed at level l when the base was far away may keep its slot
+	// as the base closes in, ending up earlier than fresher level-0
+	// entries.) Entries are strictly after base, so clamp to base+1.
+	best := int64(noTrigger)
+	for l := 0; l < wheelLevels; l++ {
+		lv := &w.level[l]
+		if lv.occ == 0 {
+			continue
+		}
+		shift := uint(wheelBits * l)
+		baseSlot := w.base >> shift
+		rot := bits.RotateLeft64(lv.occ, -int(uint(baseSlot)&wheelMask))
+		at := (baseSlot + int64(bits.TrailingZeros64(rot))) << shift
+		if at <= w.base {
+			at = w.base + 1
+		}
+		if at < best {
+			best = at
+		}
+	}
+	return best
+}
+
+func (w *timingWheel) removeRule(key string) []pendingFiring {
+	var removed []pendingFiring
+	kept := w.due[:0]
+	for _, pf := range w.due {
+		if strings.ToLower(pf.Rule) == key {
+			removed = append(removed, pf)
+			continue
+		}
+		kept = append(kept, pf)
+	}
+	w.due = kept
+	heap.Init(&w.due)
+	for l := range w.level {
+		lv := &w.level[l]
+		occ := lv.occ
+		for occ != 0 {
+			i := bits.TrailingZeros64(occ)
+			occ &^= 1 << uint(i)
+			s := lv.slot[i]
+			keep := s[:0]
+			for _, pf := range s {
+				if strings.ToLower(pf.Rule) == key {
+					removed = append(removed, pf)
+					continue
+				}
+				keep = append(keep, pf)
+			}
+			if len(keep) == 0 {
+				lv.slot[i] = nil
+				lv.occ &^= 1 << uint(i)
+			} else {
+				lv.slot[i] = keep
+			}
+		}
+	}
+	w.count -= len(removed)
+	return removed
+}
+
+func (w *timingWheel) each(fn func(pendingFiring)) {
+	for _, pf := range w.due {
+		fn(pf)
+	}
+	for l := range w.level {
+		lv := &w.level[l]
+		occ := lv.occ
+		for occ != 0 {
+			i := bits.TrailingZeros64(occ)
+			occ &^= 1 << uint(i)
+			for _, pf := range lv.slot[i] {
+				fn(pf)
+			}
+		}
+	}
+}
+
+func (w *timingWheel) size() int { return w.count }

@@ -1,0 +1,69 @@
+package rules
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkTimingWheelVsHeap drives one simulated week of daemon queue
+// traffic — 100k armed firings popped through hourly probe ticks — through
+// each firingQueue arm. The heap arm pays what the seed daemon pays per
+// probe: the O(pending) scan that rebuilds the scheduled set (see
+// DisableWheel in probe). The wheel arm's bookkeeping is incremental, so a
+// probe tick costs O(entries due in that tick), not O(all pending).
+func BenchmarkTimingWheelVsHeap(b *testing.B) {
+	b.Run("wheel", func(b *testing.B) { benchFiringQueue(b, false) })
+	b.Run("heap", func(b *testing.B) { benchFiringQueue(b, true) })
+}
+
+func benchFiringQueue(b *testing.B, seedArm bool) {
+	const (
+		entries = 100_000
+		window  = int64(7 * 86400)
+		tick    = int64(3600)
+	)
+	base := int64(725846400)
+	rng := rand.New(rand.NewSource(42))
+	pfs := make([]pendingFiring, entries)
+	for i := range pfs {
+		at := base + rng.Int63n(window)
+		pfs[i] = pendingFiring{
+			Firing: Firing{Rule: fmt.Sprintf("rule-%04d", i&1023), At: at},
+			runAt:  at,
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		var q firingQueue
+		if seedArm {
+			q = &heapQueue{}
+		} else {
+			q = newTimingWheel(base)
+		}
+		for i := range pfs {
+			q.add(pfs[i])
+		}
+		popped := 0
+		for now := base; now <= base+window; now += tick {
+			if seedArm {
+				// The seed probe rescans every pending entry to rebuild
+				// the scheduled map each window.
+				sched := 0
+				q.each(func(pf pendingFiring) { sched++ })
+				_ = sched
+			}
+			q.next()
+			for {
+				if _, ok := q.popDue(now); !ok {
+					break
+				}
+				popped++
+			}
+		}
+		if popped != entries {
+			b.Fatalf("popped %d of %d", popped, entries)
+		}
+	}
+}
