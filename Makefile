@@ -5,7 +5,7 @@
 GO ?= go
 
 .PHONY: check build vet vet-calsys fmt-check test race chaos chaos-fleet bench-smoke bench \
-	bench-json bench-compare bench-gate profile fuzz-smoke staticcheck govulncheck \
+	bench-json bench-compare bench-gate bench-cache profile fuzz-smoke staticcheck govulncheck \
 	serve-smoke calvet-corpus
 
 check: build vet vet-calsys fmt-check test race chaos chaos-fleet bench-smoke fuzz-smoke \
@@ -49,7 +49,7 @@ test:
 
 race:
 	$(GO) test -race ./internal/store/... ./internal/rules/... ./internal/core/plan/... \
-		./internal/serve/...
+		./internal/core/matcache/... ./internal/serve/...
 
 # Crash-recovery fault injection: the seeded kill-and-recover suites, run
 # three times under the race detector. Set CHAOS_ARTIFACTS to a directory to
@@ -128,10 +128,23 @@ bench-gate:
 	( $(GO) test -bench 'NextAfter|CacheColdVsWarm|EndpointSweepVsLinear' \
 		-benchtime=1s -count=3 -benchmem . && \
 	  $(GO) test -bench 'ForeachSweepVsGeneric/sweep' -benchtime=1s -count=3 -benchmem . && \
-	  $(GO) test -run '^$$' -bench 'TimingWheelVsHeap' -benchtime=1s -count=3 -benchmem ./internal/rules ) | \
+	  $(GO) test -run '^$$' -bench 'TimingWheelVsHeap' -benchtime=1s -count=3 -benchmem ./internal/rules && \
+	  $(GO) test -run '^$$' -bench 'CacheParallelGet|CacheStampede' -benchtime=1s -count=3 -benchmem \
+		./internal/core/matcache ) | \
 		$(GO) run ./cmd/benchjson -compare BENCH_baseline.json \
-			-gate 'BenchmarkNextAfter|BenchmarkNextAfterSymbolicAblation/symbolic|BenchmarkCacheColdVsWarm/warm|BenchmarkForeachSweepVsGeneric/sweep|BenchmarkEndpointSweepVsLinear/endpoint|BenchmarkTimingWheelVsHeap/wheel' \
+			-gate 'BenchmarkNextAfter|BenchmarkNextAfterSymbolicAblation/symbolic|BenchmarkCacheColdVsWarm/warm|BenchmarkForeachSweepVsGeneric/sweep|BenchmarkEndpointSweepVsLinear/endpoint|BenchmarkTimingWheelVsHeap/wheel|BenchmarkCacheParallelGet/sharded|BenchmarkCacheStampede' \
 			-gate-threshold 1.25 -gate-allocs-threshold 1.25 -
+
+# Parallel cache benchmarks across GOMAXPROCS=1,4,8: the sharded read path
+# against the preserved single-mutex arm, plus the 64-way stampede (which
+# fails outright if singleflight ever runs more than one generation per
+# (key, window)). The text report keeps the per-cpu lines; BENCH_cache.json
+# keeps the fastest instance of each arm (benchjson folds the -N suffixes).
+bench-cache:
+	$(GO) test -run '^$$' -bench 'CacheParallelGet|CacheStampede' \
+		-benchtime=1s -count=3 -cpu=1,4,8 -benchmem ./internal/core/matcache | \
+		tee bench-cache.txt
+	$(GO) run ./cmd/benchjson -o BENCH_cache.json bench-cache.txt
 
 # CPU + heap profile of one probe-day over the 100k-rule fleet; inspect with
 # `go tool pprof cpu.prof` (or mem.prof). The live daemon exposes the same

@@ -10,7 +10,11 @@
 // next-instant the way an interactive tenant would; "expand" is
 // expansion-heavy over multi-year windows of grouping and set-op
 // expressions — the requests that run the engine's sweep kernels — so the
-// serve smoke exercises those kernels end to end.
+// serve smoke exercises those kernels end to end; "stampede" aims every
+// client at the same handful of expressions over one window against a cold
+// cache — the thundering-herd shape that exercises the matcache
+// singleflight layer (run it with a fresh -tenant-prefix so the cache
+// really is cold).
 //
 // Any failed request makes the run exit nonzero — the CI smoke gate treats
 // one failure as a broken server.
@@ -57,7 +61,7 @@ func run() error {
 		clients    = flag.Int("clients", 8, "concurrent clients")
 		requests   = flag.Int("requests", 50, "workload requests per client")
 		seed       = flag.Int64("seed", 1, "workload mix seed")
-		mix        = flag.String("mix", "mixed", "workload preset: mixed | expand")
+		mix        = flag.String("mix", "mixed", "workload preset: mixed | expand | stampede")
 		prefix     = flag.String("tenant-prefix", "load", "tenant name prefix (runs against one server need distinct prefixes)")
 	)
 	flag.Parse()
@@ -67,8 +71,8 @@ func run() error {
 	if *tenants < 1 || *clients < 1 || *requests < 1 {
 		return fmt.Errorf("-tenants, -clients and -requests must be positive")
 	}
-	if *mix != "mixed" && *mix != "expand" {
-		return fmt.Errorf("-mix must be mixed or expand, got %q", *mix)
+	if *mix != "mixed" && *mix != "expand" && *mix != "stampede" {
+		return fmt.Errorf("-mix must be mixed, expand or stampede, got %q", *mix)
 	}
 
 	lg := &loadgen{base: "http://" + *addr, client: &http.Client{Timeout: 30 * time.Second}}
@@ -216,6 +220,21 @@ func (lg *loadgen) client2(results chan<- result, tenant, token string, id, requ
 		}
 		results <- result{op: op, dur: dur, ok: true}
 	}
+	if mix == "stampede" {
+		// Every client walks the same short expression list in the same
+		// order over one fixed window: request i of every client is
+		// byte-identical, so a cold cache sees N concurrent misses per
+		// (expression, window) and the server's singleflight layer should
+		// collapse them to one generation each. No rng — divergence would
+		// dilute the herd.
+		for i := 0; i < requests; i++ {
+			one("expand", "POST", base+"/expand", map[string]any{
+				"expr": expandExprs[i%3],
+				"from": "1993-01-01", "to": "1996-12-31",
+			}, http.StatusOK)
+		}
+		return
+	}
 	if mix == "expand" {
 		for i := 0; i < requests; i++ {
 			if rng.Intn(8) == 0 { // a trickle of next-instant keeps the scheduler warm
@@ -318,8 +337,11 @@ func report(mix string, stats map[string]*opStat, all []time.Duration, elapsed t
 		mean = sum / time.Duration(len(all))
 	}
 	summary := "BenchmarkServeMixed"
-	if mix == "expand" {
+	switch mix {
+	case "expand":
 		summary = "BenchmarkServeExpand"
+	case "stampede":
+		summary = "BenchmarkServeStampede"
 	}
 	fmt.Printf("%s %d %d ns/op %.3f p50-ms %.3f p95-ms %.3f p99-ms %.1f req/s\n",
 		summary, len(all), mean.Nanoseconds(), ms(percentile(all, 50)), ms(percentile(all, 95)), ms(percentile(all, 99)), rps)

@@ -5,6 +5,10 @@
 // The listener supports ":0" for an ephemeral port; the chosen address is
 // printed as "calserved: listening on ADDR" so harnesses (make serve-smoke)
 // can scrape it. SIGINT/SIGTERM drain in-flight requests and exit 0.
+//
+// -pprof serves net/http/pprof on a side address; -mutexprofile N samples
+// 1/N mutex contention events so /debug/pprof/mutex shows where the cache
+// and registry locks actually queue under load.
 package main
 
 import (
@@ -15,8 +19,10 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -41,8 +47,22 @@ func run() error {
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
 		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "HTTP idle connection timeout")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown drain limit")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060)")
+		mutexFrac    = flag.Int("mutexprofile", 0, "sample 1/N mutex contention events for /debug/pprof/mutex (0 = off)")
 	)
 	flag.Parse()
+
+	if *mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(*mutexFrac)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "calserved: pprof server:", err)
+			}
+		}()
+		fmt.Printf("calserved: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	token := *adminToken
 	if token == "" {

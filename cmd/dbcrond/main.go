@@ -31,7 +31,7 @@
 //	dbcrond [-days N] [-T seconds] [-start YYYY-MM-DD] [-q]
 //	        [-journal FILE] [-snapshot FILE] [-policy fireall]
 //	        [-checkpoint-days N] [-crash-after N] [-recover]
-//	        [-rules N [-distinct K]] [-pprof addr]
+//	        [-rules N [-distinct K]] [-pprof addr] [-mutexprofile N]
 //	        [-workers N [-shards M] [-lease-ttl secs] [-kill-after day]
 //	         [-journal-dir DIR]]
 package main
@@ -43,6 +43,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -66,6 +67,7 @@ type config struct {
 	rules          int64
 	distinct       int64
 	pprofAddr      string
+	mutexFrac      int
 	workers        int64
 	shards         int64
 	leaseTTL       int64
@@ -88,6 +90,7 @@ func main() {
 	flag.Int64Var(&cfg.rules, "rules", 0, "scale demo: define N synthetic rules instead of the named set")
 	flag.Int64Var(&cfg.distinct, "distinct", 50, "scale demo: distinct calendar expressions across -rules")
 	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	flag.IntVar(&cfg.mutexFrac, "mutexprofile", 0, "sample 1/N mutex contention events for /debug/pprof/mutex (0 = off)")
 	flag.Int64Var(&cfg.workers, "workers", 0, "sharded-fleet demo: run N lease-holding workers")
 	flag.Int64Var(&cfg.shards, "shards", 8, "sharded-fleet demo: hash-partition rules into M shards")
 	flag.Int64Var(&cfg.leaseTTL, "lease-ttl", calsys.SecondsPerDay*3/2, "sharded-fleet demo: lease TTL in seconds")
@@ -95,6 +98,9 @@ func main() {
 	flag.StringVar(&cfg.journalDir, "journal-dir", "", "sharded-fleet demo: directory for per-shard journals (default: a temp dir)")
 	flag.Parse()
 
+	if cfg.mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(cfg.mutexFrac)
+	}
 	if cfg.pprofAddr != "" {
 		go func() {
 			if err := http.ListenAndServe(cfg.pprofAddr, nil); err != nil {

@@ -827,16 +827,21 @@ func (m *Manager) evalCached(env *plan.Env, e callang.Expr, from, to chronology.
 	if c, ok := env.Mat.Get(key, win); ok {
 		return c, nil
 	}
-	p, err := plan.Compile(env, prepped, nil, gran, win)
-	if err != nil {
-		return nil, err
-	}
-	c, err := p.Exec(env, nil)
-	if err != nil {
-		return nil, err
-	}
-	env.Mat.Put(key, win, c, false)
-	return c, nil
+	// Fly the whole-expression materialization: when a tenant Replace bumps
+	// the generation, every concurrent client of a popular expression misses
+	// at once, and without coalescing each would compile and execute the
+	// same plan (the classic cache stampede). Expression flights sit at the
+	// top of the materialization hierarchy — their leaders may wait on
+	// derived- or generate-level flights, never on other expression flights
+	// — so the wait graph stays acyclic.
+	return env.Mat.Do(key, win, func() (*calendar.Calendar, bool, error) {
+		p, err := plan.Compile(env, prepped, nil, gran, win)
+		if err != nil {
+			return nil, false, err
+		}
+		c, err := p.Exec(env, nil)
+		return c, false, err
+	})
 }
 
 // EvalExpr parses and evaluates a calendar expression over a civil window.

@@ -24,8 +24,34 @@
 // over sliceable materializations and keeps the compressed form when a true
 // cycle is found, clamped to the element range actually observed.
 //
+// # Concurrency
+//
+// The cache is sharded: keys hash (FNV-1a, the rules.ShardOf idiom) into a
+// power-of-two array of shards, each with its own RWMutex, bucket map, LRU
+// list and byte sub-budget, so readers of different keys never contend and
+// readers of one key share an RLock. The read path never takes an exclusive
+// lock: Get/GetPattern find the covering entry under RLock, capture its
+// immutable payload, release, and run all expansion/slicing outside any
+// lock. LRU recency is tracked by a per-entry atomic access stamp; the list
+// position is only reconciled lazily on the next write-side operation
+// (second-chance promotion at eviction time), so a read costs two atomic
+// adds beyond the RLock. All counters are atomics, so Stats never blocks
+// the data path.
+//
+// Entry payloads (the *Calendar / *Pattern and their window bounds) are
+// immutable from the moment an entry is published: eviction and Reset only
+// detach entries, they never mutate them, so a pointer handed out by Get
+// stays valid — and exact-window hits return the cached calendar itself
+// with no copy. Callers must treat cached calendars as read-only.
+//
+// Miss coalescing is layered on top: Do runs one materialization per
+// (key, window) no matter how many goroutines miss concurrently, and shares
+// the result (the cache-stampede control for cold starts and
+// generation-bump storms; see flight.go).
+//
 // The cache is bounded by a byte budget with LRU eviction and exposes
-// expvar-style counters via Stats.
+// expvar-style counters via Stats. LockedCache (locked.go) preserves the
+// pre-sharding single-mutex implementation as the benchmark ablation arm.
 package matcache
 
 import (
@@ -33,6 +59,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"calsys/internal/chronology"
 	"calsys/internal/core/calendar"
@@ -63,23 +90,36 @@ func (k Key) String() string {
 
 // Stats is a snapshot of the cache counters.
 type Stats struct {
-	Hits       int64 // requests served from a cached window
-	Misses     int64 // requests that found no covering window
-	Puts       int64 // materializations inserted
-	Rejected   int64 // materializations too large for the budget
-	Evictions  int64 // entries evicted by LRU pressure
-	Coalesced  int64 // entries dropped because a superset window subsumed them
-	Compressed int64 // materializations stored as detected patterns instead
-	Patterns   int   // resident pattern entries
-	Entries    int   // resident (key, window) entries
-	Bytes      int64 // resident bytes (estimated)
-	Budget     int64 // configured byte budget
+	Hits        int64 `json:"hits"`         // requests served from a cached window
+	Misses      int64 `json:"misses"`       // requests that found no covering window
+	Puts        int64 `json:"puts"`         // materializations inserted
+	Rejected    int64 `json:"rejected"`     // materializations too large for the budget
+	Evictions   int64 `json:"evictions"`    // entries evicted by LRU pressure
+	Coalesced   int64 `json:"coalesced"`    // entries dropped because a superset window subsumed them
+	Compressed  int64 `json:"compressed"`   // materializations stored as detected patterns instead
+	Flights     int64 `json:"flights"`      // coalesced materializations run by Do leaders
+	FlightWaits int64 `json:"flight_waits"` // Do callers that waited on another goroutine's flight
+	Patterns    int   `json:"patterns"`     // resident pattern entries
+	Entries     int   `json:"entries"`      // resident (key, window) entries
+	Bytes       int64 `json:"bytes"`        // resident bytes (estimated)
+	Budget      int64 `json:"budget"`       // configured byte budget
+	Shards      int   `json:"shards"`       // lock stripes the budget is split across
 }
 
 // String renders the counters in expvar style.
 func (s Stats) String() string {
-	return fmt.Sprintf(`{"hits": %d, "misses": %d, "puts": %d, "rejected": %d, "evictions": %d, "coalesced": %d, "compressed": %d, "patterns": %d, "entries": %d, "bytes": %d, "budget": %d}`,
-		s.Hits, s.Misses, s.Puts, s.Rejected, s.Evictions, s.Coalesced, s.Compressed, s.Patterns, s.Entries, s.Bytes, s.Budget)
+	return fmt.Sprintf(`{"hits": %d, "misses": %d, "puts": %d, "rejected": %d, "evictions": %d, "coalesced": %d, "compressed": %d, "flights": %d, "flightWaits": %d, "patterns": %d, "entries": %d, "bytes": %d, "budget": %d, "shards": %d}`,
+		s.Hits, s.Misses, s.Puts, s.Rejected, s.Evictions, s.Coalesced, s.Compressed, s.Flights, s.FlightWaits, s.Patterns, s.Entries, s.Bytes, s.Budget, s.Shards)
+}
+
+// ShardStat is one shard's resident footprint (per-shard counters would
+// double the atomic traffic for no operational signal; the aggregate
+// counters live in Stats).
+type ShardStat struct {
+	Entries  int   `json:"entries"`
+	Patterns int   `json:"patterns"`
+	Bytes    int64 `json:"bytes"`
+	Budget   int64 `json:"budget"`
 }
 
 // AllTime is the validity window of pattern entries that hold for every
@@ -90,6 +130,13 @@ var AllTime = interval.Interval{Lo: math.MinInt64, Hi: math.MaxInt64}
 // entry is one materialized window of one key: either a materialized
 // calendar (cal) or a periodic pattern (pat) with the element-index range it
 // is valid over. Pattern entries serve any sub-window of win by expansion.
+//
+// All payload fields are written once, before the entry is published into a
+// bucket under the shard's write lock, and never mutated after — the
+// immutability contract that lets the read path use them outside the lock.
+// accessed/placed implement deferred LRU promotion: reads bump accessed (an
+// atomic clock stamp); placed is the stamp at the entry's current list
+// position, reconciled under the write lock at eviction time.
 type entry struct {
 	key        Key
 	win        interval.Interval
@@ -99,6 +146,8 @@ type entry struct {
 	sliceable  bool
 	bytes      int64
 	elem       *list.Element
+	accessed   atomic.Int64
+	placed     int64
 }
 
 // covers reports whether the entry can serve the requested window.
@@ -109,21 +158,63 @@ func (e *entry) covers(win interval.Interval) bool {
 	return (e.sliceable || e.pat != nil) && e.win.Lo <= win.Lo && win.Hi <= e.win.Hi
 }
 
-// Cache is a byte-bounded LRU of materialized calendars. It is safe for
-// concurrent use.
-type Cache struct {
-	mu      sync.Mutex
-	budget  int64
-	bytes   int64
-	buckets map[Key][]*entry
-	lru     *list.List // front = most recently used; values are *entry
+// shard is one lock stripe: a private bucket map, LRU list, byte sub-budget
+// and read-path counters. Hit/miss counters live here rather than on Cache
+// so the read fast path never touches a cache line shared by all stripes —
+// on many cores a single global hit counter would bounce between sockets on
+// every Get and cap the scaling the striping buys. The blank pad keeps
+// neighboring shards off one cache line.
+type shard struct {
+	mu           sync.RWMutex
+	budget       int64
+	bytes        int64
+	buckets      map[Key][]*entry
+	lru          *list.List // front = most recently placed; values are *entry
+	hits, misses atomic.Int64
+	_            [64]byte
+}
 
-	hits, misses, puts, rejected, evictions, coalesced, compressed int64
-	patterns                                                       int
+// Cache is a byte-bounded, sharded LRU of materialized calendars. It is safe
+// for concurrent use; see the package comment for the locking discipline.
+type Cache struct {
+	budget int64
+	mask   uint32
+	shards []shard
+
+	// clock is the logical access clock behind deferred LRU promotion. Only
+	// write-side operations advance it; reads just load it, so the hot read
+	// path never contends on this cache line.
+	clock atomic.Int64
+
+	puts, rejected, evictions, coalesced, compressed atomic.Int64
+	flights, flightWaits                             atomic.Int64
+	patterns                                         atomic.Int64
+
+	flightMu sync.Mutex
+	inflight map[flightKey]*flight
 }
 
 // DefaultBudget is the byte budget of the shared process-wide cache.
 const DefaultBudget = 64 << 20
+
+// maxShards caps the stripe count; minShardBudget is the smallest byte
+// sub-budget a stripe is allowed (halving below it stops the doubling), so
+// tiny test budgets degenerate to one stripe with exactly the classic LRU
+// semantics, while the default budget gets the full fan-out.
+const (
+	maxShards      = 16
+	minShardBudget = 64 << 10
+)
+
+// shardCount picks the largest power of two ≤ maxShards whose per-shard
+// budget stays ≥ minShardBudget.
+func shardCount(budget int64) int {
+	n := 1
+	for n < maxShards && budget/int64(n)/2 >= minShardBudget {
+		n *= 2
+	}
+	return n
+}
 
 // New returns an empty cache with the given byte budget (<= 0 means
 // DefaultBudget).
@@ -131,7 +222,19 @@ func New(budget int64) *Cache {
 	if budget <= 0 {
 		budget = DefaultBudget
 	}
-	return &Cache{budget: budget, buckets: map[Key][]*entry{}, lru: list.New()}
+	n := shardCount(budget)
+	c := &Cache{
+		budget:   budget,
+		mask:     uint32(n - 1),
+		shards:   make([]shard, n),
+		inflight: map[flightKey]*flight{},
+	}
+	for i := range c.shards {
+		c.shards[i].budget = budget / int64(n)
+		c.shards[i].buckets = map[Key][]*entry{}
+		c.shards[i].lru = list.New()
+	}
+	return c
 }
 
 var (
@@ -145,28 +248,82 @@ func Shared() *Cache {
 	return shared
 }
 
+// shardOf hashes a key (FNV-1a over every field, the rules.ShardOf idiom)
+// onto its stripe.
+func (c *Cache) shardOf(k Key) *shard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(k.Scope); i++ {
+		h ^= uint32(k.Scope[i])
+		h *= prime32
+	}
+	h ^= 0xff // field separator: ("ab","c") must not collide with ("a","bc")
+	h *= prime32
+	for i := 0; i < len(k.ID); i++ {
+		h ^= uint32(k.ID[i])
+		h *= prime32
+	}
+	v := k.Version
+	for i := 0; i < 8; i++ {
+		h ^= uint32(v & 0xff)
+		h *= prime32
+		v >>= 8
+	}
+	h ^= uint32(k.Gran)
+	h *= prime32
+	return &c.shards[h&c.mask]
+}
+
+// touch stamps an entry as read since it was last placed. The LRU list is
+// not moved — that would need the exclusive lock — the stamp is reconciled
+// at eviction time. The stamp is clock.Load()+1, not clock.Add(1): the
+// second-chance check only needs the binary signal accessed > placed, and a
+// read-only load keeps the hot path off the clock's cache line. Any
+// promotion or insert advances the clock, so a promoted entry's next read
+// stamps strictly above its new placement.
+func (c *Cache) touch(e *entry) {
+	e.accessed.Store(c.clock.Load() + 1)
+}
+
 // Get returns the calendar materialized for key over exactly win, served
 // from any cached window that covers it. Sliceable entries (sorted
 // consecutive interval runs, the shape of every generated calendar) serve
 // subset windows by slicing; other entries serve exact window matches only.
+//
+// Exact-window hits return the cached *calendar.Calendar itself (no copy).
+// Cached calendars are immutable: concurrent Put/Reset/eviction can detach
+// the entry but never mutates the calendar, so the returned value stays
+// coherent; callers must not modify it.
 func (c *Cache) Get(k Key, win interval.Interval) (*calendar.Calendar, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, e := range c.buckets[k] {
+	sh := c.shardOf(k)
+	sh.mu.RLock()
+	var found *entry
+	for _, e := range sh.buckets[k] {
 		if e.covers(win) {
-			c.lru.MoveToFront(e.elem)
-			c.hits++
-			if e.pat != nil {
-				return calendar.ExpandPatternBetween(k.Gran, e.pat, win, e.qmin, e.qmax), true
-			}
-			if e.win == win {
-				return e.cal, true
-			}
-			return calendar.SliceOverlapping(e.cal, win), true
+			found = e
+			break
 		}
 	}
-	c.misses++
-	return nil, false
+	sh.mu.RUnlock()
+	if found == nil {
+		sh.misses.Add(1)
+		return nil, false
+	}
+	c.touch(found)
+	sh.hits.Add(1)
+	// Expansion and slicing run outside any lock: the payload fields are
+	// immutable once the entry is published, so concurrent eviction cannot
+	// invalidate them.
+	if found.pat != nil {
+		return calendar.ExpandPatternBetween(k.Gran, found.pat, win, found.qmin, found.qmax), true
+	}
+	if found.win == win {
+		return found.cal, true
+	}
+	return calendar.SliceOverlapping(found.cal, win), true
 }
 
 // GetPattern returns a cached pattern valid over win, with the element-index
@@ -175,16 +332,22 @@ func (c *Cache) Get(k Key, win interval.Interval) (*calendar.Calendar, bool) {
 // never materializing at all. Unlike Get, a miss here is not counted — the
 // caller falls through to Get, which settles the hit/miss accounting.
 func (c *Cache) GetPattern(k Key, win interval.Interval) (*periodic.Pattern, int64, int64, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, e := range c.buckets[k] {
+	sh := c.shardOf(k)
+	sh.mu.RLock()
+	var found *entry
+	for _, e := range sh.buckets[k] {
 		if e.pat != nil && e.covers(win) {
-			c.lru.MoveToFront(e.elem)
-			c.hits++
-			return e.pat, e.qmin, e.qmax, true
+			found = e
+			break
 		}
 	}
-	return nil, 0, 0, false
+	sh.mu.RUnlock()
+	if found == nil {
+		return nil, 0, 0, false
+	}
+	c.touch(found)
+	sh.hits.Add(1)
+	return found.pat, found.qmin, found.qmax, true
 }
 
 // Put records a materialization of key over win. sliceable promises that cal
@@ -192,7 +355,8 @@ func (c *Cache) GetPattern(k Key, win interval.Interval) (*periodic.Pattern, int
 // upper bounds (generated runs), so subset windows may later be sliced out
 // of it; it is ignored for higher-order calendars. Entries whose windows the
 // new one subsumes are coalesced away; if a cached sliceable window already
-// covers win, the insert is a no-op.
+// covers win, the insert is a no-op. The calendar becomes shared the moment
+// it is inserted and must not be mutated afterwards.
 func (c *Cache) Put(k Key, win interval.Interval, cal *calendar.Calendar, sliceable bool) {
 	if cal == nil {
 		return
@@ -219,13 +383,14 @@ func (c *Cache) Put(k Key, win interval.Interval, cal *calendar.Calendar, slicea
 		// against this entry ever re-lowers the list.
 		cal.PrimeIndex()
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if size > c.budget {
-		c.rejected++
+	sh := c.shardOf(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if size > sh.budget {
+		c.rejected.Add(1)
 		return
 	}
-	bucket := c.buckets[k]
+	bucket := sh.buckets[k]
 	for _, e := range bucket {
 		if e.covers(win) {
 			// Already covered by an equal or wider materialization.
@@ -238,14 +403,14 @@ func (c *Cache) Put(k Key, win interval.Interval, cal *calendar.Calendar, slicea
 			// The new window subsumes this one: coalesce. Pattern entries are
 			// kept — they are smaller than any materialization that covers
 			// them.
-			c.removeLocked(e)
-			c.coalesced++
+			sh.removeLocked(c, e)
+			c.coalesced.Add(1)
 			continue
 		}
 		kept = append(kept, e)
 	}
 	e := &entry{key: k, win: win, cal: cal, sliceable: sliceable, bytes: size}
-	c.insertLocked(kept, e)
+	c.insertLocked(sh, kept, e)
 }
 
 // compressMinLen is the smallest materialization Put tries to compress:
@@ -267,16 +432,17 @@ func (c *Cache) PutPattern(k Key, win interval.Interval, pat *periodic.Pattern, 
 
 func (c *Cache) putPattern(k Key, win interval.Interval, pat *periodic.Pattern, qmin, qmax int64, compressed bool) {
 	size := pat.SizeBytes()
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if compressed {
-		c.compressed++
+		c.compressed.Add(1)
 	}
-	if size > c.budget {
-		c.rejected++
+	sh := c.shardOf(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if size > sh.budget {
+		c.rejected.Add(1)
 		return
 	}
-	bucket := c.buckets[k]
+	bucket := sh.buckets[k]
 	for _, e := range bucket {
 		if e.pat != nil && e.covers(win) {
 			return // an equal-or-wider pattern already serves this
@@ -285,79 +451,133 @@ func (c *Cache) putPattern(k Key, win interval.Interval, pat *periodic.Pattern, 
 	kept := bucket[:0]
 	for _, e := range bucket {
 		if e.win.Lo >= win.Lo && e.win.Hi <= win.Hi {
-			c.removeLocked(e)
-			c.coalesced++
+			sh.removeLocked(c, e)
+			c.coalesced.Add(1)
 			continue
 		}
 		kept = append(kept, e)
 	}
 	e := &entry{key: k, win: win, pat: pat, qmin: qmin, qmax: qmax, sliceable: true, bytes: size}
-	c.insertLocked(kept, e)
+	c.insertLocked(sh, kept, e)
 }
 
-// insertLocked adds e to its bucket and the LRU, then enforces the budget.
-func (c *Cache) insertLocked(kept []*entry, e *entry) {
-	e.elem = c.lru.PushFront(e)
-	c.buckets[e.key] = append(kept, e)
-	c.bytes += e.bytes
-	c.puts++
+// insertLocked adds e to its bucket and the shard LRU, then enforces the
+// shard's byte sub-budget with second-chance eviction: a back-of-list entry
+// whose atomic access stamp moved since it was last placed has been read
+// since — it is promoted (deferred promotion applied here, the next
+// write-side operation) instead of evicted. Each entry gets at most one
+// chance per pass, so an eviction storm still terminates.
+func (c *Cache) insertLocked(sh *shard, kept []*entry, e *entry) {
+	e.placed = c.clock.Add(1)
+	e.elem = sh.lru.PushFront(e)
+	sh.buckets[e.key] = append(kept, e)
+	sh.bytes += e.bytes
+	c.puts.Add(1)
 	if e.pat != nil {
-		c.patterns++
+		c.patterns.Add(1)
 	}
-	for c.bytes > c.budget {
-		back := c.lru.Back()
+	chances := sh.lru.Len()
+	for sh.bytes > sh.budget {
+		back := sh.lru.Back()
 		if back == nil {
 			break
 		}
 		victim := back.Value.(*entry)
-		c.removeLocked(victim)
-		c.dropFromBucket(victim)
-		c.evictions++
+		if a := victim.accessed.Load(); a > victim.placed && chances > 0 {
+			chances--
+			victim.placed = a
+			sh.lru.MoveToFront(back)
+			continue
+		}
+		sh.removeLocked(c, victim)
+		sh.dropFromBucket(victim)
+		c.evictions.Add(1)
 	}
 }
 
 // removeLocked detaches e from the LRU and byte accounting (not the bucket).
-func (c *Cache) removeLocked(e *entry) {
-	c.lru.Remove(e.elem)
-	c.bytes -= e.bytes
+func (sh *shard) removeLocked(c *Cache, e *entry) {
+	sh.lru.Remove(e.elem)
+	sh.bytes -= e.bytes
 	if e.pat != nil {
-		c.patterns--
+		c.patterns.Add(-1)
 	}
 }
 
-// dropFromBucket removes e from its bucket slice.
-func (c *Cache) dropFromBucket(e *entry) {
-	bucket := c.buckets[e.key]
+// dropFromBucket removes e from its bucket slice by swap-remove: bucket
+// order carries no meaning (covers scans the whole bucket), so the O(n)
+// shift the old append-based removal paid is pure waste.
+func (sh *shard) dropFromBucket(e *entry) {
+	bucket := sh.buckets[e.key]
 	for i, x := range bucket {
 		if x == e {
-			c.buckets[e.key] = append(bucket[:i], bucket[i+1:]...)
+			last := len(bucket) - 1
+			bucket[i] = bucket[last]
+			bucket[last] = nil
+			bucket = bucket[:last]
 			break
 		}
 	}
-	if len(c.buckets[e.key]) == 0 {
-		delete(c.buckets, e.key)
+	if len(bucket) == 0 {
+		delete(sh.buckets, e.key)
+	} else {
+		sh.buckets[e.key] = bucket
 	}
 }
 
 // Reset empties the cache, keeping the budget and counters.
 func (c *Cache) Reset() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.buckets = map[Key][]*entry{}
-	c.lru.Init()
-	c.bytes = 0
-	c.patterns = 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.buckets = map[Key][]*entry{}
+		sh.lru.Init()
+		sh.bytes = 0
+		sh.mu.Unlock()
+	}
+	c.patterns.Store(0)
 }
 
-// Stats snapshots the counters.
+// Stats snapshots the counters. The monotone counters are lock-free atomics;
+// only the resident entry/byte census takes each shard's read lock briefly.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return Stats{
-		Hits: c.hits, Misses: c.misses, Puts: c.puts, Rejected: c.rejected,
-		Evictions: c.evictions, Coalesced: c.coalesced, Compressed: c.compressed,
-		Patterns: c.patterns, Entries: c.lru.Len(), Bytes: c.bytes, Budget: c.budget,
+	st := Stats{
+		Puts:     c.puts.Load(),
+		Rejected: c.rejected.Load(), Evictions: c.evictions.Load(),
+		Coalesced: c.coalesced.Load(), Compressed: c.compressed.Load(),
+		Flights: c.flights.Load(), FlightWaits: c.flightWaits.Load(),
+		Patterns: int(c.patterns.Load()),
+		Budget:   c.budget, Shards: len(c.shards),
 	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		st.Hits += sh.hits.Load()
+		st.Misses += sh.misses.Load()
+		sh.mu.RLock()
+		st.Entries += sh.lru.Len()
+		st.Bytes += sh.bytes
+		sh.mu.RUnlock()
+	}
+	return st
+}
+
+// ShardStats snapshots each shard's resident footprint, for the
+// /debug/cachestats endpoint and stripe-balance checks.
+func (c *Cache) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(c.shards))
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		pats := 0
+		for e := sh.lru.Front(); e != nil; e = e.Next() {
+			if e.Value.(*entry).pat != nil {
+				pats++
+			}
+		}
+		out[i] = ShardStat{Entries: sh.lru.Len(), Patterns: pats, Bytes: sh.bytes, Budget: sh.budget}
+		sh.mu.RUnlock()
+	}
+	return out
 }
 
 // SizeOf estimates a calendar's resident bytes: 16 per leaf interval plus a

@@ -21,7 +21,7 @@ func periodicForTest(ch *chronology.Chronology) (*periodic.Pattern, error) {
 	return periodic.ForBasicPair(ch, chronology.Month, chronology.Day)
 }
 
-func gen(t *testing.T, ch *chronology.Chronology, of, in chronology.Granularity, lo, hi chronology.Tick) *calendar.Calendar {
+func gen(t testing.TB, ch *chronology.Chronology, of, in chronology.Granularity, lo, hi chronology.Tick) *calendar.Calendar {
 	t.Helper()
 	c, err := calendar.GenerateFull(ch, of, in, lo, hi)
 	if err != nil {
@@ -33,7 +33,7 @@ func gen(t *testing.T, ch *chronology.Chronology, of, in chronology.Granularity,
 // aperiodic builds an n-element sorted disjoint calendar with irregular gaps
 // and widths, so Put cannot compress it to a pattern. Tests of the byte
 // budget machinery use it to stay on the materialized path.
-func aperiodic(t *testing.T, seed int64, n int) *calendar.Calendar {
+func aperiodic(t testing.TB, seed int64, n int) *calendar.Calendar {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	ivs := make([]interval.Interval, 0, n)

@@ -1,0 +1,215 @@
+package matcache
+
+import (
+	"container/list"
+	"sync"
+
+	"calsys/internal/core/calendar"
+	"calsys/internal/core/interval"
+	"calsys/internal/core/periodic"
+)
+
+// LockedCache is the pre-sharding cache: one global mutex serializing every
+// operation, MoveToFront on every Get, and expansion/slicing inside the
+// critical section. It is kept verbatim as the ablation arm of
+// BenchmarkCacheParallelGet — the baseline the sharded Cache is measured
+// against — and is not used by any production path.
+type LockedCache struct {
+	mu      sync.Mutex
+	budget  int64
+	bytes   int64
+	buckets map[Key][]*entry
+	lru     *list.List // front = most recently used; values are *entry
+
+	hits, misses, puts, rejected, evictions, coalesced, compressed int64
+	patterns                                                       int
+}
+
+// NewLocked returns an empty single-mutex cache with the given byte budget
+// (<= 0 means DefaultBudget).
+func NewLocked(budget int64) *LockedCache {
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	return &LockedCache{budget: budget, buckets: map[Key][]*entry{}, lru: list.New()}
+}
+
+// Get returns the calendar materialized for key over exactly win, served
+// from any cached window that covers it.
+func (c *LockedCache) Get(k Key, win interval.Interval) (*calendar.Calendar, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.buckets[k] {
+		if e.covers(win) {
+			c.lru.MoveToFront(e.elem)
+			c.hits++
+			if e.pat != nil {
+				return calendar.ExpandPatternBetween(k.Gran, e.pat, win, e.qmin, e.qmax), true
+			}
+			if e.win == win {
+				return e.cal, true
+			}
+			return calendar.SliceOverlapping(e.cal, win), true
+		}
+	}
+	c.misses++
+	return nil, false
+}
+
+// GetPattern returns a cached pattern valid over win.
+func (c *LockedCache) GetPattern(k Key, win interval.Interval) (*periodic.Pattern, int64, int64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.buckets[k] {
+		if e.pat != nil && e.covers(win) {
+			c.lru.MoveToFront(e.elem)
+			c.hits++
+			return e.pat, e.qmin, e.qmax, true
+		}
+	}
+	return nil, 0, 0, false
+}
+
+// Put records a materialization of key over win (see Cache.Put).
+func (c *LockedCache) Put(k Key, win interval.Interval, cal *calendar.Calendar, sliceable bool) {
+	if cal == nil {
+		return
+	}
+	if sliceable && cal.Order() != 1 {
+		sliceable = false
+	}
+	size := SizeOf(cal)
+	if sliceable {
+		if ivs := cal.Intervals(); len(ivs) >= compressMinLen {
+			if pat, qmin, qmax, ok := periodic.Detect(ivs); ok && pat.SizeBytes()*2 <= size {
+				c.putPattern(k, win, pat, qmin, qmax, true)
+				return
+			}
+		}
+		cal.PrimeIndex()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size > c.budget {
+		c.rejected++
+		return
+	}
+	bucket := c.buckets[k]
+	for _, e := range bucket {
+		if e.covers(win) {
+			return
+		}
+	}
+	kept := bucket[:0]
+	for _, e := range bucket {
+		if sliceable && e.pat == nil && e.win.Lo >= win.Lo && e.win.Hi <= win.Hi {
+			c.removeLocked(e)
+			c.coalesced++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	e := &entry{key: k, win: win, cal: cal, sliceable: sliceable, bytes: size}
+	c.insertLocked(kept, e)
+}
+
+// PutPattern records a periodic pattern for key (see Cache.PutPattern).
+func (c *LockedCache) PutPattern(k Key, win interval.Interval, pat *periodic.Pattern, qmin, qmax int64) {
+	if pat == nil {
+		return
+	}
+	c.putPattern(k, win, pat, qmin, qmax, false)
+}
+
+func (c *LockedCache) putPattern(k Key, win interval.Interval, pat *periodic.Pattern, qmin, qmax int64, compressed bool) {
+	size := pat.SizeBytes()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if compressed {
+		c.compressed++
+	}
+	if size > c.budget {
+		c.rejected++
+		return
+	}
+	bucket := c.buckets[k]
+	for _, e := range bucket {
+		if e.pat != nil && e.covers(win) {
+			return
+		}
+	}
+	kept := bucket[:0]
+	for _, e := range bucket {
+		if e.win.Lo >= win.Lo && e.win.Hi <= win.Hi {
+			c.removeLocked(e)
+			c.coalesced++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	e := &entry{key: k, win: win, pat: pat, qmin: qmin, qmax: qmax, sliceable: true, bytes: size}
+	c.insertLocked(kept, e)
+}
+
+func (c *LockedCache) insertLocked(kept []*entry, e *entry) {
+	e.elem = c.lru.PushFront(e)
+	c.buckets[e.key] = append(kept, e)
+	c.bytes += e.bytes
+	c.puts++
+	if e.pat != nil {
+		c.patterns++
+	}
+	for c.bytes > c.budget {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*entry)
+		c.removeLocked(victim)
+		c.dropFromBucket(victim)
+		c.evictions++
+	}
+}
+
+func (c *LockedCache) removeLocked(e *entry) {
+	c.lru.Remove(e.elem)
+	c.bytes -= e.bytes
+	if e.pat != nil {
+		c.patterns--
+	}
+}
+
+func (c *LockedCache) dropFromBucket(e *entry) {
+	bucket := c.buckets[e.key]
+	for i, x := range bucket {
+		if x == e {
+			c.buckets[e.key] = append(bucket[:i], bucket[i+1:]...)
+			break
+		}
+	}
+	if len(c.buckets[e.key]) == 0 {
+		delete(c.buckets, e.key)
+	}
+}
+
+// Reset empties the cache, keeping the budget and counters.
+func (c *LockedCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buckets = map[Key][]*entry{}
+	c.lru.Init()
+	c.bytes = 0
+	c.patterns = 0
+}
+
+// Stats snapshots the counters.
+func (c *LockedCache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits: c.hits, Misses: c.misses, Puts: c.puts, Rejected: c.rejected,
+		Evictions: c.evictions, Coalesced: c.coalesced, Compressed: c.compressed,
+		Patterns: c.patterns, Entries: c.lru.Len(), Bytes: c.bytes, Budget: c.budget,
+		Shards: 1,
+	}
+}

@@ -256,27 +256,46 @@ func (p *Plan) execOp(env *Env, vars map[string]*calendar.Calendar, st *execStat
 				return c, nil
 			}
 		}
-		st.depth++
-		st.deriving = append(st.deriving, op.Name)
-		v, err := runScript(env, script, p.Gran, win, st)
-		st.deriving = st.deriving[:len(st.deriving)-1]
-		st.depth--
-		if err != nil {
-			return nil, fmt.Errorf("evaluating %q: %w", op.Name, err)
-		}
-		if v.Cal == nil {
-			return nil, fmt.Errorf("derived calendar %q returned an alert string, not a calendar", op.Name)
-		}
-		out, err := calendar.ConvertGran(env.Chron, v.Cal, p.Gran)
-		if err == nil && cacheable {
+		eval := func() (*calendar.Calendar, bool, error) {
+			st.depth++
+			st.deriving = append(st.deriving, op.Name)
+			v, err := runScript(env, script, p.Gran, win, st)
+			st.deriving = st.deriving[:len(st.deriving)-1]
+			st.depth--
+			if err != nil {
+				return nil, false, fmt.Errorf("evaluating %q: %w", op.Name, err)
+			}
+			if v.Cal == nil {
+				return nil, false, fmt.Errorf("derived calendar %q returned an alert string, not a calendar", op.Name)
+			}
+			out, err := calendar.ConvertGran(env.Chron, v.Cal, p.Gran)
+			if err != nil {
+				return nil, false, err
+			}
 			// Derived materializations are served back verbatim (not
 			// sliced), so prime the endpoint index now: every later foreach
 			// or set op against the cached value sweeps the flat bound
 			// arrays instead of re-lowering the interval list.
 			out.PrimeIndex()
-			env.Mat.Put(dkey, win, out, false)
+			return out, false, nil
 		}
-		return out, err
+		if !cacheable {
+			out, _, err := eval()
+			return out, err
+		}
+		if st.depth > 0 {
+			// Nested derived references evaluate inline rather than flying:
+			// depth is only incremented inside a flight leader's eval, so
+			// keeping nested refs out of Do means a leader never waits on
+			// another flight at its own level — the wait graph stays acyclic
+			// (expression → derived → generate).
+			out, _, err := eval()
+			if err == nil {
+				env.Mat.Put(dkey, win, out, false)
+			}
+			return out, err
+		}
+		return env.Mat.Do(dkey, win, eval)
 	case OpVar:
 		c, ok := vars[op.Name]
 		if !ok {
@@ -332,15 +351,25 @@ func (p *Plan) generateShared(env *Env, op Op) (*calendar.Calendar, error) {
 	if c, ok := env.Mat.Get(key, op.Win); ok {
 		return c, nil
 	}
+	// Coalesce concurrent misses on the aligned chunk: N goroutines (the
+	// prefetch pool, parallel rule probes, concurrent tenants) missing on
+	// one popular calendar run exactly one padded generation between them.
 	padded := matcache.AlignedWindow(op.Win)
-	c, err := calendar.GenerateFull(env.Chron, op.Of, p.Gran, padded.Lo, padded.Hi)
+	c, err := env.Mat.Do(key, padded, func() (*calendar.Calendar, bool, error) {
+		return generated(calendar.GenerateFull(env.Chron, op.Of, p.Gran, padded.Lo, padded.Hi))
+	})
 	if err != nil {
 		// Padding pushed the window somewhere generation rejects; fall back
 		// to the exact request.
 		return calendar.GenerateFull(env.Chron, op.Of, p.Gran, op.Win.Lo, op.Win.Hi)
 	}
-	env.Mat.Put(key, padded, c, true)
 	return calendar.SliceOverlapping(c, op.Win), nil
+}
+
+// generated adapts GenerateFull's result to a flight's materialize shape:
+// generated basic calendars are always sliceable runs.
+func generated(c *calendar.Calendar, err error) (*calendar.Calendar, bool, error) {
+	return c, true, err
 }
 
 // derivedKey returns the shared-cache key for a derived calendar's

@@ -534,6 +534,33 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 }
 
+// TestCacheStatsEndpoint sanity-checks the admin cache observability
+// surface: aggregate counters plus one footprint entry per shard.
+func TestCacheStatsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	mkTenant(t, ts, "acme")
+	status, body := call(t, ts, "GET", "/debug/cachestats", testAdminToken, nil)
+	if status != http.StatusOK {
+		t.Fatalf("cachestats: %d %v", status, body)
+	}
+	agg, ok := body["matcache"].(map[string]any)
+	if !ok {
+		t.Fatalf("no matcache aggregate in %v", body)
+	}
+	for _, field := range []string{"hits", "misses", "flights", "flight_waits", "bytes", "budget", "shards"} {
+		if _, ok := agg[field]; !ok {
+			t.Fatalf("aggregate missing %q: %v", field, agg)
+		}
+	}
+	shards, ok := body["shards"].([]any)
+	if !ok || len(shards) != int(agg["shards"].(float64)) {
+		t.Fatalf("shards array (%v) does not match aggregate shard count %v", body["shards"], agg["shards"])
+	}
+	if status, _ = call(t, ts, "GET", "/debug/cachestats", "", nil); status != http.StatusUnauthorized {
+		t.Fatalf("cachestats without admin: %d", status)
+	}
+}
+
 // TestConcurrentTenants hammers several tenant namespaces concurrently —
 // the race job runs this under -race to prove the registry, the shared
 // plan cache and the per-tenant systems hold up.

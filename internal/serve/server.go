@@ -11,6 +11,7 @@ import (
 	"calsys"
 	"calsys/internal/chronology"
 	"calsys/internal/core/callang"
+	"calsys/internal/core/matcache"
 	"calsys/internal/core/plan"
 )
 
@@ -81,6 +82,7 @@ func (s *Server) routes() {
 	m.HandleFunc("GET /v1/tenants", s.admin(s.handleTenantList))
 	m.HandleFunc("DELETE /v1/tenants/{tenant}", s.admin(s.handleTenantDrop))
 	m.HandleFunc("GET /v1/stats", s.admin(s.handleStats))
+	m.HandleFunc("GET /debug/cachestats", s.admin(s.handleCacheStats))
 
 	m.HandleFunc("GET /v1/tenants/{tenant}/calendars", s.tenant(s.handleCalendarList))
 	m.HandleFunc("PUT /v1/tenants/{tenant}/calendars/{name}", s.tenant(s.handleCalendarPut))
@@ -260,6 +262,17 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"tenants":      len(s.reg.Names()),
 		"shared_plans": s.share.Stats(),
 		"matcache":     matStats,
+	})
+}
+
+// handleCacheStats reports the process-wide materialization cache: aggregate
+// counters (hits/misses/flights/…) plus each shard's resident footprint, so
+// operators can spot stripe imbalance and stampede behavior live.
+func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
+	mat := matcache.Shared()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"matcache": mat.Stats(),
+		"shards":   mat.ShardStats(),
 	})
 }
 

@@ -3,17 +3,21 @@
 #
 # Builds calserved and calload, boots the server on an ephemeral port,
 # drives the mixed workload (tenant create -> recurrence rule -> expand ->
-# next-instant -> CRUD) and then the expand-heavy workload (multi-year
-# grouping/set-op expansions through the engine's sweep kernels), converts
-# both latency reports to benchjson artifacts, then SIGTERMs the server and
-# asserts a graceful exit.
+# next-instant -> CRUD), the expand-heavy workload (multi-year
+# grouping/set-op expansions through the engine's sweep kernels), and the
+# stampede workload (every client hammering the same expressions against a
+# cold cache, through the matcache singleflight layer), converts the latency
+# reports to benchjson artifacts, then SIGTERMs the server and asserts a
+# graceful exit.
 #
 # Artifacts (in $SMOKE_OUT, default ./smoke-out):
-#   calload.txt              mixed-workload latency table + Benchmark lines
-#   BENCH_serve.json         benchjson rendering of the mixed run
-#   calload_expand.txt       expand-heavy latency table + Benchmark lines
-#   BENCH_serve_expand.json  benchjson rendering of the expand-heavy run
-#   calserved.log            server log
+#   calload.txt                mixed-workload latency table + Benchmark lines
+#   BENCH_serve.json           benchjson rendering of the mixed run
+#   calload_expand.txt         expand-heavy latency table + Benchmark lines
+#   BENCH_serve_expand.json    benchjson rendering of the expand-heavy run
+#   calload_stampede.txt       stampede latency table + Benchmark lines
+#   BENCH_serve_stampede.json  benchjson rendering of the stampede run
+#   calserved.log              server log
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -65,9 +69,18 @@ echo "serve-smoke: running calload (expand-heavy)"
     -tenants 4 -clients 8 -requests 25 -mix expand -tenant-prefix exp \
     | tee "$OUT/calload_expand.txt"
 
+echo "serve-smoke: running calload (stampede)"
+# One tenant, many clients, a fresh tenant prefix (fresh catalog generation
+# = cold cache keys): every client misses on the same expressions at once,
+# exercising the singleflight stampede control end to end.
+"$BIN/calload" -addr "$ADDR" -admin-token "$ADMIN_TOKEN" \
+    -tenants 1 -clients 16 -requests 9 -mix stampede -tenant-prefix st \
+    | tee "$OUT/calload_stampede.txt"
+
 echo "serve-smoke: rendering benchjson artifacts"
 go run ./cmd/benchjson -o "$OUT/BENCH_serve.json" "$OUT/calload.txt"
 go run ./cmd/benchjson -o "$OUT/BENCH_serve_expand.json" "$OUT/calload_expand.txt"
+go run ./cmd/benchjson -o "$OUT/BENCH_serve_stampede.json" "$OUT/calload_stampede.txt"
 
 echo "serve-smoke: draining server (SIGTERM)"
 kill -TERM "$SERVER_PID"
